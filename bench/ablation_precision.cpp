@@ -1,0 +1,49 @@
+// Ablation: datapath precision of the speculative FK units.
+//
+// An accelerator implementer must choose the FKU's arithmetic width.
+// This bench runs Quick-IK with the speculative FK evaluated in FP32
+// (as a lean 65 nm datapath would) against the FP64 reference, across
+// the DOF ladder, reporting iteration counts, convergence and the raw
+// f32-vs-f64 FK deviation — evidence that single precision is safe at
+// the paper's 1e-2 m accuracy.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "ablation_precision");
+  const int targets = bench::targetCount(args, 15);
+
+  dadu::report::banner(std::cout,
+                       "Ablation: FP32 vs FP64 speculative datapath (" +
+                           std::to_string(targets) + " targets/cell)");
+
+  dadu::report::Table table({"DOF", "fk dev f32 (m)", "iters f64",
+                             "iters f32", "conv% f64", "conv% f32"});
+
+  for (const std::size_t dof : bench::dofLadder(args)) {
+    const auto chain = dadu::kin::makeSerpentine(dof);
+    const auto tasks = dadu::workload::generateTasks(chain, targets);
+    dadu::ik::SolveOptions options;
+
+    dadu::ik::QuickIkSolver f64(chain, options);
+    dadu::ik::QuickIkF32Solver f32(chain, options);
+    const auto run64 = bench::runBatch(f64, tasks);
+    const auto run32 = bench::runBatch(f32, tasks);
+
+    table.addRow(
+        {std::to_string(dof),
+         dadu::report::Table::sci(dadu::kin::fkF32MaxDeviation(chain, 100), 1),
+         dadu::report::Table::num(run64.stats.mean_iterations, 1),
+         dadu::report::Table::num(run32.stats.mean_iterations, 1),
+         dadu::report::Table::num(run64.stats.convergenceRate() * 100, 0),
+         dadu::report::Table::num(run32.stats.convergenceRate() * 100, 0)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: f32 FK deviates by <1e-4 m even at 100 DOF — "
+               "5 orders below the 1e-2 m target — so iterations and "
+               "convergence match the f64 solver.\n";
+  return 0;
+}

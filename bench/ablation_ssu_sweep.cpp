@@ -1,0 +1,63 @@
+// Ablation: number of physical Speculative Search Units.
+//
+// The paper builds 32 SSUs and schedules 64 software speculations onto
+// them in 2 waves.  This bench sweeps the SSU count at fixed
+// speculation count (64) and reports latency, energy, area and the
+// latency*area product — the design-space view behind the paper's
+// 32-SSU choice.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "ablation_ssu_sweep");
+  const int targets = bench::targetCount(args, 10);
+  const std::size_t dof = args.quick ? 25 : 100;
+
+  dadu::report::banner(
+      std::cout, "Ablation: SSU count at 64 speculations, " +
+                     std::to_string(dof) + "-DOF manipulator (" +
+                     std::to_string(targets) + " targets)");
+
+  const auto chain = dadu::kin::makeSerpentine(dof);
+  const auto tasks = dadu::workload::generateTasks(chain, targets);
+  dadu::ik::SolveOptions options;
+
+  dadu::report::Table table({"SSUs", "waves", "ms/solve", "mJ/solve",
+                             "mm^2", "ms*mm^2", "SSU util%"});
+
+  for (const std::size_t ssus : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    dadu::acc::AccConfig cfg;
+    cfg.num_ssus = ssus;
+    dadu::acc::IkAccelerator ikacc(chain, options, cfg);
+
+    double ms = 0.0, mj = 0.0, util = 0.0;
+    int waves = 0;
+    for (const auto& task : tasks) {
+      (void)ikacc.solve(task.target, task.seed);
+      const auto& s = ikacc.lastStats();
+      ms += s.time_ms;
+      mj += s.energyMj();
+      util += s.ssuUtilization(ssus);
+      waves = s.waves_per_iteration;
+    }
+    const double n = static_cast<double>(tasks.size());
+    ms /= n;
+    mj /= n;
+    util /= n;
+
+    table.addRow({std::to_string(ssus), std::to_string(waves),
+                  dadu::report::Table::num(ms, 4),
+                  dadu::report::Table::num(mj, 4),
+                  dadu::report::Table::num(cfg.totalAreaMm2(), 2),
+                  dadu::report::Table::num(ms * cfg.totalAreaMm2(), 3),
+                  dadu::report::Table::num(util * 100.0, 1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: latency halves per SSU doubling until waves hit "
+               "1 (64 SSUs), then saturates while area keeps growing — the "
+               "latency*area optimum sits near the paper's 32-64.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Throughput-mode analysis (ours): IKAcc with two IK problems in
+// flight (double-buffered SPU/SSU phases) — the batch regime of a
+// multi-arm controller or a motion planner's query stream.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dadu/ikacc/throughput.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "batch_throughput");
+  const int targets = bench::targetCount(args, 15);
+
+  dadu::report::banner(std::cout,
+                       "IKAcc batch throughput: single-problem vs "
+                       "double-buffered (" +
+                           std::to_string(targets) + " targets/cell)");
+
+  dadu::report::Table table({"DOF", "iters/solve", "solves/s single",
+                             "solves/s pipelined", "overlap speedup",
+                             "SSU util single"});
+
+  const dadu::acc::AccConfig cfg;
+  for (const std::size_t dof : bench::dofLadder(args)) {
+    const auto chain = dadu::kin::makeSerpentine(dof);
+    const auto tasks = dadu::workload::generateTasks(chain, targets);
+    dadu::ik::SolveOptions options;
+
+    // Mean iterations and SSU utilisation from the solve simulator.
+    dadu::acc::IkAccelerator sim(chain, options, cfg);
+    double iters = 0.0, util = 0.0;
+    for (const auto& task : tasks) {
+      const auto r = sim.solve(task.target, task.seed);
+      iters += r.iterations;
+      util += sim.lastStats().ssuUtilization(cfg.num_ssus);
+    }
+    iters /= static_cast<double>(tasks.size());
+    util /= static_cast<double>(tasks.size());
+
+    const auto est = dadu::acc::estimateBatchThroughput(
+        cfg, dof, options.speculations, iters);
+    table.addRow({std::to_string(dof), dadu::report::Table::num(iters, 1),
+                  dadu::report::Table::num(est.solves_per_sec_single, 0),
+                  dadu::report::Table::num(est.solves_per_sec_pipelined, 0),
+                  dadu::report::Table::num(est.overlap_speedup, 2) + "x",
+                  dadu::report::Table::num(util * 100.0, 1) + "%"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: overlap buys back the SPU's share of the "
+               "iteration (~1.2-1.5x), largest where the serial head is the "
+               "biggest fraction; utilisation rises accordingly.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace bench {
+
+Args parseArgs(int argc, char** argv, const std::string& bench_name) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--full") {
+      args.full = true;
+    } else if (a == "--quick") {
+      args.quick = true;
+    } else if (a == "--targets" && i + 1 < argc) {
+      args.targets = std::atoi(argv[++i]);
+    } else if (a == "--csv" && i + 1 < argc) {
+      args.csv_dir = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "%s: Dadu paper-reproduction bench\n"
+          "  --targets N   targets per cell\n"
+          "  --full        paper scale (1000 targets)\n"
+          "  --quick       tiny smoke run\n"
+          "  --csv DIR     also write CSV output\n",
+          bench_name.c_str());
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s' (try --help)\n",
+                   bench_name.c_str(), a.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+int targetCount(const Args& args, int def, int quick_def, int full_def) {
+  if (args.targets > 0) return args.targets;
+  if (args.quick) return quick_def;
+  if (args.full) return full_def;
+  return def;
+}
+
+BatchRun runBatch(dadu::ik::IkSolver& solver,
+                  const std::vector<dadu::workload::IkTask>& tasks) {
+  BatchRun run;
+  run.results.reserve(tasks.size());
+  dadu::platform::WallTimer timer;
+  for (const auto& task : tasks)
+    run.results.push_back(solver.solve(task.target, task.seed));
+  const double total_ms = timer.elapsedMs();
+  run.stats = dadu::ik::summarize(run.results);
+  run.stats.total_time_ms = total_ms;
+  run.stats.mean_time_ms =
+      tasks.empty() ? 0.0 : total_ms / static_cast<double>(tasks.size());
+  return run;
+}
+
+std::vector<std::size_t> dofLadder(const Args& args) {
+  if (args.quick) return {12, 25};
+  return {12, 25, 50, 75, 100};
+}
+
+std::string csvPath(const Args& args, const std::string& name) {
+  return *args.csv_dir + "/" + name + ".csv";
+}
+
+}  // namespace bench

@@ -1,0 +1,48 @@
+// Shared harness for the paper-reproduction benches: command-line
+// handling, batch runners and the DOF ladder.
+//
+// Every bench accepts:
+//   --targets N   targets per (solver, DOF) cell (default: bench-specific)
+//   --full        paper scale (1000 targets; slow on one core)
+//   --csv DIR     also write results as CSV into DIR
+//   --quick       tiny run for smoke testing / CI
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dadu/dadu.hpp"
+
+namespace bench {
+
+struct Args {
+  int targets = 0;           ///< 0 = use the bench's default
+  bool full = false;
+  bool quick = false;
+  std::optional<std::string> csv_dir;
+};
+
+/// Parse known flags; exits with a usage message on unknown flags.
+Args parseArgs(int argc, char** argv, const std::string& bench_name);
+
+/// Effective target count given defaults and flags.
+int targetCount(const Args& args, int def, int quick_def = 3,
+                int full_def = 1000);
+
+/// Run `solver` over `tasks`, returning per-solve results and filling
+/// wall-time statistics.
+struct BatchRun {
+  dadu::ik::BatchStats stats;
+  std::vector<dadu::ik::SolveResult> results;
+};
+BatchRun runBatch(dadu::ik::IkSolver& solver,
+                  const std::vector<dadu::workload::IkTask>& tasks);
+
+/// The paper's DOF ladder as a vector (trimmed under --quick).
+std::vector<std::size_t> dofLadder(const Args& args);
+
+/// CSV path helper: "<dir>/<name>.csv".
+std::string csvPath(const Args& args, const std::string& name);
+
+}  // namespace bench

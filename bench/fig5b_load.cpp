@@ -1,0 +1,64 @@
+// Figure 5(b) reproduction: computation load (speculations x
+// iterations) across the DOF ladder for JT-Serial, J^-1-SVD and
+// JT-Speculation (64 speculations); speculation count is 1 for the
+// non-speculative methods, exactly as the paper annotates.
+//
+// Paper shape: Quick-IK's load is similar to (or somewhat above)
+// JT-Serial's — speculation does not reduce total work, it converts it
+// into parallelisable work.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dadu/report/csv.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "fig5b_load");
+  const int targets = bench::targetCount(args, 25);
+
+  dadu::report::banner(
+      std::cout,
+      "Figure 5(b): computation load (speculations * iterations) under "
+      "various DOF manipulators (" +
+          std::to_string(targets) + " targets/cell)");
+
+  dadu::report::Table table(
+      {"DOF", "JT-Serial", "J-1-SVD", "JT-Speculation", "Quick/JT load"});
+  std::unique_ptr<dadu::report::CsvWriter> csv;
+  if (args.csv_dir)
+    csv = std::make_unique<dadu::report::CsvWriter>(
+        bench::csvPath(args, "fig5b"),
+        std::vector<std::string>{"dof", "solver", "mean_load"});
+
+  for (const std::size_t dof : bench::dofLadder(args)) {
+    const auto chain = dadu::kin::makeSerpentine(dof);
+    const auto tasks = dadu::workload::generateTasks(chain, targets);
+    dadu::ik::SolveOptions options;
+
+    double jt_load = 0.0, svd_load = 0.0, quick_load = 0.0;
+    for (const char* name : {"jt-serial", "pinv-svd", "quick-ik"}) {
+      auto solver = dadu::ik::makeSolver(name, chain, options);
+      const auto run = bench::runBatch(*solver, tasks);
+      if (std::string(name) == "jt-serial") jt_load = run.stats.mean_load;
+      if (std::string(name) == "pinv-svd") svd_load = run.stats.mean_load;
+      if (std::string(name) == "quick-ik") quick_load = run.stats.mean_load;
+      if (csv)
+        csv->addRow({std::to_string(dof), name,
+                     dadu::report::Table::num(run.stats.mean_load, 1)});
+    }
+
+    table.addRow({std::to_string(dof), dadu::report::Table::num(jt_load, 0),
+                  dadu::report::Table::num(svd_load, 0),
+                  dadu::report::Table::num(quick_load, 0),
+                  dadu::report::Table::num(
+                      jt_load > 0.0 ? quick_load / jt_load : 0.0, 2) +
+                      "x"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nPaper shape check: Quick-IK load is in the same decade as "
+               "JT-Serial (speculation trades work for parallelism, it does "
+               "not save work).\n";
+  return 0;
+}

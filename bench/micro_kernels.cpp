@@ -1,0 +1,175 @@
+// Google-benchmark microbenches of the kernels the whole system is
+// built from: 4x4 matrix multiply (the FKU operation), forward
+// kinematics, Jacobian evaluation, Jacobi SVD, and one full iteration
+// of each solver family.  These ground the platform models: the
+// measured per-kernel host throughput is the reference point for the
+// Atom/TX1 calibration constants discussed in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "dadu/dadu.hpp"
+
+namespace {
+
+void BM_Mat4Multiply(benchmark::State& state) {
+  const auto a = dadu::linalg::Mat4::rotationZ(0.3) *
+                 dadu::linalg::Mat4::translation({1, 2, 3});
+  const auto b = dadu::linalg::Mat4::rotationX(0.7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_Mat4Multiply);
+
+void BM_ForwardKinematics(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.01 * static_cast<double>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dadu::kin::endEffectorPosition(chain, q));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForwardKinematics)->Arg(12)->Arg(25)->Arg(50)->Arg(100);
+
+void BM_Jacobian(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.01 * static_cast<double>(i);
+  dadu::linalg::MatX j;
+  std::vector<dadu::linalg::Mat4> frames;
+  dadu::linalg::Vec3 ee;
+  for (auto _ : state) {
+    dadu::kin::positionJacobian(chain, q, j, frames, ee);
+    benchmark::DoNotOptimize(j.data());
+  }
+}
+BENCHMARK(BM_Jacobian)->Arg(12)->Arg(50)->Arg(100);
+
+void BM_SvdJacobian(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.02 * static_cast<double>(i + 1);
+  const auto j = dadu::kin::positionJacobian(chain, q);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dadu::linalg::svdJacobi(j));
+  }
+}
+BENCHMARK(BM_SvdJacobian)->Arg(12)->Arg(50)->Arg(100);
+
+void BM_QuickIkIteration(benchmark::State& state) {
+  // One Quick-IK iteration = head + 64 speculative FK passes; measured
+  // as a 1-iteration solve budget.
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::SolveOptions options;
+  options.max_iterations = 1;
+  dadu::ik::QuickIkSolver solver(chain, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(task.target, task.seed));
+  }
+}
+BENCHMARK(BM_QuickIkIteration)->Arg(12)->Arg(50)->Arg(100);
+
+void BM_JtSerialIteration(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::SolveOptions options;
+  options.max_iterations = 1;
+  dadu::ik::JtSerialSolver solver(chain, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(task.target, task.seed));
+  }
+}
+BENCHMARK(BM_JtSerialIteration)->Arg(12)->Arg(50)->Arg(100);
+
+void BM_PinvSvdIteration(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::SolveOptions options;
+  options.max_iterations = 1;
+  dadu::ik::PinvSvdSolver solver(chain, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(task.target, task.seed));
+  }
+}
+BENCHMARK(BM_PinvSvdIteration)->Arg(12)->Arg(50)->Arg(100);
+
+void BM_CordicSinCos(benchmark::State& state) {
+  const dadu::linalg::FixedFormat fmt{static_cast<int>(state.range(0))};
+  double angle = 0.1;
+  for (auto _ : state) {
+    double s, c;
+    dadu::linalg::cordicSinCos(fmt, angle, s, c);
+    benchmark::DoNotOptimize(s);
+    angle += 0.01;
+  }
+}
+BENCHMARK(BM_CordicSinCos)->Arg(16)->Arg(24);
+
+void BM_ForwardKinematicsF32(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.01 * static_cast<double>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dadu::kin::endEffectorPositionF32(chain, q));
+  }
+}
+BENCHMARK(BM_ForwardKinematicsF32)->Arg(50)->Arg(100);
+
+void BM_ForwardKinematicsFixed(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const dadu::linalg::FixedFormat fmt{20};
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.01 * static_cast<double>(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dadu::kin::endEffectorPositionFixed(chain, q, fmt));
+  }
+}
+BENCHMARK(BM_ForwardKinematicsFixed)->Arg(50)->Arg(100);
+
+void BM_SegmentSegmentDistance(benchmark::State& state) {
+  const dadu::linalg::Vec3 p1{0, 0, 0}, q1{1, 0.2, -0.3};
+  const dadu::linalg::Vec3 p2{0.4, 1, 0.7}, q2{-0.2, 0.5, 1.1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dadu::geom::segmentSegmentDistance(p1, q1, p2, q2));
+  }
+}
+BENCHMARK(BM_SegmentSegmentDistance);
+
+void BM_SelfClearance(benchmark::State& state) {
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const dadu::geom::RobotGeometry body(chain, 0.02);
+  dadu::linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.03 * static_cast<double>(i % 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(body.selfClearance(q));
+  }
+}
+BENCHMARK(BM_SelfClearance)->Arg(12)->Arg(50);
+
+void BM_AccelSimIteration(benchmark::State& state) {
+  // Simulator overhead per modelled iteration (functional math + cycle
+  // accounting).
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::SolveOptions options;
+  options.max_iterations = 1;
+  dadu::acc::IkAccelerator solver(chain, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(task.target, task.seed));
+  }
+}
+BENCHMARK(BM_AccelSimIteration)->Arg(50)->Arg(100);
+
+}  // namespace

@@ -1,0 +1,86 @@
+// System bench (ours): IK-and-plan query throughput — how many
+// "reach that point through this obstacle field" queries per second
+// the full stack answers, the workload profile of a task-level
+// planner.  Each query = collision-aware Quick-IK (goal config) +
+// RRT-Connect (joint path).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dadu/geometry/collision_aware_solver.hpp"
+#include "dadu/planning/rrt.hpp"
+#include "dadu/report/table.hpp"
+#include "dadu/workload/obstacles.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "planning_throughput");
+  const int queries = bench::targetCount(args, 12, 3, 100);
+  const std::size_t dof = args.quick ? 8 : 12;
+
+  dadu::report::banner(std::cout,
+                       "Plan-query throughput (" + std::to_string(dof) +
+                           "-DOF, " + std::to_string(queries) +
+                           " queries per obstacle count)");
+
+  const auto chain = dadu::kin::makeSerpentine(dof);
+  const dadu::geom::RobotGeometry body(chain, 0.02);
+  dadu::linalg::VecX home(chain.dof());
+  for (std::size_t i = 0; i < home.size(); ++i)
+    home[i] = (i % 2 == 0) ? 0.2 : -0.15;
+
+  dadu::report::Table table({"obstacles", "solved", "ik ms/query",
+                             "plan ms/query", "waypoints", "queries/s"});
+
+  for (const int obstacle_count : {0, 3, 6, 10}) {
+    double ik_ms = 0.0, plan_ms = 0.0, waypoints = 0.0;
+    int solved = 0;
+    dadu::platform::WallTimer total;
+
+    for (int q = 0; q < queries; ++q) {
+      const auto task = dadu::workload::generateTask(chain, q);
+      dadu::workload::ObstacleFieldOptions field_opts;
+      field_opts.count = obstacle_count;
+      field_opts.seed = 100 + q;
+      const auto obstacles = dadu::workload::generateObstacleField(
+          chain, {task.target, dadu::kin::endEffectorPosition(chain, home)},
+          field_opts);
+
+      dadu::platform::WallTimer ik_timer;
+      dadu::geom::CollisionAwareSolver ik(
+          std::make_unique<dadu::ik::QuickIkSolver>(chain,
+                                                    dadu::ik::SolveOptions{}),
+          body, obstacles, 0.0, 8, 3, /*check_self=*/false);
+      const auto goal = ik.solve(task.target, home);
+      ik_ms += ik_timer.elapsedMs();
+      if (!goal.success()) continue;
+
+      dadu::plan::RrtOptions plan_opts;
+      plan_opts.seed = 200 + q;
+      dadu::platform::WallTimer plan_timer;
+      dadu::plan::RrtPlanner planner(body, obstacles, plan_opts);
+      const auto plan = planner.plan(home, goal.solve.theta);
+      plan_ms += plan_timer.elapsedMs();
+      if (!plan.success) continue;
+
+      ++solved;
+      waypoints += static_cast<double>(plan.path.size());
+    }
+
+    const double total_s = total.elapsedMs() * 1e-3;
+    table.addRow(
+        {std::to_string(obstacle_count),
+         std::to_string(solved) + "/" + std::to_string(queries),
+         dadu::report::Table::num(ik_ms / queries, 2),
+         dadu::report::Table::num(plan_ms / queries, 2),
+         dadu::report::Table::num(solved ? waypoints / solved : 0.0, 1),
+         dadu::report::Table::num(
+             total_s > 0.0 ? static_cast<double>(queries) / total_s : 0.0,
+             1)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: throughput falls with obstacle density (more IK "
+               "restarts, more RRT growth), solve rate stays high; IK is a "
+               "small share of the query — the planner is the consumer that "
+               "amortises a fast solver.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Real-time tracking bench (ours): the paper's motivating claim is
+// that high-DOF IK must fit a control tick ("the IK solver in ROS
+// takes over 1 second for 100 DOF ... cannot satisfy real-time
+// control").  This bench warm-start-tracks a circular end-effector
+// path and reports per-waypoint latency statistics per platform: host
+// CPU (measured), TX1 (modelled) and IKAcc (simulated) — and the
+// control rate each sustains at the worst waypoint.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "realtime_tracking");
+  const int waypoints = bench::targetCount(args, 40, 8, 200);
+
+  dadu::report::banner(std::cout,
+                       "Real-time trajectory tracking: per-waypoint IK "
+                       "latency (" +
+                           std::to_string(waypoints) + " waypoints/circle)");
+
+  dadu::report::Table table({"DOF", "host mean ms", "host max ms",
+                             "TX1 max ms (model)", "IKAcc max ms (sim)",
+                             "IKAcc control rate"});
+
+  for (const std::size_t dof : bench::dofLadder(args)) {
+    const auto chain = dadu::kin::makeSerpentine(dof);
+    auto path = dadu::workload::circleTrajectory(
+        {0.5 * chain.maxReach(), 0.0, 0.3 * chain.maxReach()},
+        0.25 * chain.maxReach(), dadu::linalg::Vec3::unitX(),
+        dadu::linalg::Vec3::unitZ(), waypoints);
+    path = dadu::workload::fitToWorkspace(chain, std::move(path));
+
+    dadu::ik::SolveOptions options;
+    dadu::linalg::VecX seed(chain.dof());
+    for (std::size_t i = 0; i < seed.size(); ++i)
+      seed[i] = (i % 2 == 0) ? 0.05 : -0.04;
+
+    // Host CPU, measured per waypoint.
+    dadu::ik::QuickIkSolver host(chain, options);
+    double host_mean = 0.0, host_max = 0.0;
+    double max_iterations = 0.0;
+    {
+      dadu::linalg::VecX warm = seed;
+      for (const auto& target : path) {
+        dadu::platform::WallTimer timer;
+        const auto r = host.solve(target, warm);
+        const double ms = timer.elapsedMs();
+        host_mean += ms;
+        host_max = std::max(host_max, ms);
+        max_iterations = std::max(max_iterations,
+                                  static_cast<double>(r.iterations));
+        warm = r.theta;
+      }
+      host_mean /= static_cast<double>(path.size());
+    }
+
+    // IKAcc, simulated per waypoint.
+    dadu::acc::IkAccelerator ikacc(chain, options);
+    double acc_max = 0.0;
+    {
+      dadu::linalg::VecX warm = seed;
+      for (const auto& target : path) {
+        const auto r = ikacc.solve(target, warm);
+        acc_max = std::max(acc_max, ikacc.lastStats().time_ms);
+        warm = r.theta;
+      }
+    }
+
+    // TX1 model at the worst waypoint's iteration count.
+    const auto tx1 = dadu::platform::estimateGpuQuickIk(
+        {}, dof, max_iterations, options.speculations);
+
+    const double rate_hz = acc_max > 0.0 ? 1000.0 / acc_max : 0.0;
+    table.addRow({std::to_string(dof), dadu::report::Table::num(host_mean, 3),
+                  dadu::report::Table::num(host_max, 3),
+                  dadu::report::Table::num(tx1.time_ms, 3),
+                  dadu::report::Table::num(acc_max, 4),
+                  dadu::report::Table::num(rate_hz, 0) + " Hz"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nExpected: warm-started IKAcc tracking sustains kHz-class "
+               "control at every DOF — the real-time claim of the paper's "
+               "introduction — while the TX1 model sits near the 100 Hz "
+               "boundary at high DOF.\n";
+  return 0;
+}

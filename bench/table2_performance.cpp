@@ -1,0 +1,135 @@
+// Table 2 reproduction: average solve time (ms) per platform and
+// method across the DOF ladder.
+//
+//   JT-Serial, J-1-SVD, JT-Speculation : measured on this host (same
+//        code paths the paper ran on the Atom; this host is faster, so
+//        absolute ms are smaller — EXPERIMENTS.md also reports the
+//        Atom-modelled estimates printed in the second table below).
+//   JT-TX1   : analytic TX1 model driven by the measured Quick-IK
+//        iteration counts (see dadu/platform/gpu_model.hpp).
+//   JT-IKAcc : cycle-accurate simulator time (cycles / 1 GHz).
+//
+// Paper shape: IKAcc << TX1 << CPU rows; IKAcc ~1700x over JT-Serial
+// and ~30x over TX1; TX1 only ~3x over the SVD baseline because of
+// per-iteration CPU<->GPU exchange.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "dadu/report/csv.hpp"
+#include "dadu/report/table.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = bench::parseArgs(argc, argv, "table2_performance");
+  const int targets = bench::targetCount(args, 10, 2, 1000);
+
+  dadu::report::banner(
+      std::cout, "Table 2: average IK solve time in ms (" +
+                     std::to_string(targets) + " targets/cell)");
+
+  dadu::report::Table table({"DOF", "JT-Serial(host)", "J-1-SVD(host)",
+                             "JT-Spec(host)", "JT-TX1(model)",
+                             "JT-IKAcc(sim)", "IKAcc/JT(host)",
+                             "IKAcc/JT(Atom)", "IKAcc/TX1"});
+  dadu::report::Table atom_table(
+      {"DOF", "JT-Serial(Atom-model)", "J-1-SVD(Atom-model)",
+       "JT-Spec(Atom-model)"});
+  std::unique_ptr<dadu::report::CsvWriter> csv;
+  if (args.csv_dir)
+    csv = std::make_unique<dadu::report::CsvWriter>(
+        bench::csvPath(args, "table2"),
+        std::vector<std::string>{"dof", "config", "ms_per_solve"});
+
+  const dadu::platform::GpuModelConfig gpu_cfg;
+  const dadu::platform::CpuModelConfig atom_cfg;
+
+  for (const std::size_t dof : bench::dofLadder(args)) {
+    const auto chain = dadu::kin::makeSerpentine(dof);
+    const auto tasks = dadu::workload::generateTasks(chain, targets);
+    dadu::ik::SolveOptions options;
+
+    // --- measured host rows ---------------------------------------
+    dadu::ik::JtSerialSolver jt(chain, options);
+    const auto jt_run = bench::runBatch(jt, tasks);
+
+    dadu::ik::PinvSvdSolver pinv(chain, options);
+    const auto pinv_run = bench::runBatch(pinv, tasks);
+    double svd_sweeps_per_iter = 0.0;  // priced by the Atom model below
+
+    dadu::ik::QuickIkSolver quick(chain, options);
+    const auto quick_run = bench::runBatch(quick, tasks);
+
+    // Re-derive SVD sweeps/iteration for the Atom pricing of J-1-SVD.
+    {
+      dadu::ik::PinvSvdSolver probe(chain, options);
+      const auto r = probe.solve(tasks[0].target, tasks[0].seed);
+      if (r.iterations > 0)
+        svd_sweeps_per_iter = static_cast<double>(probe.lastSvdSweeps()) /
+                              static_cast<double>(r.iterations);
+    }
+
+    // --- modelled TX1 ---------------------------------------------
+    const auto tx1 = dadu::platform::estimateGpuQuickIk(
+        gpu_cfg, dof, quick_run.stats.mean_iterations, options.speculations);
+
+    // --- simulated IKAcc --------------------------------------------
+    dadu::acc::IkAccelerator ikacc(chain, options);
+    double acc_ms_sum = 0.0;
+    for (const auto& task : tasks) {
+      (void)ikacc.solve(task.target, task.seed);
+      acc_ms_sum += ikacc.lastStats().time_ms;
+    }
+    const double acc_ms = acc_ms_sum / static_cast<double>(tasks.size());
+
+    const double jt_ms = jt_run.stats.mean_time_ms;
+    const double pinv_ms = pinv_run.stats.mean_time_ms;
+    const double quick_ms = quick_run.stats.mean_time_ms;
+
+    // --- Atom-modelled CPU rows (paper's platform scale) -----------
+    const auto atom_jt = dadu::platform::estimateCpuJtSerial(
+        atom_cfg, dof, jt_run.stats.mean_iterations);
+
+    table.addRow(
+        {std::to_string(dof), dadu::report::Table::num(jt_ms, 3),
+         dadu::report::Table::num(pinv_ms, 3),
+         dadu::report::Table::num(quick_ms, 3),
+         dadu::report::Table::num(tx1.time_ms, 3),
+         dadu::report::Table::num(acc_ms, 4),
+         dadu::report::Table::num(acc_ms > 0 ? jt_ms / acc_ms : 0.0, 0) + "x",
+         dadu::report::Table::num(acc_ms > 0 ? atom_jt.time_ms / acc_ms : 0.0,
+                                  0) +
+             "x",
+         dadu::report::Table::num(acc_ms > 0 ? tx1.time_ms / acc_ms : 0.0, 0) +
+             "x"});
+
+    const auto atom_pinv = dadu::platform::estimateCpuPinvSvd(
+        atom_cfg, dof, pinv_run.stats.mean_iterations, svd_sweeps_per_iter);
+    const auto atom_quick = dadu::platform::estimateCpuQuickIk(
+        atom_cfg, dof, quick_run.stats.mean_iterations, options.speculations);
+    atom_table.addRow({std::to_string(dof),
+                       dadu::report::Table::num(atom_jt.time_ms, 2),
+                       dadu::report::Table::num(atom_pinv.time_ms, 2),
+                       dadu::report::Table::num(atom_quick.time_ms, 2)});
+
+    if (csv) {
+      csv->addRow({std::to_string(dof), "jt-serial-host",
+                   dadu::report::Table::num(jt_ms, 4)});
+      csv->addRow({std::to_string(dof), "pinv-svd-host",
+                   dadu::report::Table::num(pinv_ms, 4)});
+      csv->addRow({std::to_string(dof), "quick-ik-host",
+                   dadu::report::Table::num(quick_ms, 4)});
+      csv->addRow({std::to_string(dof), "jt-tx1-model",
+                   dadu::report::Table::num(tx1.time_ms, 4)});
+      csv->addRow({std::to_string(dof), "jt-ikacc-sim",
+                   dadu::report::Table::num(acc_ms, 5)});
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nAtom-modelled CPU columns (paper measured an Atom D2500 "
+               "@1.86GHz):\n";
+  atom_table.print(std::cout);
+  std::cout << "\nPaper shape check: IKAcc fastest by orders of magnitude; "
+               "TX1 in between; all rows grow with DOF.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Accelerator tour: a guided walk through the IKAcc cycle model —
+// where the cycles of one solve go (SPU pipeline vs speculative waves
+// vs selector), how the Parallel Search Scheduler folds 64 software
+// speculations onto 32 physical SSUs, and what the energy model
+// reports.  Ends with an SSU-count what-if sweep, the hardware design
+// question the scheduler exists to answer.
+#include <cstdio>
+
+#include "dadu/dadu.hpp"
+#include "dadu/ikacc/scheduler.hpp"
+
+int main() {
+  const dadu::kin::Chain chain = dadu::kin::makeSerpentine(100);
+  const auto task = dadu::workload::generateTask(chain, 7);
+
+  dadu::ik::SolveOptions options;  // 64 speculations, 1e-2 m, 10k iters
+
+  dadu::acc::AccConfig config;  // 32 SSUs @ 1 GHz (the paper's build)
+  dadu::acc::IkAccelerator ikacc(chain, options, config);
+
+  const auto result = ikacc.solve(task.target, task.seed);
+  const auto& s = ikacc.lastStats();
+
+  std::printf("IKAcc on %s: %s after %d iterations (error %.4f m)\n\n",
+              chain.name().c_str(), dadu::ik::toString(result.status).c_str(),
+              result.iterations, result.error);
+
+  std::printf("Structure: %zu SSUs, %d speculations -> %d wave(s)/iteration\n",
+              config.num_ssus, options.speculations, s.waves_per_iteration);
+  std::printf("Area model: %.2f mm^2 (paper: 2.27 mm^2 @65nm)\n\n",
+              config.totalAreaMm2());
+
+  std::printf("Cycle breakdown (total %lld cycles = %.3f ms @%g GHz):\n",
+              s.total_cycles, s.time_ms, config.freq_ghz);
+  const auto pct = [&](long long c) {
+    return 100.0 * static_cast<double>(c) /
+           static_cast<double>(s.total_cycles);
+  };
+  std::printf("  SPU serial process : %10lld  (%5.1f%%)\n", s.spu_cycles,
+              pct(s.spu_cycles));
+  std::printf("  SSU speculative FK : %10lld  (%5.1f%%)\n", s.ssu_cycles,
+              pct(s.ssu_cycles));
+  std::printf("  scheduler broadcast: %10lld  (%5.1f%%)\n", s.scheduler_cycles,
+              pct(s.scheduler_cycles));
+  std::printf("  parameter selector : %10lld  (%5.1f%%)\n", s.selector_cycles,
+              pct(s.selector_cycles));
+  std::printf("  SSU utilisation    : %5.1f%%\n\n",
+              100.0 * s.ssuUtilization(config.num_ssus));
+
+  std::printf("Energy: %.3f mJ dynamic + %.3f mJ leakage = %.3f mJ (%.1f mW "
+              "avg; paper: 158.6 mW)\n\n",
+              s.dynamic_energy_mj, s.leakage_energy_mj, s.energyMj(),
+              s.avg_power_mw);
+
+  // --- What if we built more (or fewer) SSUs? -----------------------
+  std::printf("SSU-count what-if (same solve):\n");
+  std::printf("  %6s %8s %12s %10s %10s\n", "SSUs", "waves", "time(ms)",
+              "mJ", "mm^2");
+  for (std::size_t ssus : {8u, 16u, 32u, 64u, 128u}) {
+    dadu::acc::AccConfig c = config;
+    c.num_ssus = ssus;
+    dadu::acc::IkAccelerator variant(chain, options, c);
+    (void)variant.solve(task.target, task.seed);
+    const auto& vs = variant.lastStats();
+    std::printf("  %6zu %8d %12.3f %10.3f %10.2f\n", ssus,
+                vs.waves_per_iteration, vs.time_ms, vs.energyMj(),
+                c.totalAreaMm2());
+  }
+
+  return result.converged() ? 0 : 1;
+}

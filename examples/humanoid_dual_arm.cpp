@@ -1,0 +1,45 @@
+// Humanoid dual-arm IK: a kinematic tree (torso + two arms, NASA
+// Valkyrie scale) solving simultaneous targets for both hands — the
+// multi-end-effector regime the paper's related work notes CCD cannot
+// handle, solved with the tree generalisation of Quick-IK.
+#include <cstdio>
+
+#include "dadu/dadu.hpp"
+
+int main() {
+  // 8-joint torso + two 18-joint arms = 44 DOF, the Valkyrie count.
+  const dadu::kin::Tree humanoid = dadu::kin::makeHumanoidUpperBody(8, 18, 0.05);
+  std::printf("Robot: %s | %zu DOF, %zu end effectors, reach %.2f m\n",
+              humanoid.name().c_str(), humanoid.dof(),
+              humanoid.endEffectorCount(), humanoid.maxReach());
+
+  // Dual targets, reachable by construction: both wrists' positions at
+  // a random posture.
+  dadu::workload::Rng rng(99);
+  dadu::linalg::VecX posture(humanoid.dof());
+  for (std::size_t i = 0; i < posture.size(); ++i) posture[i] = rng.angle();
+  const auto targets = humanoid.endEffectorPositions(posture);
+  std::printf("Left-hand target:  [%.3f, %.3f, %.3f]\n", targets[0].x,
+              targets[0].y, targets[0].z);
+  std::printf("Right-hand target: [%.3f, %.3f, %.3f]\n\n", targets[1].x,
+              targets[1].y, targets[1].z);
+
+  dadu::ik::QuickIkTreeSolver solver(humanoid, {});
+  dadu::linalg::VecX seed(humanoid.dof());
+  for (std::size_t i = 0; i < seed.size(); ++i) seed[i] = rng.angle();
+
+  const auto r = solver.solve(targets, seed);
+  std::printf("Quick-IK (tree): %s in %d iterations\n",
+              dadu::ik::toString(r.status).c_str(), r.iterations);
+  std::printf("  left-hand error:  %.1f mm\n", r.errors[0] * 1e3);
+  std::printf("  right-hand error: %.1f mm\n", r.errors[1] * 1e3);
+
+  // Cross-check with forward kinematics.
+  const auto reached = humanoid.endEffectorPositions(r.theta);
+  std::printf("FK check, left:  [%.3f, %.3f, %.3f]\n", reached[0].x,
+              reached[0].y, reached[0].z);
+  std::printf("FK check, right: [%.3f, %.3f, %.3f]\n", reached[1].x,
+              reached[1].y, reached[1].z);
+
+  return r.converged() ? 0 : 1;
+}

@@ -1,0 +1,47 @@
+// Quickstart: solve inverse kinematics for a high-DOF manipulator with
+// Quick-IK, then run the same problem on the simulated IKAcc
+// accelerator and print its latency/energy estimate.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "dadu/dadu.hpp"
+
+int main() {
+  // A 25-DOF serpentine manipulator (2.5 m reach).
+  const dadu::kin::Chain chain = dadu::kin::makeSerpentine(25);
+  std::printf("Robot: %s, %zu DOF, max reach %.2f m\n", chain.name().c_str(),
+              chain.dof(), chain.maxReach());
+
+  // A reachable target: take a random configuration's end-effector
+  // position, then ask the solver to find joint angles for it.
+  const auto task = dadu::workload::generateTask(chain, /*index=*/0);
+  std::printf("Target: [%.3f, %.3f, %.3f]\n", task.target.x, task.target.y,
+              task.target.z);
+
+  // --- Quick-IK on the CPU -----------------------------------------
+  dadu::IkEngine engine(chain, dadu::Backend::kCpuSerial);
+  const auto result = engine.solve(task.target, task.seed);
+  std::printf("Quick-IK:  %s in %d iterations, error %.4f m (%.1f mm)\n",
+              dadu::ik::toString(result.status).c_str(), result.iterations,
+              result.error, result.error * 1e3);
+
+  // Sanity: forward kinematics of the solution lands on the target.
+  const auto reached = dadu::kin::endEffectorPosition(chain, result.theta);
+  std::printf("FK check:  [%.3f, %.3f, %.3f]\n", reached.x, reached.y,
+              reached.z);
+
+  // --- Same problem on the IKAcc accelerator model -------------------
+  dadu::IkEngine acc_engine(chain, dadu::Backend::kIkAcc);
+  const auto acc_result = acc_engine.solve(task.target, task.seed);
+  const auto& stats = acc_engine.acceleratorStats();
+  std::printf(
+      "IKAcc:     %s in %d iterations | %.3f ms @1GHz | %.3f mJ | %.1f mW "
+      "avg\n",
+      dadu::ik::toString(acc_result.status).c_str(), acc_result.iterations,
+      stats.time_ms, stats.energyMj(), stats.avg_power_mw);
+
+  return result.converged() && acc_result.converged() ? 0 : 1;
+}

@@ -1,0 +1,76 @@
+// Snake-robot trajectory tracking: a 50-DOF serpentine manipulator
+// follows a circular end-effector path, the classic high-DOF workload
+// from the paper's introduction (hyper-redundant arms need real-time
+// IK at every control tick).
+//
+// Demonstrates warm-started trajectory solving and compares the
+// iteration cost of Quick-IK vs the plain Jacobian transpose on the
+// same path.
+#include <cstdio>
+
+#include "dadu/dadu.hpp"
+
+namespace {
+
+void report(const char* label, const dadu::TrajectoryResult& tr) {
+  std::printf(
+      "%-12s converged %d/%zu | iters mean %.1f max %.0f | max err %.4f m | "
+      "mean joint step %.3f rad\n",
+      label, tr.converged, tr.waypoints.size(), tr.mean_iterations,
+      tr.max_iterations, tr.max_error, tr.mean_joint_step);
+}
+
+}  // namespace
+
+int main() {
+  const dadu::kin::Chain chain = dadu::kin::makeSerpentine(50);
+  std::printf("Robot: %s (reach %.1f m)\n", chain.name().c_str(),
+              chain.maxReach());
+
+  // A circle in the x-z plane, fitted into the workspace with margin.
+  auto path = dadu::workload::circleTrajectory(
+      {2.0, 0.0, 1.0}, 0.8, dadu::linalg::Vec3::unitX(),
+      dadu::linalg::Vec3::unitZ(), 60);
+  path = dadu::workload::fitToWorkspace(chain, std::move(path));
+  std::printf("Tracking a %zu-point circular path\n\n", path.size());
+
+  dadu::ik::SolveOptions options;
+  options.max_iterations = 10'000;
+
+  // Bend the snake slightly so the start pose is away from the
+  // stretched-out singularity.
+  dadu::linalg::VecX seed(chain.dof());
+  for (std::size_t i = 0; i < seed.size(); ++i)
+    seed[i] = (i % 2 == 0) ? 0.05 : -0.03;
+
+  dadu::ik::QuickIkSolver quick(chain, options);
+  report("Quick-IK", dadu::solveTrajectory(quick, path, seed));
+
+  dadu::ik::JtSerialSolver jt(chain, options);
+  report("JT-Serial", dadu::solveTrajectory(jt, path, seed));
+
+  dadu::ik::PinvSvdSolver pinv(chain, options);
+  report("Pinv-SVD", dadu::solveTrajectory(pinv, path, seed));
+
+  // The same path on the accelerator: per-waypoint latency estimate.
+  dadu::acc::IkAccelerator ikacc(chain, options);
+  const auto tr = dadu::solveTrajectory(ikacc, path, seed);
+  // Second pass to capture per-waypoint AccStats (lastStats() is
+  // overwritten by each solve).
+  double worst_ms = 0.0;
+  {
+    dadu::linalg::VecX warm = seed;
+    for (const auto& target : path) {
+      const auto r = ikacc.solve(target, warm);
+      worst_ms = std::max(worst_ms, ikacc.lastStats().time_ms);
+      warm = r.theta;
+    }
+  }
+  report("IKAcc", tr);
+  std::printf(
+      "\nIKAcc worst-case waypoint latency: %.3f ms @1 GHz "
+      "(real-time budget for a 100 Hz controller: 10 ms)\n",
+      worst_ms);
+
+  return tr.allConverged() ? 0 : 1;
+}

@@ -1,0 +1,242 @@
+#include "dadu/cli/cli.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "dadu/ikacc/accelerator.hpp"
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/robot_io.hpp"
+#include "dadu/kinematics/jacobian_full.hpp"
+#include "dadu/kinematics/workspace.hpp"
+#include "dadu/linalg/rotation.hpp"
+#include "dadu/solvers/factory.hpp"
+#include "dadu/solvers/pose_solvers.hpp"
+
+namespace dadu::cli {
+namespace {
+
+constexpr const char* kUsage =
+    "usage: dadu <info|fk|solve|accel> --robot <spec> [options]\n"
+    "  info  --robot <spec>\n"
+    "  fk    --robot <spec> --joints q1,q2,...\n"
+    "  solve --robot <spec> --target x,y,z [--solver name] [--accuracy a]\n"
+    "        [--max-iter n] [--speculations k] [--seed-config q1,...]\n"
+    "  accel --robot <spec> --target x,y,z [--ssus n] [--speculations k]\n"
+    "  pose  --robot <spec> --target x,y,z --rpy r,p,y [--accuracy a]\n"
+    "        [--angular-accuracy a]\n"
+    "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
+    "             random:<dof>:<seed> or a robot-description file path\n";
+
+/// "--key value" pairs after the subcommand.
+std::map<std::string, std::string> parseOptions(
+    const std::vector<std::string>& args, std::size_t first) {
+  std::map<std::string, std::string> opts;
+  for (std::size_t i = first; i < args.size(); i += 2) {
+    const std::string& key = args[i];
+    if (key.size() < 3 || key.substr(0, 2) != "--")
+      throw std::invalid_argument("expected --option, got '" + key + "'");
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("option '" + key + "' needs a value");
+    opts[key.substr(2)] = args[i + 1];
+  }
+  return opts;
+}
+
+std::string require(const std::map<std::string, std::string>& opts,
+                    const std::string& key) {
+  const auto it = opts.find(key);
+  if (it == opts.end())
+    throw std::invalid_argument("missing required option --" + key);
+  return it->second;
+}
+
+std::string optional(const std::map<std::string, std::string>& opts,
+                     const std::string& key, const std::string& def) {
+  const auto it = opts.find(key);
+  return it == opts.end() ? def : it->second;
+}
+
+linalg::Vec3 parseTarget(const std::string& csv) {
+  const auto v = parseNumberList(csv);
+  if (v.size() != 3)
+    throw std::invalid_argument("--target needs exactly 3 numbers");
+  return {v[0], v[1], v[2]};
+}
+
+linalg::VecX parseConfig(const kin::Chain& chain, const std::string& csv) {
+  const auto v = parseNumberList(csv);
+  if (v.size() != chain.dof())
+    throw std::invalid_argument("joint list has " + std::to_string(v.size()) +
+                                " values, robot has " +
+                                std::to_string(chain.dof()) + " DOF");
+  return linalg::VecX(v);
+}
+
+int cmdInfo(const kin::Chain& chain, std::ostream& out) {
+  out << "name:        " << chain.name() << '\n';
+  out << "dof:         " << chain.dof() << '\n';
+  out << "max reach:   " << chain.maxReach() << " m\n";
+  int limited = 0;
+  for (const auto& j : chain.joints())
+    if (j.hasLimits()) ++limited;
+  out << "limited:     " << limited << "/" << chain.dof() << " joints\n";
+  out << "stretch FK:  " << kin::endEffectorPosition(
+             chain, chain.zeroConfiguration())
+      << '\n';
+  return 0;
+}
+
+int cmdFk(const kin::Chain& chain,
+          const std::map<std::string, std::string>& opts, std::ostream& out) {
+  const linalg::VecX q = parseConfig(chain, require(opts, "joints"));
+  const auto pose = kin::forwardKinematics(chain, q);
+  out << "position:    " << pose.position() << '\n';
+  out << "rotation z:  " << pose.rotation().col(2) << '\n';
+  return 0;
+}
+
+int cmdSolve(const kin::Chain& chain,
+             const std::map<std::string, std::string>& opts,
+             std::ostream& out) {
+  const linalg::Vec3 target = parseTarget(require(opts, "target"));
+  ik::SolveOptions options;
+  options.accuracy = std::stod(optional(opts, "accuracy", "1e-2"));
+  options.max_iterations = std::stoi(optional(opts, "max-iter", "10000"));
+  options.speculations = std::stoi(optional(opts, "speculations", "64"));
+  const std::string solver_name = optional(opts, "solver", "quick-ik");
+
+  const auto solver = ik::makeSolver(solver_name, chain, options);
+  const linalg::VecX seed =
+      opts.count("seed-config")
+          ? parseConfig(chain, opts.at("seed-config"))
+          : chain.zeroConfiguration();
+
+  const auto r = solver->solve(target, seed);
+  out << "solver:      " << solver->name() << '\n';
+  out << "status:      " << ik::toString(r.status) << '\n';
+  out << "iterations:  " << r.iterations << '\n';
+  out << "error:       " << r.error << " m\n";
+  out << "theta:       " << r.theta << '\n';
+  return r.converged() ? 0 : 1;
+}
+
+int cmdPose(const kin::Chain& chain,
+            const std::map<std::string, std::string>& opts,
+            std::ostream& out) {
+  kin::Pose target;
+  target.position = parseTarget(require(opts, "target"));
+  const auto rpy_vals = parseNumberList(require(opts, "rpy"));
+  if (rpy_vals.size() != 3)
+    throw std::invalid_argument("--rpy needs exactly 3 numbers");
+  target.orientation = linalg::rpy(rpy_vals[0], rpy_vals[1], rpy_vals[2]);
+
+  ik::PoseSolveOptions options;
+  options.accuracy = std::stod(optional(opts, "accuracy", "1e-2"));
+  options.angular_accuracy =
+      std::stod(optional(opts, "angular-accuracy", "1e-2"));
+
+  ik::QuickIkPoseSolver solver(chain, options);
+  const auto r = solver.solve(target, chain.zeroConfiguration());
+  out << "status:      " << ik::toString(r.status) << '\n';
+  out << "iterations:  " << r.iterations << '\n';
+  out << "pos error:   " << r.position_error << " m\n";
+  out << "ang error:   " << r.angular_error << " rad\n";
+  out << "theta:       " << r.theta << '\n';
+  return r.converged() ? 0 : 1;
+}
+
+int cmdAccel(const kin::Chain& chain,
+             const std::map<std::string, std::string>& opts,
+             std::ostream& out) {
+  const linalg::Vec3 target = parseTarget(require(opts, "target"));
+  ik::SolveOptions options;
+  options.speculations = std::stoi(optional(opts, "speculations", "64"));
+  acc::AccConfig config;
+  config.num_ssus =
+      static_cast<std::size_t>(std::stoul(optional(opts, "ssus", "32")));
+
+  acc::IkAccelerator accelerator(chain, options, config);
+  const auto r = accelerator.solve(target, chain.zeroConfiguration());
+  const auto& s = accelerator.lastStats();
+  out << "status:      " << ik::toString(r.status) << '\n';
+  out << "iterations:  " << r.iterations << '\n';
+  out << "cycles:      " << s.total_cycles << '\n';
+  out << "latency:     " << s.time_ms << " ms @" << config.freq_ghz
+      << " GHz\n";
+  out << "energy:      " << s.energyMj() << " mJ\n";
+  out << "avg power:   " << s.avg_power_mw << " mW\n";
+  out << "area:        " << config.totalAreaMm2() << " mm^2\n";
+  return r.converged() ? 0 : 1;
+}
+
+}  // namespace
+
+std::vector<double> parseNumberList(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty())
+      throw std::invalid_argument("empty entry in number list '" + csv + "'");
+    std::size_t consumed = 0;
+    const double v = std::stod(item, &consumed);
+    if (consumed != item.size())
+      throw std::invalid_argument("bad number '" + item + "'");
+    out.push_back(v);
+  }
+  if (out.empty()) throw std::invalid_argument("empty number list");
+  return out;
+}
+
+kin::Chain resolveRobot(const std::string& spec) {
+  // preset:arg:arg syntax first; anything unrecognised is a file path.
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ':')) parts.push_back(item);
+
+  const auto num = [&](std::size_t i) {
+    return static_cast<std::size_t>(std::stoul(parts.at(i)));
+  };
+  if (parts.size() == 2 && parts[0] == "serpentine")
+    return kin::makeSerpentine(num(1));
+  if (parts.size() == 2 && parts[0] == "planar") return kin::makePlanar(num(1));
+  if (parts.size() == 1 && parts[0] == "puma") return kin::makePuma560();
+  if (parts.size() == 1 && parts[0] == "iiwa") return kin::makeKukaIiwa();
+  if (parts.size() == 2 && parts[0] == "tentacle")
+    return kin::makeTentacle(num(1));
+  if (parts.size() == 3 && parts[0] == "random")
+    return kin::makeRandomChain(num(1), num(2));
+  if (parts.size() > 1)
+    throw std::invalid_argument("unknown robot spec '" + spec + "'");
+  return kin::loadChainFile(spec);
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& command = args[0];
+    const auto opts = parseOptions(args, 1);
+    const kin::Chain chain = resolveRobot(require(opts, "robot"));
+
+    if (command == "info") return cmdInfo(chain, out);
+    if (command == "fk") return cmdFk(chain, opts, out);
+    if (command == "solve") return cmdSolve(chain, opts, out);
+    if (command == "accel") return cmdAccel(chain, opts, out);
+    if (command == "pose") return cmdPose(chain, opts, out);
+    err << "unknown command '" << command << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  }
+}
+
+}  // namespace dadu::cli

@@ -1,0 +1,39 @@
+// Command-line interface to the library (the `dadu` binary): robot
+// inspection, forward kinematics, IK solving and accelerator
+// estimation from the shell.  Implemented as a library function so the
+// test suite can drive it with captured streams; tools/dadu_main.cpp
+// is the thin entry point.
+//
+// Usage:
+//   dadu info  --robot <spec>
+//   dadu fk    --robot <spec> --joints q1,q2,...
+//   dadu solve --robot <spec> --target x,y,z [--solver name]
+//              [--accuracy a] [--max-iter n] [--speculations k] [--seed-config q1,q2,...]
+//   dadu accel --robot <spec> --target x,y,z [--ssus n] [--speculations k]
+//
+// Robot specs: "serpentine:<dof>", "planar:<dof>", "puma", "iiwa",
+// "tentacle:<segments>", "random:<dof>:<seed>", or a path to a robot
+// description file (see dadu/kinematics/robot_io.hpp).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+
+namespace dadu::cli {
+
+/// Resolve a robot spec (preset string or file path) to a chain;
+/// throws std::invalid_argument / std::runtime_error on bad specs.
+kin::Chain resolveRobot(const std::string& spec);
+
+/// Parse "0.1,0.2,-0.3" into a vector; throws on malformed input.
+std::vector<double> parseNumberList(const std::string& csv);
+
+/// Run the CLI.  Returns the process exit code; all output goes to the
+/// provided streams (no global state).
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace dadu::cli

@@ -1,0 +1,55 @@
+#include "dadu/core/batch_runner.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "dadu/platform/timer.hpp"
+
+namespace dadu {
+
+BatchRunReport solveBatchParallel(const SolverFactory& factory,
+                                  const std::vector<workload::IkTask>& tasks,
+                                  std::size_t threads) {
+  if (!factory) throw std::invalid_argument("solveBatchParallel: null factory");
+  if (threads == 0)
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min(threads, std::max<std::size_t>(tasks.size(), 1));
+
+  BatchRunReport report;
+  report.results.resize(tasks.size());
+  platform::WallTimer timer;
+
+  // Dynamic work stealing over a shared atomic index: task costs vary
+  // wildly (restarts, near-singular targets), so static partitioning
+  // would leave workers idle.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    const auto solver = factory();
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= tasks.size()) return;
+      report.results[i] = solver->solve(tasks[i].target, tasks[i].seed);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  report.wall_ms = timer.elapsedMs();
+  for (const auto& r : report.results)
+    if (r.converged()) ++report.converged;
+  report.solves_per_second =
+      report.wall_ms > 0.0
+          ? static_cast<double>(tasks.size()) / (report.wall_ms * 1e-3)
+          : 0.0;
+  return report;
+}
+
+}  // namespace dadu

@@ -1,0 +1,38 @@
+// Parallel batch solving: many independent IK problems across worker
+// threads — the throughput-oriented usage (sampling-based motion
+// planners evaluate thousands of IK queries per plan), complementary
+// to the latency-oriented single-solve path the paper accelerates.
+//
+// Parallelism here is across *problems*; each worker owns a private
+// solver instance (solvers carry per-solve workspaces and are not
+// thread-safe by design).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu {
+
+/// Factory producing one solver instance per worker.
+using SolverFactory = std::function<std::unique_ptr<ik::IkSolver>()>;
+
+struct BatchRunReport {
+  std::vector<ik::SolveResult> results;  ///< one per task, in task order
+  double wall_ms = 0.0;
+  double solves_per_second = 0.0;
+  int converged = 0;
+};
+
+/// Solve `tasks` with `threads` workers (0 = hardware concurrency),
+/// each constructed via `factory`.  Results are returned in task order
+/// and are identical to a serial run (workers never share state).
+BatchRunReport solveBatchParallel(const SolverFactory& factory,
+                                  const std::vector<workload::IkTask>& tasks,
+                                  std::size_t threads = 0);
+
+}  // namespace dadu

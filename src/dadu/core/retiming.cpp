@@ -1,0 +1,64 @@
+#include "dadu/core/retiming.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu {
+namespace {
+
+/// Minimum time for a rest-to-rest move of distance d under vmax/amax:
+/// triangular profile if vmax is never reached, trapezoidal otherwise.
+double segmentTime(double d, const RetimingLimits& lim) {
+  if (d <= 0.0) return 0.0;
+  const double d_accel = lim.max_velocity * lim.max_velocity /
+                         lim.max_acceleration;  // accel + decel distance
+  if (d <= d_accel) {
+    return 2.0 * std::sqrt(d / lim.max_acceleration);
+  }
+  const double t_ramp = lim.max_velocity / lim.max_acceleration;
+  const double t_cruise = (d - d_accel) / lim.max_velocity;
+  return 2.0 * t_ramp + t_cruise;
+}
+
+}  // namespace
+
+std::vector<TimedWaypoint> retimeTrapezoidal(
+    const std::vector<linalg::VecX>& path, const RetimingLimits& limits) {
+  if (!(limits.max_velocity > 0.0) || !(limits.max_acceleration > 0.0))
+    throw std::invalid_argument("retimeTrapezoidal: limits must be positive");
+
+  std::vector<TimedWaypoint> timed;
+  timed.reserve(path.size());
+  double t = 0.0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) {
+      const linalg::VecX step = path[i] - path[i - 1];
+      t += segmentTime(step.maxAbs(), limits);
+    }
+    timed.push_back({t, path[i]});
+  }
+  return timed;
+}
+
+double trajectoryDuration(const std::vector<TimedWaypoint>& timed) {
+  return timed.empty() ? 0.0 : timed.back().time;
+}
+
+linalg::VecX sampleTrajectory(const std::vector<TimedWaypoint>& timed,
+                              double t) {
+  if (timed.empty()) return {};
+  if (t <= timed.front().time) return timed.front().configuration;
+  if (t >= timed.back().time) return timed.back().configuration;
+
+  // Find the bracketing segment (paths are short; linear scan).
+  std::size_t hi = 1;
+  while (timed[hi].time < t) ++hi;
+  const TimedWaypoint& a = timed[hi - 1];
+  const TimedWaypoint& b = timed[hi];
+  const double span = b.time - a.time;
+  const double frac = span > 0.0 ? (t - a.time) / span : 0.0;
+  return a.configuration + (b.configuration - a.configuration) * frac;
+}
+
+}  // namespace dadu

@@ -1,0 +1,42 @@
+// Trajectory time parameterisation: assign timestamps to a joint-space
+// waypoint path under per-joint velocity and acceleration limits
+// (trapezoidal profile per segment) — the step between a planner's
+// geometric path (RRT output, IK waypoint chains) and an executable
+// trajectory.
+#pragma once
+
+#include <vector>
+
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu {
+
+struct RetimingLimits {
+  double max_velocity = 2.0;      ///< rad/s, per joint
+  double max_acceleration = 8.0;  ///< rad/s^2, per joint
+};
+
+struct TimedWaypoint {
+  double time = 0.0;  ///< seconds from trajectory start
+  linalg::VecX configuration;
+};
+
+/// Timestamp `path` so that every segment respects the limits on its
+/// worst joint: a segment of per-joint displacement d takes the
+/// trapezoidal (or triangular) minimum time for max |d_i|, with the
+/// profile starting and ending at rest per segment (conservative but
+/// safe — standard for stitched planner paths).  Returns one timed
+/// waypoint per input configuration; empty input -> empty output.
+/// Throws std::invalid_argument on non-positive limits.
+std::vector<TimedWaypoint> retimeTrapezoidal(
+    const std::vector<linalg::VecX>& path, const RetimingLimits& limits = {});
+
+/// Total duration of a timed trajectory (0 for empty).
+double trajectoryDuration(const std::vector<TimedWaypoint>& timed);
+
+/// Configuration at time t by linear interpolation between timed
+/// waypoints (clamped to the ends).
+linalg::VecX sampleTrajectory(const std::vector<TimedWaypoint>& timed,
+                              double t);
+
+}  // namespace dadu

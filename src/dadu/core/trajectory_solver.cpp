@@ -1,0 +1,39 @@
+#include "dadu/core/trajectory_solver.hpp"
+
+#include <algorithm>
+
+namespace dadu {
+
+TrajectoryResult solveTrajectory(ik::IkSolver& solver,
+                                 const std::vector<linalg::Vec3>& path,
+                                 const linalg::VecX& seed) {
+  TrajectoryResult out;
+  out.waypoints.reserve(path.size());
+
+  linalg::VecX current = seed;
+  double iter_sum = 0.0;
+  double step_sum = 0.0;
+  int steps = 0;
+
+  for (const linalg::Vec3& target : path) {
+    ik::SolveResult r = solver.solve(target, current);
+    if (r.converged()) ++out.converged;
+    out.max_iterations = std::max(out.max_iterations,
+                                  static_cast<double>(r.iterations));
+    iter_sum += r.iterations;
+    out.max_error = std::max(out.max_error, r.error);
+    if (!out.waypoints.empty()) {
+      step_sum += (r.theta - current).norm();
+      ++steps;
+    }
+    current = r.theta;
+    out.waypoints.push_back(std::move(r));
+  }
+
+  if (!out.waypoints.empty())
+    out.mean_iterations = iter_sum / static_cast<double>(out.waypoints.size());
+  if (steps > 0) out.mean_joint_step = step_sum / steps;
+  return out;
+}
+
+}  // namespace dadu

@@ -1,0 +1,35 @@
+// Warm-started trajectory tracking: solve a sequence of task-space
+// waypoints, seeding each solve with the previous solution — the
+// actual usage pattern of a real-time IK solver inside a robot
+// controller (and the reason the paper cares about worst-case solve
+// latency, not just averages).
+#pragma once
+
+#include <vector>
+
+#include "dadu/solvers/ik_solver.hpp"
+
+namespace dadu {
+
+struct TrajectoryResult {
+  std::vector<ik::SolveResult> waypoints;
+  int converged = 0;
+  double max_iterations = 0.0;   ///< worst waypoint
+  double mean_iterations = 0.0;
+  double max_error = 0.0;
+  /// Joint-space smoothness: mean ||theta_{t+1} - theta_t||; warm
+  /// starting should keep this small (continuity of the solved path).
+  double mean_joint_step = 0.0;
+
+  bool allConverged() const {
+    return converged == static_cast<int>(waypoints.size());
+  }
+};
+
+/// Track `path` with `solver`, warm starting each waypoint from the
+/// previous solution (first waypoint from `seed`).
+TrajectoryResult solveTrajectory(ik::IkSolver& solver,
+                                 const std::vector<linalg::Vec3>& path,
+                                 const linalg::VecX& seed);
+
+}  // namespace dadu

@@ -1,0 +1,87 @@
+#include "dadu/geometry/collision_aware_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace dadu::geom {
+namespace {
+
+struct SplitMix64 {
+  std::uint64_t state;
+  double angle() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return (2.0 * u - 1.0) * std::numbers::pi;
+  }
+};
+
+}  // namespace
+
+CollisionAwareSolver::CollisionAwareSolver(std::unique_ptr<ik::IkSolver> inner,
+                                           RobotGeometry geometry,
+                                           Obstacles obstacles, double margin,
+                                           int max_attempts,
+                                           std::uint64_t restart_seed,
+                                           bool check_self)
+    : inner_(std::move(inner)),
+      geometry_(std::move(geometry)),
+      obstacles_(std::move(obstacles)),
+      margin_(margin),
+      max_attempts_(max_attempts),
+      restart_seed_(restart_seed),
+      check_self_(check_self) {
+  if (!inner_)
+    throw std::invalid_argument("CollisionAwareSolver: null inner solver");
+  if (max_attempts_ < 1)
+    throw std::invalid_argument("CollisionAwareSolver: needs >= 1 attempt");
+  if (inner_->chain().dof() != geometry_.chain().dof())
+    throw std::invalid_argument(
+        "CollisionAwareSolver: solver and geometry model different robots");
+}
+
+CollisionAwareResult CollisionAwareSolver::solve(const linalg::Vec3& target,
+                                                 const linalg::VecX& seed) {
+  const kin::Chain& robot = inner_->chain();
+  SplitMix64 rng{restart_seed_};
+
+  CollisionAwareResult best;
+  best.clearance = -std::numeric_limits<double>::infinity();
+  int attempts_made = 0;
+
+  linalg::VecX attempt_seed = seed;
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    ik::SolveResult r = inner_->solve(target, attempt_seed);
+    ++attempts_made;
+    CollisionAwareResult candidate;
+    candidate.clearance = std::min(
+        check_self_ ? geometry_.selfClearance(r.theta)
+                    : std::numeric_limits<double>::infinity(),
+        obstacles_.empty()
+            ? std::numeric_limits<double>::infinity()
+            : geometry_.environmentClearance(r.theta, obstacles_));
+    candidate.collision_free = candidate.clearance >= margin_;
+    candidate.solve = std::move(r);
+
+    const bool better =
+        (candidate.success() && !best.success()) ||
+        (candidate.success() == best.success() &&
+         candidate.clearance > best.clearance);
+    if (attempt == 0 || better) best = std::move(candidate);
+    if (best.success()) break;
+
+    // Fresh random restart configuration for the next attempt.
+    attempt_seed = linalg::VecX(robot.dof());
+    for (std::size_t i = 0; i < attempt_seed.size(); ++i)
+      attempt_seed[i] = robot.joint(i).clamp(rng.angle());
+  }
+  best.attempts = attempts_made;
+  return best;
+}
+
+}  // namespace dadu::geom

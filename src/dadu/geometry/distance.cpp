@@ -1,0 +1,77 @@
+#include "dadu/geometry/distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dadu::geom {
+
+linalg::Vec3 closestPointOnSegment(const linalg::Vec3& a,
+                                   const linalg::Vec3& b,
+                                   const linalg::Vec3& p) {
+  const linalg::Vec3 ab = b - a;
+  const double len_sq = ab.squaredNorm();
+  if (len_sq <= 0.0) return a;  // degenerate segment
+  const double t = std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return a + ab * t;
+}
+
+double pointSegmentDistance(const linalg::Vec3& p, const linalg::Vec3& a,
+                            const linalg::Vec3& b) {
+  return (p - closestPointOnSegment(a, b, p)).norm();
+}
+
+double segmentSegmentDistance(const linalg::Vec3& p1, const linalg::Vec3& q1,
+                              const linalg::Vec3& p2, const linalg::Vec3& q2) {
+  // Ericson, "Real-Time Collision Detection", 5.1.9 — closest points of
+  // two segments, with all degenerate cases clamped.
+  const linalg::Vec3 d1 = q1 - p1;
+  const linalg::Vec3 d2 = q2 - p2;
+  const linalg::Vec3 r = p1 - p2;
+  const double a = d1.squaredNorm();
+  const double e = d2.squaredNorm();
+  const double f = d2.dot(r);
+
+  double s = 0.0, t = 0.0;
+  constexpr double kEps = 1e-30;
+
+  if (a <= kEps && e <= kEps) {
+    // Both segments are points.
+    return (p1 - p2).norm();
+  }
+  if (a <= kEps) {
+    t = std::clamp(f / e, 0.0, 1.0);
+  } else {
+    const double c = d1.dot(r);
+    if (e <= kEps) {
+      s = std::clamp(-c / a, 0.0, 1.0);
+    } else {
+      const double b = d1.dot(d2);
+      const double denom = a * e - b * b;
+      if (denom > kEps) {
+        s = std::clamp((b * f - c * e) / denom, 0.0, 1.0);
+      }
+      t = (b * s + f) / e;
+      if (t < 0.0) {
+        t = 0.0;
+        s = std::clamp(-c / a, 0.0, 1.0);
+      } else if (t > 1.0) {
+        t = 1.0;
+        s = std::clamp((b - c) / a, 0.0, 1.0);
+      }
+    }
+  }
+
+  const linalg::Vec3 c1 = p1 + d1 * s;
+  const linalg::Vec3 c2 = p2 + d2 * t;
+  return (c1 - c2).norm();
+}
+
+double capsuleCapsuleClearance(const Capsule& a, const Capsule& b) {
+  return segmentSegmentDistance(a.a, a.b, b.a, b.b) - a.radius - b.radius;
+}
+
+double capsuleSphereClearance(const Capsule& c, const Sphere& s) {
+  return pointSegmentDistance(s.center, c.a, c.b) - c.radius - s.radius;
+}
+
+}  // namespace dadu::geom

@@ -1,0 +1,29 @@
+// Exact distance queries between the primitives.
+#pragma once
+
+#include "dadu/geometry/primitives.hpp"
+
+namespace dadu::geom {
+
+/// Closest point on segment [a, b] to point p.
+linalg::Vec3 closestPointOnSegment(const linalg::Vec3& a,
+                                   const linalg::Vec3& b,
+                                   const linalg::Vec3& p);
+
+/// Distance from point p to segment [a, b].
+double pointSegmentDistance(const linalg::Vec3& p, const linalg::Vec3& a,
+                            const linalg::Vec3& b);
+
+/// Minimum distance between segments [p1, q1] and [p2, q2] (robust for
+/// degenerate/parallel segments).
+double segmentSegmentDistance(const linalg::Vec3& p1, const linalg::Vec3& q1,
+                              const linalg::Vec3& p2, const linalg::Vec3& q2);
+
+/// Signed clearance between two capsules: surface distance, negative
+/// when penetrating.
+double capsuleCapsuleClearance(const Capsule& a, const Capsule& b);
+
+/// Signed clearance between a capsule and a sphere.
+double capsuleSphereClearance(const Capsule& c, const Sphere& s);
+
+}  // namespace dadu::geom

@@ -1,0 +1,25 @@
+// Geometric primitives for robot-body and obstacle modelling.
+//
+// Links are capsules (swept spheres over the link segment) — the
+// standard proxy geometry for manipulator collision checking: distance
+// queries reduce to segment-segment distances, cheap enough to run
+// inside an IK loop.
+#pragma once
+
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::geom {
+
+struct Sphere {
+  linalg::Vec3 center;
+  double radius = 0.0;
+};
+
+/// Line segment from a to b swept by a sphere of `radius`.
+struct Capsule {
+  linalg::Vec3 a;
+  linalg::Vec3 b;
+  double radius = 0.0;
+};
+
+}  // namespace dadu::geom

@@ -1,0 +1,54 @@
+#include "dadu/geometry/robot_geometry.hpp"
+
+#include <limits>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::geom {
+
+RobotGeometry::RobotGeometry(kin::Chain chain, double link_radius)
+    : chain_(std::move(chain)), link_radius_(link_radius) {}
+
+std::vector<Capsule> RobotGeometry::linkCapsules(const linalg::VecX& q) const {
+  const auto frames = kin::linkFrames(chain_, q);
+  std::vector<Capsule> capsules;
+  capsules.reserve(frames.size());
+  linalg::Vec3 prev = chain_.base().position();
+  for (const auto& frame : frames) {
+    capsules.push_back({prev, frame.position(), link_radius_});
+    prev = frame.position();
+  }
+  return capsules;
+}
+
+double RobotGeometry::selfClearance(const linalg::VecX& q) const {
+  const auto capsules = linkCapsules(q);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 2 < capsules.size(); ++i) {
+    // Skip the immediate neighbour (shares a joint).
+    for (std::size_t j = i + 2; j < capsules.size(); ++j) {
+      best = std::min(best, capsuleCapsuleClearance(capsules[i], capsules[j]));
+    }
+  }
+  return best;
+}
+
+double RobotGeometry::environmentClearance(const linalg::VecX& q,
+                                           const Obstacles& obstacles) const {
+  const auto capsules = linkCapsules(q);
+  double best = std::numeric_limits<double>::infinity();
+  for (const Capsule& link : capsules)
+    for (const Sphere& obstacle : obstacles)
+      best = std::min(best, capsuleSphereClearance(link, obstacle));
+  return best;
+}
+
+bool RobotGeometry::collisionFree(const linalg::VecX& q,
+                                  const Obstacles& obstacles,
+                                  double margin) const {
+  if (!obstacles.empty() && environmentClearance(q, obstacles) < margin)
+    return false;
+  return selfClearance(q) >= margin;
+}
+
+}  // namespace dadu::geom

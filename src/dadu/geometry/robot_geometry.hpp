@@ -1,0 +1,50 @@
+// Robot body geometry: link capsules derived from the kinematic chain,
+// plus self-collision and environment-collision queries — the safety
+// layer a deployed IK solver must consult before commanding a solution.
+#pragma once
+
+#include <vector>
+
+#include "dadu/geometry/distance.hpp"
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::geom {
+
+/// The environment: spherical obstacles (the standard proxy set).
+using Obstacles = std::vector<Sphere>;
+
+/// Body model: one capsule per link at a given configuration.
+class RobotGeometry {
+ public:
+  /// `link_radius` is applied to every link capsule.  Links whose
+  /// segment is degenerate (coincident frame origins — common for
+  /// intersecting-axis wrists) become spheres of the same radius.
+  explicit RobotGeometry(kin::Chain chain, double link_radius = 0.03);
+
+  const kin::Chain& chain() const { return chain_; }
+  double linkRadius() const { return link_radius_; }
+
+  /// Capsules of every link at configuration q (base->frame0 is link 0).
+  std::vector<Capsule> linkCapsules(const linalg::VecX& q) const;
+
+  /// Smallest clearance between any pair of non-adjacent links
+  /// (adjacent links share a joint and always "touch"); negative =
+  /// self-penetration.
+  double selfClearance(const linalg::VecX& q) const;
+
+  /// Smallest clearance between any link and any obstacle.
+  double environmentClearance(const linalg::VecX& q,
+                              const Obstacles& obstacles) const;
+
+  /// True iff q is free of self- and environment collisions with
+  /// `margin` to spare.
+  bool collisionFree(const linalg::VecX& q, const Obstacles& obstacles,
+                     double margin = 0.0) const;
+
+ private:
+  kin::Chain chain_;
+  double link_radius_;
+};
+
+}  // namespace dadu::geom

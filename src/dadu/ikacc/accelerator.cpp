@@ -1,0 +1,148 @@
+#include "dadu/ikacc/accelerator.hpp"
+
+#include <stdexcept>
+
+#include "dadu/ikacc/energy.hpp"
+#include "dadu/ikacc/scheduler.hpp"
+#include "dadu/ikacc/selector.hpp"
+#include "dadu/ikacc/spu.hpp"
+#include "dadu/ikacc/ssu.hpp"
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::acc {
+
+IkAccelerator::IkAccelerator(kin::Chain chain, ik::SolveOptions options,
+                             AccConfig config)
+    : chain_(std::move(chain)), options_(options), config_(config) {
+  if (options_.speculations < 1)
+    throw std::invalid_argument("IKAcc requires at least 1 speculation");
+  if (config_.num_ssus == 0)
+    throw std::invalid_argument("IKAcc requires at least 1 SSU");
+  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
+  error_k_.assign(options_.speculations, 0.0);
+}
+
+ik::SolveResult IkAccelerator::solve(const linalg::Vec3& target,
+                                     const linalg::VecX& seed) {
+  ik::validateInputs(chain_, target, seed);
+
+  const std::size_t dof = chain_.dof();
+  const std::size_t max_spec = static_cast<std::size_t>(options_.speculations);
+  const auto waves = scheduleWaves(max_spec, config_.num_ssus);
+
+  // Per-iteration unit costs are configuration-static; price them once.
+  const SpuCost spu = spuIteration(config_, dof);
+  const SsuCost ssu = ssuSpeculation(config_, dof);
+  const long long bcast = broadcastCycles(config_);
+
+  stats_ = AccStats{};
+  stats_.waves_per_iteration = static_cast<int>(waves.size());
+  trace_.clear();
+
+  ik::SolveResult result;
+  result.theta = seed;
+
+  if (options_.max_iterations <= 0) {
+    const ik::JtIterationHead head =
+        ik::jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    stats_.spu_cycles += spu.cycles;
+    stats_.total_cycles += spu.cycles;
+    stats_.ops += spu.ops;
+    result.error = head.error;
+    result.status = head.error < options_.accuracy
+                        ? ik::Status::kConverged
+                        : ik::Status::kMaxIterations;
+    finalizeEnergy(config_, stats_);
+    return result;
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // ---- Serial Process Unit -------------------------------------
+    const ik::JtIterationHead head =
+        ik::jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    stats_.spu_cycles += spu.cycles;
+    stats_.total_cycles += spu.cycles;
+    stats_.ops += spu.ops;
+
+    if (options_.record_history) result.error_history.push_back(head.error);
+    result.error = head.error;
+
+    if (head.error < options_.accuracy) {
+      result.status = ik::Status::kConverged;
+      break;
+    }
+    if (head.stalled) {
+      result.status = ik::Status::kStalled;
+      break;
+    }
+
+    // ---- Speculative waves ----------------------------------------
+    long long wave_cycles_this_iter = 0;
+    for (const Wave& wave : waves) {
+      stats_.scheduler_cycles += bcast;
+      stats_.total_cycles += bcast;
+
+      for (std::size_t u = 0; u < wave.count; ++u) {
+        const std::size_t idx = wave.first + u;
+        const int k = static_cast<int>(idx) + 1;
+        const double alpha_k =
+            (static_cast<double>(k) / static_cast<double>(max_spec)) *
+            head.alpha_base;  // Eq. 9
+        linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta,
+                         theta_k_[idx]);
+        if (options_.clamp_to_limits)
+          theta_k_[idx] = chain_.clampToLimits(theta_k_[idx]);
+        const linalg::Vec3 x_k =
+            kin::endEffectorPosition(chain_, theta_k_[idx]);
+        error_k_[idx] = (target - x_k).norm();
+      }
+      result.fk_evaluations += static_cast<long long>(wave.count);
+
+      // All active SSUs run in lockstep: wave latency = one SSU, energy
+      // = count * one SSU.
+      stats_.ssu_cycles += ssu.cycles;
+      stats_.total_cycles += ssu.cycles;
+      stats_.ssu_busy_cycles += ssu.cycles * static_cast<long long>(wave.count);
+      for (std::size_t u = 0; u < wave.count; ++u) stats_.ops += ssu.ops;
+
+      const long long sel = selectorWaveCycles(config_, wave.count);
+      stats_.selector_cycles += sel;
+      stats_.total_cycles += sel;
+      stats_.ops.add += static_cast<long long>(wave.count);  // comparators
+      wave_cycles_this_iter += bcast + ssu.cycles + sel;
+    }
+
+    result.speculation_load += static_cast<long long>(max_spec);
+    ++result.iterations;
+    ++stats_.iterations;
+
+    // ---- Parameter Selector (functional argmin, ties to smallest k,
+    // identical to the software solver) -----------------------------
+    std::size_t best = 0;
+    for (std::size_t idx = 1; idx < max_spec; ++idx)
+      if (error_k_[idx] < error_k_[best]) best = idx;
+
+    result.theta = theta_k_[best];
+    result.error = error_k_[best];
+
+    trace_.push_back({result.iterations, spu.cycles, wave_cycles_this_iter,
+                      stats_.total_cycles, result.error, head.alpha_base,
+                      static_cast<int>(best) + 1});
+
+    if (error_k_[best] < options_.accuracy) {
+      result.status = ik::Status::kConverged;
+      if (options_.record_history) result.error_history.push_back(result.error);
+      break;
+    }
+    if (iter + 1 == options_.max_iterations)
+      result.status = ik::Status::kMaxIterations;
+  }
+
+  if (result.error < options_.accuracy) result.status = ik::Status::kConverged;
+  finalizeEnergy(config_, stats_);
+  return result;
+}
+
+}  // namespace dadu::acc

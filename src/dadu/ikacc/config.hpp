@@ -1,0 +1,109 @@
+// IKAcc hardware configuration (Fig. 2 of the paper).
+//
+// The paper's implementation is HLS-generated RTL at Nangate 65 nm,
+// 1 GHz, 32 Speculative Search Units, 2.27 mm^2, 158.6 mW average.
+// We model it at cycle level: every unit has an explicit latency in
+// cycles, chosen to match the paper's qualitative statements (the 4x4
+// matrix-multiply block "adopts a few multipliers and adders to
+// calculate the result in tens of cycles"), and an energy table at
+// 65 nm-class per-operation costs.  EXPERIMENTS.md records how the
+// derived latency/power compare with the paper's Table 2/3.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+namespace dadu::acc {
+
+/// Per-operation dynamic energy (picojoules) at 65 nm, 1.1 V — the
+/// granularity PrimeTime-PX style analysis averages over.
+struct EnergyTable {
+  double mul_pj = 1.7;     ///< FP multiply
+  double add_pj = 0.6;     ///< FP add/sub/compare
+  double div_pj = 7.0;     ///< FP divide
+  double sqrt_pj = 7.0;    ///< FP square root
+  double trig_pj = 5.5;    ///< sin/cos (CORDIC / LUT block)
+  double reg_pj = 0.12;    ///< register-file access
+};
+
+/// Structural and timing parameters of the accelerator.
+struct AccConfig {
+  // --- structure -------------------------------------------------
+  std::size_t num_ssus = 32;       ///< Speculative Search Units on chip
+  double freq_ghz = 1.0;           ///< clock (paper: 1 GHz @ 1 V)
+
+  // --- unit latencies (cycles) ------------------------------------
+  /// One 4x4 matrix multiply on the FKU logic block.  The paper's HLS
+  /// block trades multipliers for latency ("tens of cycles"); 24
+  /// cycles corresponds to ~5 multipliers + 3 adders time-multiplexed.
+  int mm4_cycles = 24;
+  /// Compute the entries of {i-1}T_i (two sin/cos pairs + 6 products).
+  int dh_gen_cycles = 16;
+  /// Jacobian column J_i = {1}T_i.M x ({1}T_N.P - {1}T_i.P).
+  int jcol_cycles = 12;
+  /// Accumulate J_i J_i^T E into the running JJ^T E sum (Eq. 11).
+  int jjte_cycles = 8;
+  /// Epilogue of the serial process: two dot products + divide (Eq. 8).
+  int alpha_epilogue_cycles = 24;
+  /// SSU: generate alpha_k and start the theta update (per wave).
+  int alpha_gen_cycles = 4;
+  /// SSU theta update lanes: theta_k,i = theta_i + alpha_k * d_i
+  /// processed `update_lanes` joints per cycle.
+  int update_lanes = 4;
+  /// SSU error: 3 subs, 3 mults, 2 adds, sqrt.
+  int error_cycles = 14;
+  /// Parallel Search Scheduler broadcast of (theta, dtheta, alpha_base)
+  /// to all SSUs at the start of each wave.
+  int broadcast_cycles = 4;
+  /// Parameter Selector: one comparator level per cycle.
+  int selector_level_cycles = 1;
+
+  /// Pipelined serial process (Fig. 3(c)); false = original flow of
+  /// Fig. 3(a) for the ablation bench.
+  bool pipelined_spu = true;
+
+  // --- power -------------------------------------------------------
+  EnergyTable energy;
+  double leakage_mw = 18.0;  ///< static power of the whole accelerator
+
+  // --- area model (mm^2, 65 nm) -------------------------------------
+  // The FKU's HLS trade-off is structural: a 4x4 multiply is 64
+  // multiplies + 48 adds; finishing it in `mm4_cycles` cycles needs
+  // roughly ceil(64 / mm4_cycles) multipliers (and proportionally many
+  // adders) time-multiplexed by the controller.  Area therefore GROWS
+  // as the configured latency shrinks — the tension the design-space
+  // exploration trades against.
+  double fp_mult_area_mm2 = 0.0042;   ///< one FP multiplier
+  double fp_add_area_mm2 = 0.0016;    ///< one FP adder
+  double trig_block_area_mm2 = 0.012; ///< CORDIC sin/cos block per SSU
+  double ssu_fixed_area_mm2 = 0.024;  ///< registers + control per SSU
+  double spu_area_mm2 = 0.45;
+  double misc_area_mm2 = 0.16;        ///< scheduler + selector + interconnect
+
+  /// Multipliers the FKU needs to meet the configured latency.
+  int fkuMultipliers() const {
+    const int lat = std::max(mm4_cycles, 1);
+    return static_cast<int>((64 + lat - 1) / lat);
+  }
+  /// Adders, sized to the same time-multiplexing factor.
+  int fkuAdders() const {
+    const int lat = std::max(mm4_cycles, 1);
+    return static_cast<int>((48 + lat - 1) / lat);
+  }
+
+  /// Area of one Speculative Search Unit (FKU + alpha/error datapath).
+  double ssuAreaMm2() const {
+    return fkuMultipliers() * fp_mult_area_mm2 +
+           fkuAdders() * fp_add_area_mm2 + trig_block_area_mm2 +
+           ssu_fixed_area_mm2;
+  }
+
+  double totalAreaMm2() const {
+    return spu_area_mm2 + ssuAreaMm2() * static_cast<double>(num_ssus) +
+           misc_area_mm2;
+  }
+  /// Seconds per cycle.
+  double cyclePeriodSec() const { return 1e-9 / freq_ghz; }
+};
+
+}  // namespace dadu::acc

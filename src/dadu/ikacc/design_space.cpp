@@ -1,0 +1,83 @@
+#include "dadu/ikacc/design_space.hpp"
+
+#include "dadu/ikacc/accelerator.hpp"
+
+namespace dadu::acc {
+
+std::vector<DesignPoint> makeGrid(const std::vector<std::size_t>& ssus,
+                                  const std::vector<int>& mm4_latencies,
+                                  const std::vector<int>& speculations) {
+  std::vector<DesignPoint> grid;
+  grid.reserve(ssus.size() * mm4_latencies.size() * speculations.size());
+  for (const std::size_t s : ssus)
+    for (const int m : mm4_latencies)
+      for (const int k : speculations) grid.push_back({s, m, k});
+  return grid;
+}
+
+std::vector<DesignResult> exploreDesignSpace(
+    const kin::Chain& chain, const std::vector<workload::IkTask>& tasks,
+    const std::vector<DesignPoint>& grid, const ik::SolveOptions& base,
+    const AccConfig& base_config) {
+  std::vector<DesignResult> results;
+  results.reserve(grid.size());
+
+  for (const DesignPoint& point : grid) {
+    AccConfig cfg = base_config;
+    cfg.num_ssus = point.num_ssus;
+    cfg.mm4_cycles = point.mm4_cycles;
+    ik::SolveOptions options = base;
+    options.speculations = point.speculations;
+
+    IkAccelerator accelerator(chain, options, cfg);
+    DesignResult r;
+    r.point = point;
+    r.area_mm2 = cfg.totalAreaMm2();
+
+    double converged = 0.0;
+    for (const workload::IkTask& task : tasks) {
+      const auto solve = accelerator.solve(task.target, task.seed);
+      const AccStats& stats = accelerator.lastStats();
+      r.latency_ms += stats.time_ms;
+      r.energy_mj += stats.energyMj();
+      r.mean_iterations += solve.iterations;
+      if (solve.converged()) converged += 1.0;
+    }
+    const double n = static_cast<double>(tasks.size());
+    if (n > 0) {
+      r.latency_ms /= n;
+      r.energy_mj /= n;
+      r.mean_iterations /= n;
+      r.convergence_rate = converged / n;
+    }
+    results.push_back(r);
+  }
+  return results;
+}
+
+std::vector<DesignResult> paretoFront(const std::vector<DesignResult>& all) {
+  const auto dominates = [](const DesignResult& a, const DesignResult& b) {
+    const bool no_worse = a.latency_ms <= b.latency_ms &&
+                          a.energy_mj <= b.energy_mj &&
+                          a.area_mm2 <= b.area_mm2;
+    const bool strictly = a.latency_ms < b.latency_ms ||
+                          a.energy_mj < b.energy_mj ||
+                          a.area_mm2 < b.area_mm2;
+    return no_worse && strictly;
+  };
+
+  std::vector<DesignResult> front;
+  for (const DesignResult& candidate : all) {
+    bool dominated = false;
+    for (const DesignResult& other : all) {
+      if (dominates(other, candidate)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(candidate);
+  }
+  return front;
+}
+
+}  // namespace dadu::acc

@@ -1,0 +1,57 @@
+// Design-space exploration over IKAcc configurations.
+//
+// The paper fixes one design point (32 SSUs, 64 speculations, 1 GHz);
+// this module sweeps the structural knobs — SSU count, FKU multiply
+// latency (the few-multipliers-vs-latency HLS trade-off of Section
+// 5.2) and the software speculation count — and evaluates each
+// candidate on a common workload, reporting latency, energy, area and
+// the derived figures of merit a hardware architect ranks designs by
+// (EDP, latency*area).  A Pareto filter extracts the frontier.
+#pragma once
+
+#include <vector>
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/solvers/types.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::acc {
+
+/// One candidate configuration.
+struct DesignPoint {
+  std::size_t num_ssus = 32;
+  int mm4_cycles = 24;
+  int speculations = 64;
+};
+
+/// Evaluation of one candidate on the workload (means over tasks).
+struct DesignResult {
+  DesignPoint point;
+  double latency_ms = 0.0;
+  double energy_mj = 0.0;
+  double area_mm2 = 0.0;
+  double mean_iterations = 0.0;
+  double convergence_rate = 0.0;
+
+  double edp() const { return energy_mj * latency_ms; }          // energy-delay
+  double latency_area() const { return latency_ms * area_mm2; }  // perf/cost
+};
+
+/// Evaluate every point of `grid` on `tasks` solved with `base`
+/// options (speculations overridden per point).
+std::vector<DesignResult> exploreDesignSpace(
+    const kin::Chain& chain, const std::vector<workload::IkTask>& tasks,
+    const std::vector<DesignPoint>& grid, const ik::SolveOptions& base,
+    const AccConfig& base_config = {});
+
+/// Cartesian grid helper.
+std::vector<DesignPoint> makeGrid(const std::vector<std::size_t>& ssus,
+                                  const std::vector<int>& mm4_latencies,
+                                  const std::vector<int>& speculations);
+
+/// Points not dominated in (latency, energy, area) — smaller is better
+/// in every dimension.
+std::vector<DesignResult> paretoFront(const std::vector<DesignResult>& all);
+
+}  // namespace dadu::acc

@@ -1,0 +1,29 @@
+#include "dadu/ikacc/energy.hpp"
+
+namespace dadu::acc {
+
+double dynamicEnergyMj(const EnergyTable& t, const OpCounts& ops) {
+  const double pj = static_cast<double>(ops.mul) * t.mul_pj +
+                    static_cast<double>(ops.add) * t.add_pj +
+                    static_cast<double>(ops.div) * t.div_pj +
+                    static_cast<double>(ops.sqrt_) * t.sqrt_pj +
+                    static_cast<double>(ops.trig) * t.trig_pj +
+                    static_cast<double>(ops.reg) * t.reg_pj;
+  return pj * 1e-9;  // pJ -> mJ
+}
+
+double leakageEnergyMj(const AccConfig& cfg, long long cycles) {
+  const double seconds = static_cast<double>(cycles) * cfg.cyclePeriodSec();
+  return cfg.leakage_mw * seconds;  // mW * s = mJ
+}
+
+void finalizeEnergy(const AccConfig& cfg, AccStats& stats) {
+  stats.dynamic_energy_mj = dynamicEnergyMj(cfg.energy, stats.ops);
+  stats.leakage_energy_mj = leakageEnergyMj(cfg, stats.total_cycles);
+  stats.time_ms =
+      static_cast<double>(stats.total_cycles) * cfg.cyclePeriodSec() * 1e3;
+  stats.avg_power_mw =
+      stats.time_ms > 0.0 ? stats.energyMj() / (stats.time_ms * 1e-3) : 0.0;
+}
+
+}  // namespace dadu::acc

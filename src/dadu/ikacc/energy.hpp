@@ -1,0 +1,22 @@
+// Energy model: price accumulated operation counts against the 65 nm
+// per-op energy table and add leakage over the elapsed time — the
+// cycle-model analogue of the paper's PrimeTime-PX average-power
+// analysis.
+#pragma once
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+
+namespace dadu::acc {
+
+/// Dynamic energy of the given op counts, in millijoules.
+double dynamicEnergyMj(const EnergyTable& table, const OpCounts& ops);
+
+/// Leakage energy over `cycles` at the configured frequency, in mJ.
+double leakageEnergyMj(const AccConfig& cfg, long long cycles);
+
+/// Fill the energy/time/power fields of `stats` from its cycle and op
+/// counters (must be called after the counters are final).
+void finalizeEnergy(const AccConfig& cfg, AccStats& stats);
+
+}  // namespace dadu::acc

@@ -1,0 +1,35 @@
+#include "dadu/ikacc/fku.hpp"
+
+#include <algorithm>
+
+namespace dadu::acc {
+
+FkuCost fkuMatmul(const AccConfig& cfg) {
+  FkuCost c;
+  c.cycles = cfg.mm4_cycles;
+  c.ops.mul = 64;
+  c.ops.add = 48;
+  c.ops.reg = 32;  // read two operands, write result
+  return c;
+}
+
+FkuCost fkuForwardPass(const AccConfig& cfg, std::size_t dof) {
+  FkuCost c;
+  if (dof == 0) return c;
+
+  const long long ii =
+      std::max<long long>(cfg.dh_gen_cycles, cfg.mm4_cycles);
+  // First joint fills the pipeline (generate + multiply back to back),
+  // remaining joints run at the initiation interval.
+  c.cycles = cfg.dh_gen_cycles + cfg.mm4_cycles +
+             static_cast<long long>(dof - 1) * ii;
+
+  const FkuCost mm = fkuMatmul(cfg);
+  c.ops.mul = static_cast<long long>(dof) * (mm.ops.mul + 6);  // +a*ct etc.
+  c.ops.add = static_cast<long long>(dof) * mm.ops.add;
+  c.ops.trig = static_cast<long long>(dof) * 2;  // sin/cos of theta_i
+  c.ops.reg = static_cast<long long>(dof) * (mm.ops.reg + 8);
+  return c;
+}
+
+}  // namespace dadu::acc

@@ -1,0 +1,37 @@
+// Forward Kinematics Unit model.
+//
+// The FKU is the datapath inside every SSU (Fig. 2): a controller
+// stepping through the joints, a {i-1}T_i generator, a 4x4 matrix-
+// multiply logic block and the {1}T_i register files.  The paper's
+// point (Section 5.2) is that a 4x4 multiply needs only 16-way
+// parallelism, far below a GPU warp, so a small dedicated block wins;
+// the HLS-generated block computes one product "in tens of cycles"
+// with a few multipliers and adders.
+//
+// The model prices one full forward pass of an N-joint chain:
+// latency and op counts; the functional result comes from the shared
+// kinematics library (bit-identical with the software solver).
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+
+namespace dadu::acc {
+
+/// Timing/energy of one end-effector FK pass on the FKU.
+struct FkuCost {
+  long long cycles = 0;
+  OpCounts ops;
+};
+
+/// Cost of evaluating f(theta) for an N-joint chain: the controller
+/// overlaps {i-1}T_i generation with the previous 4x4 multiply, so the
+/// per-joint initiation interval is max(dh_gen, mm4).
+FkuCost fkuForwardPass(const AccConfig& cfg, std::size_t dof);
+
+/// Cost of a single 4x4 multiply on the logic block (64 mul, 48 add).
+FkuCost fkuMatmul(const AccConfig& cfg);
+
+}  // namespace dadu::acc

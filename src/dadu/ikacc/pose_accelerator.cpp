@@ -1,0 +1,71 @@
+#include "dadu/ikacc/pose_accelerator.hpp"
+
+#include "dadu/ikacc/energy.hpp"
+#include "dadu/ikacc/scheduler.hpp"
+#include "dadu/ikacc/selector.hpp"
+#include "dadu/ikacc/spu.hpp"
+#include "dadu/ikacc/ssu.hpp"
+
+namespace dadu::acc {
+
+PoseIkAccelerator::PoseIkAccelerator(kin::Chain chain,
+                                     ik::PoseSolveOptions options,
+                                     AccConfig config)
+    : solver_(chain, options),
+      options_(options),
+      config_(config),
+      dof_(chain.dof()) {}
+
+ik::PoseSolveResult PoseIkAccelerator::solve(const kin::Pose& target,
+                                             const linalg::VecX& seed) {
+  const ik::PoseSolveResult result = solver_.solve(target, seed);
+
+  const std::size_t max_spec =
+      static_cast<std::size_t>(options_.speculations);
+  const auto waves = scheduleWaves(max_spec, config_.num_ssus);
+
+  // SPU: same per-joint pipeline (the angular J rows reuse the axis
+  // already flowing through the stages), doubled JJ^T E accumulation
+  // ops and a 6-vector epilogue (two 6-dots + divide ~ 2x the 3-D one).
+  SpuCost spu = spuIteration(config_, dof_);
+  spu.cycles += config_.alpha_epilogue_cycles;  // wider epilogue
+  spu.ops.mul += 6 * static_cast<long long>(dof_) + 6;
+  spu.ops.add += 5 * static_cast<long long>(dof_) + 4;
+
+  // SSU: FK chain + position error + rotation-log extraction.
+  SsuCost ssu = ssuSpeculation(config_, dof_);
+  ssu.cycles += kOrientationErrorCycles;
+  ssu.ops.mul += 20;
+  ssu.ops.add += 15;
+  ssu.ops.trig += 1;   // atan2
+  ssu.ops.sqrt_ += 1;  // skew norm
+
+  stats_ = AccStats{};
+  stats_.waves_per_iteration = static_cast<int>(waves.size());
+  stats_.iterations = result.iterations;
+
+  const long long iters = result.iterations;
+  stats_.spu_cycles = (iters + 1) * spu.cycles;
+  stats_.total_cycles = stats_.spu_cycles;
+  for (long long i = 0; i < iters + 1; ++i) stats_.ops += spu.ops;
+
+  for (long long i = 0; i < iters; ++i) {
+    for (const Wave& wave : waves) {
+      const long long bcast = broadcastCycles(config_);
+      const long long sel = selectorWaveCycles(config_, wave.count);
+      stats_.scheduler_cycles += bcast;
+      stats_.ssu_cycles += ssu.cycles;
+      stats_.selector_cycles += sel;
+      stats_.total_cycles += bcast + ssu.cycles + sel;
+      stats_.ssu_busy_cycles +=
+          ssu.cycles * static_cast<long long>(wave.count);
+      for (std::size_t u = 0; u < wave.count; ++u) stats_.ops += ssu.ops;
+      stats_.ops.add += static_cast<long long>(wave.count);
+    }
+  }
+
+  finalizeEnergy(config_, stats_);
+  return result;
+}
+
+}  // namespace dadu::acc

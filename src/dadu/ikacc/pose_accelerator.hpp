@@ -1,0 +1,41 @@
+// IKAcc for full 6-D pose targets (future-work extension).
+//
+// Position-only IK is the paper's evaluation; a deployed accelerator
+// would also serve orientation.  The datapath deltas are modest: the
+// SPU's J_i stage produces six rows instead of three (one extra cross
+// product is free — the angular row IS the joint axis already in the
+// pipeline), the JJ^T E accumulation and alpha epilogue work on
+// 6-vectors, and each SSU's error block adds a rotation-log extraction
+// after the FK chain.  Functional behaviour is exactly
+// QuickIkPoseSolver (asserted by tests).
+#pragma once
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+#include "dadu/solvers/pose_solvers.hpp"
+
+namespace dadu::acc {
+
+/// Extra cycles per speculation for the orientation-error block
+/// (rotation log: trace, atan2, axis scale).
+inline constexpr int kOrientationErrorCycles = 40;
+
+class PoseIkAccelerator {
+ public:
+  PoseIkAccelerator(kin::Chain chain, ik::PoseSolveOptions options,
+                    AccConfig config = {});
+
+  ik::PoseSolveResult solve(const kin::Pose& target, const linalg::VecX& seed);
+
+  const AccConfig& config() const { return config_; }
+  const AccStats& lastStats() const { return stats_; }
+
+ private:
+  ik::QuickIkPoseSolver solver_;
+  ik::PoseSolveOptions options_;
+  AccConfig config_;
+  std::size_t dof_;
+  AccStats stats_;
+};
+
+}  // namespace dadu::acc

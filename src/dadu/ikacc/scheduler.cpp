@@ -1,0 +1,27 @@
+#include "dadu/ikacc/scheduler.hpp"
+
+#include <algorithm>
+
+namespace dadu::acc {
+
+std::size_t waveCount(std::size_t speculations, std::size_t num_ssus) {
+  if (num_ssus == 0) return 0;
+  return (speculations + num_ssus - 1) / num_ssus;
+}
+
+std::vector<Wave> scheduleWaves(std::size_t speculations,
+                                std::size_t num_ssus) {
+  std::vector<Wave> waves;
+  if (num_ssus == 0) return waves;
+  waves.reserve(waveCount(speculations, num_ssus));
+  for (std::size_t first = 0; first < speculations; first += num_ssus) {
+    waves.push_back({first, std::min(num_ssus, speculations - first)});
+  }
+  return waves;
+}
+
+long long broadcastCycles(const AccConfig& cfg) {
+  return cfg.broadcast_cycles;
+}
+
+}  // namespace dadu::acc

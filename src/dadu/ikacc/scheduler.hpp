@@ -1,0 +1,36 @@
+// Parallel Search Scheduler model.
+//
+// The number of speculations in the algorithm (Max, 64 in the paper's
+// evaluation) can exceed the number of physical SSUs (32 in IKAcc), so
+// the scheduler broadcasts the SPU outputs (theta, dtheta_base,
+// alpha_base) and issues the speculations in waves of at most
+// `num_ssus`, re-dispatching until all are processed — "after multiple
+// schedules, all the speculative searches will be processed by the
+// limited hardware".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dadu/ikacc/config.hpp"
+
+namespace dadu::acc {
+
+/// One wave of a schedule: which speculation indices (0-based k-1) run
+/// concurrently.
+struct Wave {
+  std::size_t first = 0;  ///< first speculation index in this wave
+  std::size_t count = 0;  ///< number of SSUs active this wave
+};
+
+/// Static schedule of `speculations` onto `num_ssus` units.
+std::vector<Wave> scheduleWaves(std::size_t speculations,
+                                std::size_t num_ssus);
+
+/// Number of waves = ceil(speculations / num_ssus).
+std::size_t waveCount(std::size_t speculations, std::size_t num_ssus);
+
+/// Broadcast cost preceding each wave.
+long long broadcastCycles(const AccConfig& cfg);
+
+}  // namespace dadu::acc

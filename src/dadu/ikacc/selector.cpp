@@ -1,0 +1,18 @@
+#include "dadu/ikacc/selector.hpp"
+
+namespace dadu::acc {
+
+long long selectorWaveCycles(const AccConfig& cfg, std::size_t active) {
+  if (active == 0) return 0;
+  // Comparator tree depth = ceil(log2(active)); +1 for the cross-wave
+  // running-best compare.
+  long long levels = 0;
+  std::size_t width = 1;
+  while (width < active) {
+    width <<= 1;
+    ++levels;
+  }
+  return (levels + 1) * cfg.selector_level_cycles;
+}
+
+}  // namespace dadu::acc

@@ -1,0 +1,21 @@
+// Parameter Selector model.
+//
+// Selects the theta_o with minimum error across all speculations
+// (Algorithm 1 line 16) with a comparator reduction tree across the
+// SSUs of one wave, plus one register compare to carry the running
+// best across waves — "the Parameter Selector needs to store and
+// compare the last result at each schedule, but the overhead is
+// negligible".
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/ikacc/config.hpp"
+
+namespace dadu::acc {
+
+/// Cycles for the argmin reduction over one wave of `active` SSUs,
+/// including the cross-wave carry compare.
+long long selectorWaveCycles(const AccConfig& cfg, std::size_t active);
+
+}  // namespace dadu::acc

@@ -1,0 +1,67 @@
+#include "dadu/ikacc/spu.hpp"
+
+#include <algorithm>
+
+namespace dadu::acc {
+namespace {
+
+long long stageInitiationInterval(const AccConfig& cfg) {
+  return std::max({static_cast<long long>(cfg.dh_gen_cycles),
+                   static_cast<long long>(cfg.mm4_cycles),
+                   static_cast<long long>(cfg.jcol_cycles),
+                   static_cast<long long>(cfg.jjte_cycles)});
+}
+
+}  // namespace
+
+long long spuPipelinedCycles(const AccConfig& cfg, std::size_t dof) {
+  if (dof == 0) return 0;
+  // Four-stage pipeline: the slowest stage sets the initiation
+  // interval; N items need (N + stages - 1) slots; results forward
+  // directly, so no store cycles.
+  const long long ii = stageInitiationInterval(cfg);
+  return (static_cast<long long>(dof) + 3) * ii + cfg.alpha_epilogue_cycles;
+}
+
+long long spuUnpipelinedCycles(const AccConfig& cfg, std::size_t dof) {
+  if (dof == 0) return 0;
+  // Original flow (Fig. 3(a)): four separate loops, each writing its
+  // intermediate results ({i-1}T_i set, {1}T_i set, J) to storage and
+  // reading them back in the next loop.  2 cycles per 4x4 store/load
+  // word group is folded into a flat per-joint memory penalty.
+  constexpr long long kMemPenaltyPerJoint = 16;  // 16 words in/out per stage
+  const long long per_joint = cfg.dh_gen_cycles + cfg.mm4_cycles +
+                              cfg.jcol_cycles + cfg.jjte_cycles +
+                              4 * kMemPenaltyPerJoint;
+  return static_cast<long long>(dof) * per_joint + cfg.alpha_epilogue_cycles;
+}
+
+SpuCost spuIteration(const AccConfig& cfg, std::size_t dof) {
+  SpuCost c;
+  c.cycles = cfg.pipelined_spu ? spuPipelinedCycles(cfg, dof)
+                               : spuUnpipelinedCycles(cfg, dof);
+
+  const long long n = static_cast<long long>(dof);
+  // Stage 1: {i-1}T_i (2 trig + 6 mul per joint).
+  c.ops.trig = 2 * n;
+  c.ops.mul = 6 * n;
+  // Stage 2: {1}T_i = {1}T_{i-1} * {i-1}T_i (4x4 multiply).
+  c.ops.mul += 64 * n;
+  c.ops.add += 48 * n;
+  // Stage 3: J_i (cross product: 6 mul, 3 add; vector diff: 3 add).
+  c.ops.mul += 6 * n;
+  c.ops.add += 6 * n;
+  // Stage 4: JJ^T E += J_i (J_i . e): 3 mul + 2 add for the dot, 3 mul
+  // + 3 add for the scaled accumulate; dtheta_base_i = J_i . e reuses
+  // the dot product (register write only).
+  c.ops.mul += 6 * n;
+  c.ops.add += 5 * n;
+  c.ops.reg += (cfg.pipelined_spu ? 8 : 40) * n;  // forwarding vs stores
+  // Epilogue alpha_base = (e.v)/(v.v): two 3-dots + divide.
+  c.ops.mul += 6;
+  c.ops.add += 4;
+  c.ops.div += 1;
+  return c;
+}
+
+}  // namespace dadu::acc

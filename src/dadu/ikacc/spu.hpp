@@ -1,0 +1,38 @@
+// Serial Process Unit model (Fig. 3 of the paper).
+//
+// Each iteration begins with inherently serial work: compute the
+// Jacobian J, the base update dtheta_base = J^T e and the base step
+// alpha_base (Eq. 8).  The paper restructures the original multi-loop
+// flow (Fig. 3(a)) into one fused loop per joint (Fig. 3(b)) and
+// pipelines it in four stages (Fig. 3(c)):
+//
+//     {i-1}T_i C  ->  {1}T_i C  ->  J_i C  ->  JJ^T E C
+//
+// with results forwarded stage to stage, avoiding intermediate stores.
+// The model prices both the pipelined and the original (unpipelined)
+// flow so the restructuring is an ablatable design choice.
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+
+namespace dadu::acc {
+
+struct SpuCost {
+  long long cycles = 0;
+  OpCounts ops;
+};
+
+/// Cost of one serial-process pass over an N-joint chain, producing J
+/// (implicitly), dtheta_base, JJ^T e and alpha_base.
+SpuCost spuIteration(const AccConfig& cfg, std::size_t dof);
+
+/// Cycles of the pipelined flow only (for the Fig. 3 ablation).
+long long spuPipelinedCycles(const AccConfig& cfg, std::size_t dof);
+/// Cycles of the original unpipelined flow (Fig. 3(a)) incl. the
+/// intermediate-result stores the pipeline eliminates.
+long long spuUnpipelinedCycles(const AccConfig& cfg, std::size_t dof);
+
+}  // namespace dadu::acc

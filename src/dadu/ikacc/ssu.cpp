@@ -1,0 +1,39 @@
+#include "dadu/ikacc/ssu.hpp"
+
+#include <algorithm>
+
+#include "dadu/ikacc/fku.hpp"
+
+namespace dadu::acc {
+
+SsuCost ssuSpeculation(const AccConfig& cfg, std::size_t dof) {
+  SsuCost c;
+  const long long n = static_cast<long long>(dof);
+
+  // alpha_k = (k/Max) * alpha_base: one multiply by a precomputed
+  // constant (k/Max is wired per unit).
+  c.cycles += cfg.alpha_gen_cycles;
+  c.ops.mul += 1;
+
+  // theta_k = theta + alpha_k * dtheta_base across `update_lanes`
+  // MAC lanes.
+  const long long lanes = std::max(1, cfg.update_lanes);
+  c.cycles += (n + lanes - 1) / lanes;
+  c.ops.mul += n;
+  c.ops.add += n;
+  c.ops.reg += 2 * n;
+
+  // Forward pass on the FKU (dominant term).
+  const FkuCost fk = fkuForwardPass(cfg, dof);
+  c.cycles += fk.cycles;
+  c.ops += fk.ops;
+
+  // error_k = ||Xt - X_k||: 3 sub, 3 mul, 2 add, sqrt.
+  c.cycles += cfg.error_cycles;
+  c.ops.add += 5;
+  c.ops.mul += 3;
+  c.ops.sqrt_ += 1;
+  return c;
+}
+
+}  // namespace dadu::acc

@@ -1,0 +1,25 @@
+// Speculative Search Unit model.
+//
+// One SSU processes one speculation per wave: generate alpha_k from
+// the broadcast alpha_base (Eq. 9), update theta_k = theta + alpha_k *
+// dtheta_base across the joint vector, run the forward pass on its
+// FKU, and compute the error ||Xt - X_k||.  All SSUs run in lockstep
+// within a wave, so the wave latency is a single SSU's latency.
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+
+namespace dadu::acc {
+
+struct SsuCost {
+  long long cycles = 0;
+  OpCounts ops;
+};
+
+/// Cost of one speculation on one SSU for an N-joint chain.
+SsuCost ssuSpeculation(const AccConfig& cfg, std::size_t dof);
+
+}  // namespace dadu::acc

@@ -1,0 +1,57 @@
+// Cycle / energy statistics emitted by the IKAcc simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dadu::acc {
+
+/// Operation counts accumulated while simulating; the energy model
+/// prices these against the EnergyTable.
+struct OpCounts {
+  long long mul = 0;
+  long long add = 0;
+  long long div = 0;
+  long long sqrt_ = 0;
+  long long trig = 0;
+  long long reg = 0;
+
+  OpCounts& operator+=(const OpCounts& o) {
+    mul += o.mul;
+    add += o.add;
+    div += o.div;
+    sqrt_ += o.sqrt_;
+    trig += o.trig;
+    reg += o.reg;
+    return *this;
+  }
+};
+
+/// Full accounting of one accelerator solve.
+struct AccStats {
+  long long total_cycles = 0;
+  long long spu_cycles = 0;        ///< serial-process contribution
+  long long ssu_cycles = 0;        ///< speculative-search contribution (critical path)
+  long long ssu_busy_cycles = 0;   ///< summed busy cycles over all SSUs
+  long long scheduler_cycles = 0;
+  long long selector_cycles = 0;
+  int iterations = 0;
+  int waves_per_iteration = 0;
+
+  OpCounts ops;
+  double dynamic_energy_mj = 0.0;
+  double leakage_energy_mj = 0.0;
+
+  double time_ms = 0.0;       ///< total_cycles / frequency
+  double avg_power_mw = 0.0;  ///< (dynamic + leakage) / time
+
+  /// Mean fraction of SSUs busy while the accelerator ran.
+  double ssuUtilization(std::size_t num_ssus) const {
+    if (total_cycles <= 0 || num_ssus == 0) return 0.0;
+    return static_cast<double>(ssu_busy_cycles) /
+           (static_cast<double>(total_cycles) * static_cast<double>(num_ssus));
+  }
+
+  double energyMj() const { return dynamic_energy_mj + leakage_energy_mj; }
+};
+
+}  // namespace dadu::acc

@@ -1,0 +1,41 @@
+#include "dadu/ikacc/throughput.hpp"
+
+#include <algorithm>
+
+#include "dadu/ikacc/scheduler.hpp"
+#include "dadu/ikacc/selector.hpp"
+#include "dadu/ikacc/spu.hpp"
+#include "dadu/ikacc/ssu.hpp"
+
+namespace dadu::acc {
+
+ThroughputEstimate estimateBatchThroughput(const AccConfig& cfg,
+                                           std::size_t dof, int speculations,
+                                           double mean_iterations) {
+  ThroughputEstimate est;
+  if (dof == 0 || speculations < 1 || mean_iterations <= 0.0) return est;
+
+  const SpuCost spu = spuIteration(cfg, dof);
+  const SsuCost ssu = ssuSpeculation(cfg, dof);
+  const auto waves =
+      scheduleWaves(static_cast<std::size_t>(speculations), cfg.num_ssus);
+
+  long long wave_cycles = 0;
+  for (const Wave& w : waves)
+    wave_cycles +=
+        broadcastCycles(cfg) + ssu.cycles + selectorWaveCycles(cfg, w.count);
+
+  est.single_iter_cycles = static_cast<double>(spu.cycles + wave_cycles);
+  est.pipelined_iter_cycles = static_cast<double>(
+      std::max<long long>(spu.cycles, wave_cycles));
+  est.overlap_speedup = est.single_iter_cycles / est.pipelined_iter_cycles;
+
+  const double hz = cfg.freq_ghz * 1e9;
+  est.solves_per_sec_single =
+      hz / (est.single_iter_cycles * mean_iterations);
+  est.solves_per_sec_pipelined =
+      hz / (est.pipelined_iter_cycles * mean_iterations);
+  return est;
+}
+
+}  // namespace dadu::acc

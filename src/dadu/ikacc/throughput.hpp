@@ -1,0 +1,40 @@
+// Problem-level pipelining: IKAcc in throughput mode.
+//
+// A single solve alternates the SPU (serial head) and the SSU array
+// (speculative waves); while one runs, the other idles — visible as
+// the ~66% SSU utilisation the trace reports.  With two IK problems in
+// flight (a batch of targets, e.g. a multi-arm controller or a motion
+// planner's query stream), problem B's serial head can execute on the
+// SPU while problem A's waves occupy the SSUs, and vice versa —
+// classic double buffering.  Iteration *latency* is unchanged;
+// iteration *throughput* improves by up to
+//
+//     (spu + waves) / max(spu, waves).
+//
+// This module prices that mode analytically from the same unit costs
+// the solve simulator uses.
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/ikacc/config.hpp"
+
+namespace dadu::acc {
+
+struct ThroughputEstimate {
+  double single_iter_cycles = 0.0;   ///< SPU + waves, serialised
+  double pipelined_iter_cycles = 0.0;///< max(SPU, waves) steady state
+  double overlap_speedup = 1.0;      ///< single / pipelined
+  /// Solves per second at steady state for a given mean iteration
+  /// count, single-problem and pipelined.
+  double solves_per_sec_single = 0.0;
+  double solves_per_sec_pipelined = 0.0;
+};
+
+/// Estimate batch throughput for `dof`-joint problems with
+/// `speculations` per iteration and `mean_iterations` per solve.
+ThroughputEstimate estimateBatchThroughput(const AccConfig& cfg,
+                                           std::size_t dof, int speculations,
+                                           double mean_iterations);
+
+}  // namespace dadu::acc

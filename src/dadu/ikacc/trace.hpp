@@ -1,0 +1,22 @@
+// Per-iteration execution trace of an accelerator solve — the
+// cycle-level visibility an RTL waveform would give, at the grain the
+// simulator models (one record per Quick-IK iteration).
+#pragma once
+
+#include <vector>
+
+namespace dadu::acc {
+
+struct IterationTrace {
+  int iteration = 0;               ///< 1-based Quick-IK iteration index
+  long long spu_cycles = 0;        ///< serial process this iteration
+  long long wave_cycles = 0;       ///< all speculative waves
+  long long cumulative_cycles = 0; ///< running total at iteration end
+  double error = 0.0;              ///< task error after selection
+  double alpha_base = 0.0;         ///< Eq. 8 base step this iteration
+  int selected_k = 0;              ///< which speculation won (1-based)
+};
+
+using SolveTrace = std::vector<IterationTrace>;
+
+}  // namespace dadu::acc

@@ -1,0 +1,72 @@
+#include "dadu/ikacc/tree_accelerator.hpp"
+
+#include "dadu/ikacc/energy.hpp"
+#include "dadu/ikacc/scheduler.hpp"
+#include "dadu/ikacc/selector.hpp"
+#include "dadu/ikacc/spu.hpp"
+#include "dadu/ikacc/ssu.hpp"
+
+namespace dadu::acc {
+
+TreeIkAccelerator::TreeIkAccelerator(kin::Tree tree, ik::SolveOptions options,
+                                     AccConfig config)
+    : solver_(std::move(tree), options), config_(config) {}
+
+ik::TreeSolveResult TreeIkAccelerator::solve(
+    const std::vector<linalg::Vec3>& targets, const linalg::VecX& seed) {
+  // Functional result from the software solver (the simulator's cycle
+  // account is a pure overlay: same iterate trajectory by
+  // construction).
+  const ik::TreeSolveResult result = solver_.solve(targets, seed);
+
+  const std::size_t dof = solver_.tree().dof();
+  const std::size_t ees = solver_.tree().endEffectorCount();
+  const std::size_t max_spec =
+      static_cast<std::size_t>(solver_.options().speculations);
+  const auto waves = scheduleWaves(max_spec, config_.num_ssus);
+
+  // Unit costs.  SPU: one pipeline pass over all nodes; the stacked
+  // epilogue does E 3-dots instead of one.
+  SpuCost spu = spuIteration(config_, dof);
+  spu.cycles += static_cast<long long>(ees - 1) * config_.alpha_epilogue_cycles;
+  spu.ops.mul += 6 * static_cast<long long>(ees - 1);
+  spu.ops.add += 4 * static_cast<long long>(ees - 1);
+
+  // SSU: whole-tree FK plus one error block per end effector.
+  SsuCost ssu = ssuSpeculation(config_, dof);
+  ssu.cycles += static_cast<long long>(ees - 1) * config_.error_cycles;
+  ssu.ops.add += 5 * static_cast<long long>(ees - 1);
+  ssu.ops.mul += 3 * static_cast<long long>(ees - 1);
+  ssu.ops.sqrt_ += static_cast<long long>(ees - 1);
+
+  stats_ = AccStats{};
+  stats_.waves_per_iteration = static_cast<int>(waves.size());
+  stats_.iterations = result.iterations;
+
+  // Iterations that ran the full speculative phase; the final
+  // converged check costs one SPU pass.
+  const long long full_iters = result.iterations;
+  stats_.spu_cycles = (full_iters + 1) * spu.cycles;
+  stats_.total_cycles = stats_.spu_cycles;
+  for (long long i = 0; i < full_iters + 1; ++i) stats_.ops += spu.ops;
+
+  for (long long i = 0; i < full_iters; ++i) {
+    for (const Wave& wave : waves) {
+      const long long bcast = broadcastCycles(config_);
+      const long long sel = selectorWaveCycles(config_, wave.count);
+      stats_.scheduler_cycles += bcast;
+      stats_.ssu_cycles += ssu.cycles;
+      stats_.selector_cycles += sel;
+      stats_.total_cycles += bcast + ssu.cycles + sel;
+      stats_.ssu_busy_cycles +=
+          ssu.cycles * static_cast<long long>(wave.count);
+      for (std::size_t u = 0; u < wave.count; ++u) stats_.ops += ssu.ops;
+      stats_.ops.add += static_cast<long long>(wave.count);
+    }
+  }
+
+  finalizeEnergy(config_, stats_);
+  return result;
+}
+
+}  // namespace dadu::acc

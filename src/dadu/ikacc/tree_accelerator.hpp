@@ -1,0 +1,36 @@
+// IKAcc generalised to kinematic trees (future-work extension).
+//
+// The datapath story is unchanged: the per-iteration serial head walks
+// every joint once (the tree has N nodes regardless of branching), and
+// each speculative search evaluates the whole-tree FK — the SSU's FKU
+// chain is as long as the node count, with one error block per end
+// effector feeding the Parameter Selector.  The stacked task dimension
+// only widens the (cheap) alpha epilogue.  Functional behaviour is
+// exactly QuickIkTreeSolver (asserted by tests).
+#pragma once
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/stats.hpp"
+#include "dadu/solvers/quick_ik_tree.hpp"
+
+namespace dadu::acc {
+
+class TreeIkAccelerator {
+ public:
+  TreeIkAccelerator(kin::Tree tree, ik::SolveOptions options,
+                    AccConfig config = {});
+
+  ik::TreeSolveResult solve(const std::vector<linalg::Vec3>& targets,
+                            const linalg::VecX& seed);
+
+  const kin::Tree& tree() const { return solver_.tree(); }
+  const AccConfig& config() const { return config_; }
+  const AccStats& lastStats() const { return stats_; }
+
+ private:
+  ik::QuickIkTreeSolver solver_;
+  AccConfig config_;
+  AccStats stats_;
+};
+
+}  // namespace dadu::acc

@@ -1,0 +1,56 @@
+#include "dadu/kinematics/analytic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu::kin {
+
+std::vector<linalg::VecX> planar2RInverse(double l1, double l2,
+                                          const linalg::Vec3& target,
+                                          double tol) {
+  const double x = target.x;
+  const double y = target.y;
+  const double r2 = x * x + y * y;
+  const double r = std::sqrt(r2);
+
+  std::vector<linalg::VecX> solutions;
+  const double reach = l1 + l2;
+  const double inner = std::abs(l1 - l2);
+  if (r > reach + tol || r < inner - tol) return solutions;  // unreachable
+
+  // Law of cosines for the elbow.
+  const double c2 =
+      std::clamp((r2 - l1 * l1 - l2 * l2) / (2.0 * l1 * l2), -1.0, 1.0);
+  const double s2 = std::sqrt(std::max(0.0, 1.0 - c2 * c2));
+
+  const auto solution = [&](double sign) {
+    const double q2 = std::atan2(sign * s2, c2);
+    const double q1 =
+        std::atan2(y, x) - std::atan2(l2 * std::sin(q2), l1 + l2 * std::cos(q2));
+    return linalg::VecX{q1, q2};
+  };
+
+  solutions.push_back(solution(+1.0));
+  // The two branches coincide when the elbow is straight.  Near the
+  // boundary c2 = 1 - eps gives s2 ~ sqrt(2 eps), so the merge
+  // threshold on s2 is sqrt(2 tol), not tol.
+  if (s2 > std::sqrt(2.0 * tol)) solutions.push_back(solution(-1.0));
+  return solutions;
+}
+
+std::vector<linalg::VecX> planar2RInverse(const Chain& chain,
+                                          const linalg::Vec3& target,
+                                          double tol) {
+  if (chain.dof() != 2)
+    throw std::invalid_argument("planar2RInverse: chain is not 2-DOF");
+  for (const Joint& j : chain.joints()) {
+    if (j.type != JointType::kRevolute || j.dh.alpha != 0.0 ||
+        j.dh.d != 0.0 || j.dh.theta != 0.0)
+      throw std::invalid_argument("planar2RInverse: chain is not planar 2R");
+  }
+  return planar2RInverse(chain.joint(0).dh.a, chain.joint(1).dh.a, target,
+                         tol);
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,29 @@
+// Closed-form IK for the planar 2R arm — the "algebraic and geometric
+// methods" family of the paper's related work (usable only for
+// special manipulators with finite, fixed solutions), implemented both
+// as a baseline of that family and as an exact oracle the numeric
+// solvers are tested against.
+#pragma once
+
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::kin {
+
+/// Joint-angle solutions (elbow-down / elbow-up) of a planar 2R arm
+/// with link lengths l1, l2 for an in-plane target (z ignored).
+/// Returns 0 solutions out of reach, 1 at the boundary (within `tol`),
+/// 2 in the interior.
+std::vector<linalg::VecX> planar2RInverse(double l1, double l2,
+                                          const linalg::Vec3& target,
+                                          double tol = 1e-12);
+
+/// Convenience overload taking a makePlanar(2, L)-style chain;
+/// throws std::invalid_argument if the chain is not a planar 2R arm.
+std::vector<linalg::VecX> planar2RInverse(const Chain& chain,
+                                          const linalg::Vec3& target,
+                                          double tol = 1e-12);
+
+}  // namespace dadu::kin

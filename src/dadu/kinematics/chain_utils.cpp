@@ -1,0 +1,40 @@
+#include "dadu/kinematics/chain_utils.hpp"
+
+#include <stdexcept>
+
+namespace dadu::kin {
+
+Chain appendChains(const Chain& base, const Chain& tip,
+                   const std::string& name) {
+  std::vector<Joint> joints = base.joints();
+  joints.insert(joints.end(), tip.joints().begin(), tip.joints().end());
+  return Chain(std::move(joints),
+               name.empty() ? base.name() + "+" + tip.name() : name,
+               base.base());
+}
+
+Chain subChain(const Chain& chain, std::size_t first, std::size_t last,
+               const std::string& name) {
+  if (first >= last || last > chain.dof())
+    throw std::out_of_range("subChain: invalid span [" +
+                            std::to_string(first) + ", " +
+                            std::to_string(last) + ") of " +
+                            std::to_string(chain.dof()) + " joints");
+  std::vector<Joint> joints(chain.joints().begin() + static_cast<long>(first),
+                            chain.joints().begin() + static_cast<long>(last));
+  return Chain(std::move(joints),
+               name.empty() ? chain.name() + "[" + std::to_string(first) +
+                                  ":" + std::to_string(last) + "]"
+                            : name);
+}
+
+Chain withUniformLimits(const Chain& chain, double min, double max) {
+  std::vector<Joint> joints = chain.joints();
+  for (Joint& j : joints) {
+    j.min = min;
+    j.max = max;
+  }
+  return Chain(std::move(joints), chain.name() + "-limited", chain.base());
+}
+
+}  // namespace dadu::kin

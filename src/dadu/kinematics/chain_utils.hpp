@@ -1,0 +1,29 @@
+// Chain composition and slicing utilities — the mechanical operations
+// a robot-description pipeline needs (mount a tool/arm on a torso,
+// analyse a wrist in isolation).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "dadu/kinematics/chain.hpp"
+
+namespace dadu::kin {
+
+/// Serial composition: `tip`'s joints appended after `base`'s (tip's
+/// own base transform is folded into its first joint's parent frame by
+/// construction order — callers needing an inter-chain fixed offset
+/// should bake it into tip's first DH row).  Keeps all limits.
+Chain appendChains(const Chain& base, const Chain& tip,
+                   const std::string& name = "");
+
+/// The sub-chain spanning joints [first, last) of `chain`, expressed
+/// in joint first's parent frame.  Throws std::out_of_range on an
+/// empty or out-of-bounds span.
+Chain subChain(const Chain& chain, std::size_t first, std::size_t last,
+               const std::string& name = "");
+
+/// A copy of `chain` with every joint's limits replaced.
+Chain withUniformLimits(const Chain& chain, double min, double max);
+
+}  // namespace dadu::kin

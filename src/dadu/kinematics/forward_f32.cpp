@@ -1,0 +1,105 @@
+#include "dadu/kinematics/forward_f32.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::kin {
+namespace {
+
+// Minimal float 4x4 machinery, local to this unit: the point is that
+// *every* intermediate is a float, so reusing the double Mat4 would
+// defeat the purpose.
+struct Mat4f {
+  float m[4][4] = {};
+
+  static Mat4f identity() {
+    Mat4f r;
+    for (int i = 0; i < 4; ++i) r.m[i][i] = 1.0f;
+    return r;
+  }
+};
+
+Mat4f mul(const Mat4f& a, const Mat4f& b) {
+  Mat4f r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      float s = 0.0f;
+      for (int k = 0; k < 4; ++k) s += a.m[i][k] * b.m[k][j];
+      r.m[i][j] = s;
+    }
+  return r;
+}
+
+Mat4f fromDouble(const linalg::Mat4& a) {
+  Mat4f r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r.m[i][j] = static_cast<float>(a(i, j));
+  return r;
+}
+
+Mat4f dhTransformF32(const Joint& joint, float q) {
+  const auto& p = joint.dh;
+  float ct, st, ca, sa, a_len, d_len;
+  if (joint.type == JointType::kRevolute) {
+    ct = std::cos(static_cast<float>(p.theta) + q);
+    st = std::sin(static_cast<float>(p.theta) + q);
+    ca = std::cos(static_cast<float>(p.alpha));
+    sa = std::sin(static_cast<float>(p.alpha));
+    a_len = static_cast<float>(p.a);
+    d_len = static_cast<float>(p.d);
+  } else {
+    ct = std::cos(static_cast<float>(p.theta));
+    st = std::sin(static_cast<float>(p.theta));
+    ca = std::cos(static_cast<float>(p.alpha));
+    sa = std::sin(static_cast<float>(p.alpha));
+    a_len = static_cast<float>(p.a);
+    d_len = static_cast<float>(p.d) + q;
+  }
+  Mat4f t;
+  t.m[0][0] = ct;   t.m[0][1] = -st * ca; t.m[0][2] = st * sa;  t.m[0][3] = a_len * ct;
+  t.m[1][0] = st;   t.m[1][1] = ct * ca;  t.m[1][2] = -ct * sa; t.m[1][3] = a_len * st;
+  t.m[2][0] = 0.0f; t.m[2][1] = sa;       t.m[2][2] = ca;       t.m[2][3] = d_len;
+  t.m[3][0] = 0.0f; t.m[3][1] = 0.0f;     t.m[3][2] = 0.0f;     t.m[3][3] = 1.0f;
+  return t;
+}
+
+}  // namespace
+
+linalg::Vec3 endEffectorPositionF32(const Chain& chain,
+                                    const linalg::VecX& q) {
+  chain.requireSize(q);
+  Mat4f t = fromDouble(chain.base());
+  for (std::size_t i = 0; i < chain.dof(); ++i)
+    t = mul(t, dhTransformF32(chain.joint(i), static_cast<float>(q[i])));
+  return {static_cast<double>(t.m[0][3]), static_cast<double>(t.m[1][3]),
+          static_cast<double>(t.m[2][3])};
+}
+
+double fkF32MaxDeviation(const Chain& chain, int samples,
+                         std::uint64_t seed) {
+  // Inline SplitMix64 (kinematics must not depend on workload).
+  std::uint64_t state = seed;
+  const auto uniform_angle = [&state] {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return (2.0 * u - 1.0) * std::numbers::pi;
+  };
+
+  double worst = 0.0;
+  linalg::VecX q(chain.dof());
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < q.size(); ++i)
+      q[i] = chain.joint(i).clamp(uniform_angle());
+    const linalg::Vec3 fine = endEffectorPosition(chain, q);
+    const linalg::Vec3 coarse = endEffectorPositionF32(chain, q);
+    worst = std::max(worst, (fine - coarse).norm());
+  }
+  return worst;
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,28 @@
+// Single-precision forward kinematics.
+//
+// An HLS-generated accelerator datapath would plausibly be built from
+// FP32 (or narrower) multipliers rather than FP64 — at 65 nm an FP32
+// multiplier is ~4x smaller and lower-energy.  This evaluates f(theta)
+// with every intermediate held in float, exactly as a 32-bit FKU
+// would, so the precision ablation can measure whether the paper's
+// 1e-2 m accuracy target survives a single-precision datapath (it
+// does, with orders of magnitude to spare — see ablation_precision).
+#pragma once
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// End-effector position with all FK arithmetic performed in float.
+/// The result is widened to double only at the very end.
+linalg::Vec3 endEffectorPositionF32(const Chain& chain,
+                                    const linalg::VecX& q);
+
+/// Worst-case deviation between the f32 and f64 FK over `samples`
+/// random configurations (diagnostic used by tests and the ablation).
+double fkF32MaxDeviation(const Chain& chain, int samples,
+                         std::uint64_t seed = 7);
+
+}  // namespace dadu::kin

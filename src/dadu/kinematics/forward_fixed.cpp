@@ -1,0 +1,124 @@
+#include "dadu/kinematics/forward_fixed.hpp"
+
+#include <array>
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::kin {
+namespace {
+
+using Raw = std::int64_t;
+
+// 4x4 matrix of raw fixed-point values.
+struct Mat4q {
+  std::array<std::array<Raw, 4>, 4> m{};
+};
+
+Mat4q identity(const linalg::FixedFormat& fmt) {
+  Mat4q r;
+  for (int i = 0; i < 4; ++i) r.m[i][i] = fmt.one();
+  return r;
+}
+
+Mat4q fromDouble(const linalg::FixedFormat& fmt, const linalg::Mat4& a) {
+  Mat4q r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) r.m[i][j] = fmt.fromDouble(a(i, j));
+  return r;
+}
+
+Mat4q mul(const linalg::FixedFormat& fmt, const Mat4q& a, const Mat4q& b) {
+  Mat4q r;
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j) {
+      Raw s = 0;
+      for (int k = 0; k < 4; ++k) s += fmt.mul(a.m[i][k], b.m[k][j]);
+      r.m[i][j] = s;
+    }
+  return r;
+}
+
+Mat4q dhTransformFixed(const linalg::FixedFormat& fmt, const Joint& joint,
+                       double q) {
+  const DhParam& p = joint.dh;
+  Raw ct, st;
+  double d_len = p.d;
+  double joint_angle = p.theta;
+  if (joint.type == JointType::kRevolute) {
+    joint_angle += q;
+  } else {
+    d_len += q;
+  }
+  {
+    const linalg::FixedSinCos sc = linalg::cordicSinCosFixed(fmt, joint_angle);
+    ct = sc.cos_raw;
+    st = sc.sin_raw;
+  }
+  // The twist alpha is a robot constant: its sin/cos would be a stored
+  // coefficient in hardware, quantised once.
+  const Raw ca = fmt.fromDouble(std::cos(p.alpha));
+  const Raw sa = fmt.fromDouble(std::sin(p.alpha));
+  const Raw a_len = fmt.fromDouble(p.a);
+
+  Mat4q t;
+  t.m[0][0] = ct;
+  t.m[0][1] = -fmt.mul(st, ca);
+  t.m[0][2] = fmt.mul(st, sa);
+  t.m[0][3] = fmt.mul(a_len, ct);
+  t.m[1][0] = st;
+  t.m[1][1] = fmt.mul(ct, ca);
+  t.m[1][2] = -fmt.mul(ct, sa);
+  t.m[1][3] = fmt.mul(a_len, st);
+  t.m[2][0] = 0;
+  t.m[2][1] = sa;
+  t.m[2][2] = ca;
+  t.m[2][3] = fmt.fromDouble(d_len);
+  t.m[3][0] = 0;
+  t.m[3][1] = 0;
+  t.m[3][2] = 0;
+  t.m[3][3] = fmt.one();
+  return t;
+}
+
+}  // namespace
+
+linalg::Vec3 endEffectorPositionFixed(const Chain& chain,
+                                      const linalg::VecX& q,
+                                      const linalg::FixedFormat& fmt) {
+  chain.requireSize(q);
+  Mat4q t = chain.base() == linalg::Mat4::identity()
+                ? identity(fmt)
+                : fromDouble(fmt, chain.base());
+  for (std::size_t i = 0; i < chain.dof(); ++i)
+    t = mul(fmt, t, dhTransformFixed(fmt, chain.joint(i), q[i]));
+  return {fmt.toDouble(t.m[0][3]), fmt.toDouble(t.m[1][3]),
+          fmt.toDouble(t.m[2][3])};
+}
+
+double fkFixedMaxDeviation(const Chain& chain, const linalg::FixedFormat& fmt,
+                           int samples, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  const auto uniform_angle = [&state] {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    const double u = static_cast<double>(z >> 11) * 0x1.0p-53;
+    return (2.0 * u - 1.0) * std::numbers::pi;
+  };
+
+  double worst = 0.0;
+  linalg::VecX q(chain.dof());
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < q.size(); ++i)
+      q[i] = chain.joint(i).clamp(uniform_angle());
+    const linalg::Vec3 fine = endEffectorPosition(chain, q);
+    const linalg::Vec3 coarse = endEffectorPositionFixed(chain, q, fmt);
+    worst = std::max(worst, (fine - coarse).norm());
+  }
+  return worst;
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,27 @@
+// Fixed-point forward kinematics: the FK chain evaluated entirely in a
+// Qm.n datapath with CORDIC trigonometry — the word-length study an
+// ASIC team would run before committing the FKU's arithmetic.
+//
+// Positions, rotation entries and all 4x4-product intermediates are
+// held as int64 raw values in the chosen format; only the final
+// position is converted back to double.
+#pragma once
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/fixed_point.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// End-effector position computed in the given fixed-point format.
+linalg::Vec3 endEffectorPositionFixed(const Chain& chain,
+                                      const linalg::VecX& q,
+                                      const linalg::FixedFormat& fmt);
+
+/// Worst-case deviation from the double FK over `samples` random
+/// configurations — the word-length sweep's y-axis.
+double fkFixedMaxDeviation(const Chain& chain, const linalg::FixedFormat& fmt,
+                           int samples, std::uint64_t seed = 7);
+
+}  // namespace dadu::kin

@@ -1,0 +1,97 @@
+#include "dadu/kinematics/jacobian_full.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::kin {
+
+Pose endEffectorPose(const Chain& chain, const linalg::VecX& q) {
+  const linalg::Mat4 t = forwardKinematics(chain, q);
+  return {t.position(), t.rotation()};
+}
+
+void fullJacobian(const Chain& chain, const linalg::VecX& q, linalg::MatX& j,
+                  std::vector<linalg::Mat4>& frames, Pose& ee) {
+  chain.requireSize(q);
+  const std::size_t n = chain.dof();
+  if (j.rows() != 6 || j.cols() != n) j = linalg::MatX(6, n);
+
+  linkFrames(chain, q, frames);
+  ee.position = frames.back().position();
+  ee.orientation = frames.back().rotation();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const linalg::Mat4& prev = i == 0 ? chain.base() : frames[i - 1];
+    const linalg::Vec3 z = prev.rotation().col(2);
+    linalg::Vec3 lin, ang;
+    if (chain.joint(i).type == JointType::kRevolute) {
+      lin = z.cross(ee.position - prev.position());
+      ang = z;
+    } else {
+      lin = z;
+      ang = linalg::Vec3::zero();
+    }
+    j(0, i) = lin.x;
+    j(1, i) = lin.y;
+    j(2, i) = lin.z;
+    j(3, i) = ang.x;
+    j(4, i) = ang.y;
+    j(5, i) = ang.z;
+  }
+}
+
+linalg::MatX fullJacobian(const Chain& chain, const linalg::VecX& q) {
+  linalg::MatX j;
+  std::vector<linalg::Mat4> frames;
+  Pose ee;
+  fullJacobian(chain, q, j, frames, ee);
+  return j;
+}
+
+linalg::Vec3 orientationError(const linalg::Mat3& current,
+                              const linalg::Mat3& target) {
+  // Relative rotation in the base frame: R_err = R_target R_current^T.
+  const linalg::Mat3 rel = target * current.transposed();
+  // Rotation-vector (log map).  axis * sin(angle) is the skew part:
+  const linalg::Vec3 skew{(rel(2, 1) - rel(1, 2)) / 2.0,
+                          (rel(0, 2) - rel(2, 0)) / 2.0,
+                          (rel(1, 0) - rel(0, 1)) / 2.0};
+  const double c = std::clamp((rel.trace() - 1.0) / 2.0, -1.0, 1.0);
+  const double s = skew.norm();
+  const double angle = std::atan2(s, c);
+  if (s < 1e-12) {
+    // angle ~ 0 (skew vanishes, error negligible) or angle ~ pi (skew
+    // vanishes but c ~ -1: extract the axis from the symmetric part).
+    if (c > 0.0) return skew;  // first-order accurate near identity
+    // R = 2 vv^T - I for a half-turn about unit v.
+    linalg::Vec3 axis{std::sqrt(std::max(0.0, (rel(0, 0) + 1.0) / 2.0)),
+                      std::sqrt(std::max(0.0, (rel(1, 1) + 1.0) / 2.0)),
+                      std::sqrt(std::max(0.0, (rel(2, 2) + 1.0) / 2.0))};
+    // Fix signs using the largest component.
+    if (axis.x >= axis.y && axis.x >= axis.z) {
+      if (rel(0, 1) < 0.0) axis.y = -axis.y;
+      if (rel(0, 2) < 0.0) axis.z = -axis.z;
+    } else if (axis.y >= axis.z) {
+      if (rel(0, 1) < 0.0) axis.x = -axis.x;
+      if (rel(1, 2) < 0.0) axis.z = -axis.z;
+    } else {
+      if (rel(0, 2) < 0.0) axis.x = -axis.x;
+      if (rel(1, 2) < 0.0) axis.y = -axis.y;
+    }
+    return axis.normalized() * angle;
+  }
+  return skew * (angle / s);
+}
+
+linalg::VecX poseError(const Pose& current, const Pose& target,
+                       double rotation_weight) {
+  const linalg::Vec3 ep = target.position - current.position;
+  const linalg::Vec3 eo =
+      orientationError(current.orientation, target.orientation) *
+      rotation_weight;
+  return linalg::VecX{ep.x, ep.y, ep.z, eo.x, eo.y, eo.z};
+}
+
+}  // namespace dadu::kin

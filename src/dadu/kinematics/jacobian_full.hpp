@@ -1,0 +1,51 @@
+// Full geometric Jacobian (6 x N) and pose error — the orientation
+// extension of the paper's position-only pipeline.
+//
+// The paper evaluates position IK (X is a 3-vector), but any real
+// manipulator controller also commands orientation.  The transpose
+// method generalises verbatim: stack the angular rows under the linear
+// rows and feed the 6-dimensional task error through the same
+// machinery.  Rows 0-2 are the position Jacobian of jacobian.hpp; rows
+// 3-5 are the angular Jacobian (z_{i-1} for revolute joints, 0 for
+// prismatic).
+#pragma once
+
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// A task-space pose target/measurement.
+struct Pose {
+  linalg::Vec3 position;
+  linalg::Mat3 orientation = linalg::Mat3::identity();
+};
+
+/// Pose of the end effector at q.
+Pose endEffectorPose(const Chain& chain, const linalg::VecX& q);
+
+/// Compute the 6 x N geometric Jacobian into `j` (rows 0-2 linear,
+/// rows 3-5 angular), plus the end-effector pose of the same FK pass.
+void fullJacobian(const Chain& chain, const linalg::VecX& q, linalg::MatX& j,
+                  std::vector<linalg::Mat4>& frames, Pose& ee);
+
+/// Allocating convenience overload.
+linalg::MatX fullJacobian(const Chain& chain, const linalg::VecX& q);
+
+/// Rotation-vector (axis * angle) form of the rotation taking
+/// `current` to `target`: the angular task error the angular Jacobian
+/// rows are conjugate to.  Magnitude equals the geodesic angle.
+linalg::Vec3 orientationError(const linalg::Mat3& current,
+                              const linalg::Mat3& target);
+
+/// Stacked 6-vector task error [position; rotation_weight * angular].
+/// `rotation_weight` converts radians to the metre scale of the
+/// position rows so one accuracy threshold can govern both.
+linalg::VecX poseError(const Pose& current, const Pose& target,
+                       double rotation_weight);
+
+}  // namespace dadu::kin

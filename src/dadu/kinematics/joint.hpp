@@ -1,0 +1,55 @@
+// Joint description: type and limits.
+#pragma once
+
+#include <limits>
+#include <numbers>
+
+#include "dadu/kinematics/dh.hpp"
+
+namespace dadu::kin {
+
+enum class JointType {
+  kRevolute,   ///< variable = rotation about z_{i-1}
+  kPrismatic,  ///< variable = translation along z_{i-1}
+};
+
+/// One joint of a serial chain: DH row + type + motion limits.
+struct Joint {
+  JointType type = JointType::kRevolute;
+  DhParam dh;
+  /// Joint-variable limits (rad or m).  Defaults are unlimited, which
+  /// matches the paper's evaluation (free serpentine chains); presets
+  /// with physical limits set them explicitly.
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+
+  bool hasLimits() const {
+    return min > -std::numeric_limits<double>::infinity() ||
+           max < std::numeric_limits<double>::infinity();
+  }
+
+  /// {i-1}T_i at joint variable q.
+  linalg::Mat4 transform(double q) const {
+    return type == JointType::kRevolute ? dhTransformRevolute(dh, q)
+                                        : dhTransformPrismatic(dh, q);
+  }
+
+  /// Clamp q into [min, max].
+  double clamp(double q) const {
+    if (q < min) return min;
+    if (q > max) return max;
+    return q;
+  }
+};
+
+/// Convenience constructors.
+inline Joint revolute(DhParam dh,
+                      double min = -std::numeric_limits<double>::infinity(),
+                      double max = std::numeric_limits<double>::infinity()) {
+  return Joint{JointType::kRevolute, dh, min, max};
+}
+inline Joint prismatic(DhParam dh, double min, double max) {
+  return Joint{JointType::kPrismatic, dh, min, max};
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,37 @@
+#include "dadu/kinematics/metrics.hpp"
+
+#include <cmath>
+
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/linalg/svd.hpp"
+
+namespace dadu::kin {
+
+double manipulability(const linalg::MatX& jacobian) {
+  const linalg::Svd svd = linalg::svdJacobi(jacobian);
+  double product = 1.0;
+  for (std::size_t i = 0; i < svd.s.size(); ++i) product *= svd.s[i];
+  return std::abs(product);  // = sqrt(det(J J^T)) for full row rank
+}
+
+double isotropyIndex(const linalg::MatX& jacobian) {
+  const linalg::Svd svd = linalg::svdJacobi(jacobian);
+  if (svd.s.size() == 0 || svd.s[0] <= 0.0) return 0.0;
+  return svd.s[svd.s.size() - 1] / svd.s[0];
+}
+
+ConditioningReport conditioningAt(const Chain& chain, const linalg::VecX& q) {
+  const linalg::MatX j = positionJacobian(chain, q);
+  const linalg::Svd svd = linalg::svdJacobi(j);
+  ConditioningReport report;
+  double product = 1.0;
+  for (std::size_t i = 0; i < svd.s.size(); ++i) product *= svd.s[i];
+  report.manipulability = std::abs(product);
+  report.sigma_max = svd.s.size() ? svd.s[0] : 0.0;
+  report.sigma_min = svd.s.size() ? svd.s[svd.s.size() - 1] : 0.0;
+  report.isotropy =
+      report.sigma_max > 0.0 ? report.sigma_min / report.sigma_max : 0.0;
+  return report;
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,28 @@
+// Kinematic conditioning metrics: the standard dexterity measures a
+// controller consults to stay away from singular regions (where every
+// first-order IK method, including Quick-IK, slows down or stalls).
+#pragma once
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/matx.hpp"
+
+namespace dadu::kin {
+
+/// Yoshikawa manipulability sqrt(det(J J^T)): volume of the velocity
+/// ellipsoid; 0 exactly at singular configurations.
+double manipulability(const linalg::MatX& jacobian);
+
+/// sigma_min / sigma_max of J, in [0, 1]: 1 = isotropic velocity
+/// ellipsoid, 0 = singular.
+double isotropyIndex(const linalg::MatX& jacobian);
+
+/// Convenience: both metrics at a configuration.
+struct ConditioningReport {
+  double manipulability = 0.0;
+  double isotropy = 0.0;
+  double sigma_min = 0.0;
+  double sigma_max = 0.0;
+};
+ConditioningReport conditioningAt(const Chain& chain, const linalg::VecX& q);
+
+}  // namespace dadu::kin

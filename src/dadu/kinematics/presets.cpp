@@ -1,0 +1,114 @@
+#include "dadu/kinematics/presets.hpp"
+
+#include <numbers>
+#include <string>
+#include <vector>
+
+namespace dadu::kin {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Minimal inline SplitMix64 so presets do not depend on the workload
+// library (which depends on kinematics).
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform() {  // [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+};
+
+}  // namespace
+
+Chain makeSerpentine(std::size_t dof, double link_length) {
+  std::vector<Joint> joints;
+  joints.reserve(dof);
+  for (std::size_t i = 0; i < dof; ++i) {
+    const double twist = (i % 2 == 0) ? kPi / 2.0 : -kPi / 2.0;
+    joints.push_back(revolute({link_length, twist, 0.0, 0.0}));
+  }
+  return Chain(std::move(joints),
+               "serpentine-" + std::to_string(dof) + "dof");
+}
+
+Chain makePlanar(std::size_t dof, double link_length) {
+  std::vector<Joint> joints;
+  joints.reserve(dof);
+  for (std::size_t i = 0; i < dof; ++i)
+    joints.push_back(revolute({link_length, 0.0, 0.0, 0.0}));
+  return Chain(std::move(joints), "planar-" + std::to_string(dof) + "dof");
+}
+
+Chain makePuma560() {
+  // Classic PUMA 560 DH table (Craig parameters adapted to the distal
+  // convention used by dhTransformRevolute), lengths in metres.
+  std::vector<Joint> joints = {
+      revolute({0.0, kPi / 2.0, 0.0, 0.0}, -2.79, 2.79),
+      revolute({0.4318, 0.0, 0.0, 0.0}, -3.93, 0.79),
+      revolute({0.0203, -kPi / 2.0, 0.15005, 0.0}, -0.79, 3.93),
+      revolute({0.0, kPi / 2.0, 0.4318, 0.0}, -1.92, 2.97),
+      revolute({0.0, -kPi / 2.0, 0.0, 0.0}, -1.75, 1.75),
+      revolute({0.0, 0.0, 0.0563, 0.0}, -4.64, 4.64),
+  };
+  return Chain(std::move(joints), "puma560");
+}
+
+Chain makeKukaIiwa() {
+  // LBR iiwa 14 R820 DH table (distal convention), lengths in metres,
+  // limits from the datasheet.
+  const double d1 = 0.340, d3 = 0.400, d5 = 0.400, d7 = 0.126;
+  const double deg = kPi / 180.0;
+  std::vector<Joint> joints = {
+      revolute({0.0, -kPi / 2.0, d1, 0.0}, -170 * deg, 170 * deg),
+      revolute({0.0, kPi / 2.0, 0.0, 0.0}, -120 * deg, 120 * deg),
+      revolute({0.0, kPi / 2.0, d3, 0.0}, -170 * deg, 170 * deg),
+      revolute({0.0, -kPi / 2.0, 0.0, 0.0}, -120 * deg, 120 * deg),
+      revolute({0.0, -kPi / 2.0, d5, 0.0}, -170 * deg, 170 * deg),
+      revolute({0.0, kPi / 2.0, 0.0, 0.0}, -120 * deg, 120 * deg),
+      revolute({0.0, 0.0, d7, 0.0}, -175 * deg, 175 * deg),
+  };
+  return Chain(std::move(joints), "kuka-iiwa14");
+}
+
+Chain makeTentacle(std::size_t segments, double segment_length) {
+  // Each segment: a 2-DOF universal joint (pitch then yaw about
+  // orthogonal axes at the same origin) followed by a rigid link.
+  std::vector<Joint> joints;
+  joints.reserve(2 * segments);
+  for (std::size_t s = 0; s < segments; ++s) {
+    joints.push_back(revolute({0.0, kPi / 2.0, 0.0, 0.0}));
+    joints.push_back(revolute({segment_length, -kPi / 2.0, 0.0, 0.0}));
+  }
+  return Chain(std::move(joints),
+               "tentacle-" + std::to_string(segments) + "seg");
+}
+
+Chain makeRandomChain(std::size_t dof, std::uint64_t seed) {
+  SplitMix64 rng{seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL};
+  constexpr double kTwists[] = {0.0, kPi / 2.0, -kPi / 2.0, kPi / 4.0,
+                                -kPi / 4.0};
+  std::vector<Joint> joints;
+  joints.reserve(dof);
+  for (std::size_t i = 0; i < dof; ++i) {
+    DhParam p;
+    p.a = rng.uniform(0.05, 0.15);
+    p.alpha = kTwists[rng.below(5)];
+    // ~20% of joints get a link offset to break planar degeneracies.
+    p.d = rng.below(5) == 0 ? rng.uniform(-0.05, 0.05) : 0.0;
+    p.theta = 0.0;
+    joints.push_back(revolute(p));
+  }
+  return Chain(std::move(joints),
+               "random-" + std::to_string(dof) + "dof-s" +
+                   std::to_string(seed));
+}
+
+}  // namespace dadu::kin

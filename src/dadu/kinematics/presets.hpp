@@ -1,0 +1,54 @@
+// Preset manipulators.
+//
+// The paper evaluates "multiple manipulators with various degrees of
+// freedom: 12-DOF, 25-DOF, 50-DOF, 75-DOF and 100-DOF" without giving
+// their geometry.  We use a serpentine chain (revolute joints with
+// alternating +-90 degree link twists, equal link lengths) — the
+// standard high-DOF test articulation (snake robots, tentacle
+// manipulators) whose workspace is a ball and whose Jacobian stays
+// generically full-rank, matching the paper's setup where every DOF
+// count has solvable random targets.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dadu/kinematics/chain.hpp"
+
+namespace dadu::kin {
+
+/// Serpentine chain: `dof` revolute joints, link length `link_length`,
+/// link twists alternating +pi/2 / -pi/2 so consecutive joints rotate
+/// about orthogonal axes (full 3-D dexterity).  Reach = dof *
+/// link_length.
+Chain makeSerpentine(std::size_t dof, double link_length = 0.1);
+
+/// Planar N-link arm (all motion in the base xy-plane).  FK has the
+/// textbook closed form x = sum L cos(cumulative theta), y = sum L sin;
+/// the test suite checks our generic FK against it.
+Chain makePlanar(std::size_t dof, double link_length = 0.1);
+
+/// A 6-DOF PUMA-560-class arm with the classic DH table and physical
+/// joint limits; the realistic low-DOF example robot.
+Chain makePuma560();
+
+/// A 7-DOF KUKA LBR iiwa 14-class redundant arm (the modern cobot the
+/// paper's KUKA ping-pong anecdote evokes), with physical limits.
+Chain makeKukaIiwa();
+
+/// A discretised continuum "tentacle": `segments` universal joints
+/// (two orthogonal revolute axes sharing an origin) separated by
+/// `segment_length` links — 2*segments DOF.  The kind of
+/// hyper-redundant mechanism the paper's 44-DOF Valkyrie reference
+/// points at.
+Chain makeTentacle(std::size_t segments, double segment_length = 0.08);
+
+/// Randomised serial chain: link lengths in [0.05, 0.15] m, twists in
+/// {0, +-pi/2, +-pi/4}, occasional link offsets.  Deterministic per
+/// `seed`; property tests sweep seeds.
+Chain makeRandomChain(std::size_t dof, std::uint64_t seed);
+
+/// The paper's evaluated DOF ladder {12, 25, 50, 75, 100}.
+inline constexpr std::size_t kPaperDofLadder[] = {12, 25, 50, 75, 100};
+
+}  // namespace dadu::kin

@@ -1,0 +1,124 @@
+#include "dadu/kinematics/robot_io.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace dadu::kin {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("robot description line " + std::to_string(line) +
+                           ": " + msg);
+}
+
+double parseNumber(int line, const std::string& key, const std::string& val) {
+  try {
+    std::size_t consumed = 0;
+    const double v = std::stod(val, &consumed);
+    if (consumed != val.size()) throw std::invalid_argument("trailing");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "bad numeric value for '" + key + "': '" + val + "'");
+  }
+}
+
+Joint parseJoint(int line, std::istringstream& rest) {
+  std::string type_word;
+  if (!(rest >> type_word)) fail(line, "joint needs a type");
+  JointType type;
+  if (type_word == "revolute") {
+    type = JointType::kRevolute;
+  } else if (type_word == "prismatic") {
+    type = JointType::kPrismatic;
+  } else {
+    fail(line, "unknown joint type '" + type_word + "'");
+  }
+
+  DhParam dh;
+  double min = -std::numeric_limits<double>::infinity();
+  double max = std::numeric_limits<double>::infinity();
+  bool has_min = false, has_max = false;
+
+  std::string kv;
+  while (rest >> kv) {
+    const std::size_t eq = kv.find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value, got '" + kv + "'");
+    const std::string key = kv.substr(0, eq);
+    const double val = parseNumber(line, key, kv.substr(eq + 1));
+    if (key == "a") dh.a = val;
+    else if (key == "alpha") dh.alpha = val;
+    else if (key == "d") dh.d = val;
+    else if (key == "theta") dh.theta = val;
+    else if (key == "min") { min = val; has_min = true; }
+    else if (key == "max") { max = val; has_max = true; }
+    else fail(line, "unknown key '" + key + "'");
+  }
+
+  if (type == JointType::kPrismatic && (!has_min || !has_max))
+    fail(line, "prismatic joints require min= and max=");
+  return Joint{type, dh, min, max};
+}
+
+}  // namespace
+
+Chain loadChain(std::istream& in) {
+  std::string name = "robot";
+  std::vector<Joint> joints;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string keyword;
+    if (!(line >> keyword)) continue;  // blank / comment-only line
+
+    if (keyword == "name") {
+      if (!(line >> name)) fail(line_no, "name needs a value");
+      std::string extra;
+      if (line >> extra) fail(line_no, "unexpected token '" + extra + "'");
+    } else if (keyword == "joint") {
+      joints.push_back(parseJoint(line_no, line));
+    } else {
+      fail(line_no, "unknown directive '" + keyword + "'");
+    }
+  }
+
+  if (joints.empty())
+    throw std::runtime_error("robot description: no joints defined");
+  return Chain(std::move(joints), std::move(name));
+}
+
+Chain loadChainFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open robot description: " + path);
+  return loadChain(in);
+}
+
+void saveChain(const Chain& chain, std::ostream& out) {
+  out << "# Dadu robot description (see dadu/kinematics/robot_io.hpp)\n";
+  out << "name " << chain.name() << '\n';
+  out.precision(17);
+  for (const Joint& j : chain.joints()) {
+    out << "joint "
+        << (j.type == JointType::kRevolute ? "revolute" : "prismatic")
+        << " a=" << j.dh.a << " alpha=" << j.dh.alpha << " d=" << j.dh.d
+        << " theta=" << j.dh.theta;
+    if (j.hasLimits() || j.type == JointType::kPrismatic)
+      out << " min=" << j.min << " max=" << j.max;
+    out << '\n';
+  }
+}
+
+void saveChainFile(const Chain& chain, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write robot description: " + path);
+  saveChain(chain, out);
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,36 @@
+// Robot description I/O: a minimal, dependency-free text format for
+// serial chains, so downstream users can describe their manipulator in
+// a file instead of C++ (the role URDF plays in ROS, scoped to what
+// this library models: DH rows, joint types, limits).
+//
+// Format (line-oriented; '#' starts a comment; whitespace-separated):
+//
+//     name  left-arm
+//     joint revolute  a=0.1 alpha=1.5708 d=0 theta=0 min=-2.9 max=2.9
+//     joint prismatic a=0   alpha=0      d=0.05 min=0 max=0.3
+//
+// Unknown keys are rejected (typos should fail loudly, not silently
+// produce a different robot).  min/max are optional for revolute
+// joints (default unlimited) and required for prismatic joints.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dadu/kinematics/chain.hpp"
+
+namespace dadu::kin {
+
+/// Parse a chain from a stream; throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Chain loadChain(std::istream& in);
+
+/// Parse a chain from a file path; throws on I/O or parse errors.
+Chain loadChainFile(const std::string& path);
+
+/// Serialise a chain in the same format (round-trips through
+/// loadChain).
+void saveChain(const Chain& chain, std::ostream& out);
+void saveChainFile(const Chain& chain, const std::string& path);
+
+}  // namespace dadu::kin

@@ -1,0 +1,172 @@
+#include "dadu/kinematics/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dadu::kin {
+
+Tree::Tree(std::vector<Node> nodes, std::vector<std::size_t> end_effectors,
+           std::string name, linalg::Mat4 base)
+    : nodes_(std::move(nodes)),
+      end_effectors_(std::move(end_effectors)),
+      name_(std::move(name)),
+      base_(base) {
+  if (nodes_.empty())
+    throw std::invalid_argument("Tree '" + name_ + "': no nodes");
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int p = nodes_[i].parent;
+    if (p != -1 && (p < 0 || static_cast<std::size_t>(p) >= i))
+      throw std::invalid_argument(
+          "Tree '" + name_ + "': node " + std::to_string(i) +
+          " has invalid parent " + std::to_string(p) +
+          " (nodes must be in topological order)");
+    const DhParam& dh = nodes_[i].joint.dh;
+    if (!std::isfinite(dh.a) || !std::isfinite(dh.alpha) ||
+        !std::isfinite(dh.d) || !std::isfinite(dh.theta))
+      throw std::invalid_argument("Tree '" + name_ + "': non-finite DH row " +
+                                  std::to_string(i));
+  }
+  if (end_effectors_.empty())
+    throw std::invalid_argument("Tree '" + name_ + "': no end effectors");
+  for (const std::size_t e : end_effectors_)
+    if (e >= nodes_.size())
+      throw std::invalid_argument("Tree '" + name_ +
+                                  "': end effector index out of range");
+
+  // Precompute ancestor paths.
+  ancestors_.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent != -1)
+      ancestors_[i] = ancestors_[static_cast<std::size_t>(nodes_[i].parent)];
+    ancestors_[i].push_back(i);
+  }
+}
+
+bool Tree::isAncestor(std::size_t j, std::size_t node) const {
+  const auto& path = ancestors_[node];
+  return std::binary_search(path.begin(), path.end(), j);
+}
+
+void Tree::frames(const linalg::VecX& q, std::vector<linalg::Mat4>& out) const {
+  requireSize(q);
+  out.resize(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const linalg::Mat4& parent =
+        nodes_[i].parent == -1
+            ? base_
+            : out[static_cast<std::size_t>(nodes_[i].parent)];
+    out[i] = parent * nodes_[i].joint.transform(q[i]);
+  }
+}
+
+std::vector<linalg::Vec3> Tree::endEffectorPositions(
+    const linalg::VecX& q) const {
+  std::vector<linalg::Mat4> f;
+  frames(q, f);
+  std::vector<linalg::Vec3> out;
+  out.reserve(end_effectors_.size());
+  for (const std::size_t e : end_effectors_) out.push_back(f[e].position());
+  return out;
+}
+
+linalg::MatX Tree::stackedJacobian(const linalg::VecX& q) const {
+  requireSize(q);
+  std::vector<linalg::Mat4> f;
+  frames(q, f);
+
+  linalg::MatX j(3 * end_effectors_.size(), nodes_.size());
+  for (std::size_t block = 0; block < end_effectors_.size(); ++block) {
+    const std::size_t ee_node = end_effectors_[block];
+    const linalg::Vec3 ee = f[ee_node].position();
+    for (const std::size_t ji : ancestors_[ee_node]) {
+      const linalg::Mat4& prev =
+          nodes_[ji].parent == -1
+              ? base_
+              : f[static_cast<std::size_t>(nodes_[ji].parent)];
+      const linalg::Vec3 z = prev.rotation().col(2);
+      linalg::Vec3 col;
+      if (nodes_[ji].joint.type == JointType::kRevolute)
+        col = z.cross(ee - prev.position());
+      else
+        col = z;
+      j(3 * block + 0, ji) = col.x;
+      j(3 * block + 1, ji) = col.y;
+      j(3 * block + 2, ji) = col.z;
+    }
+  }
+  return j;
+}
+
+double Tree::maxReach() const {
+  std::vector<double> depth(nodes_.size(), 0.0);
+  double best = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const double here = std::abs(nodes_[i].joint.dh.a) +
+                        std::abs(nodes_[i].joint.dh.d);
+    const double up =
+        nodes_[i].parent == -1
+            ? 0.0
+            : depth[static_cast<std::size_t>(nodes_[i].parent)];
+    depth[i] = up + here;
+    best = std::max(best, depth[i]);
+  }
+  return best;
+}
+
+void Tree::requireSize(const linalg::VecX& q) const {
+  if (q.size() != dof())
+    throw std::invalid_argument("Tree '" + name_ + "': joint vector size " +
+                                std::to_string(q.size()) + " != dof " +
+                                std::to_string(dof()));
+}
+
+Tree makeHumanoidUpperBody(std::size_t torso_dof, std::size_t arm_dof,
+                           double link_length) {
+  constexpr double kPi = std::numbers::pi;
+  std::vector<Tree::Node> nodes;
+  nodes.reserve(torso_dof + 2 * arm_dof);
+
+  // Torso: serpentine up from the base.
+  int parent = -1;
+  for (std::size_t i = 0; i < torso_dof; ++i) {
+    const double twist = (i % 2 == 0) ? kPi / 2.0 : -kPi / 2.0;
+    nodes.push_back({revolute({link_length, twist, 0.0, 0.0}), parent});
+    parent = static_cast<int>(nodes.size()) - 1;
+  }
+  const int shoulder = parent;
+
+  // Two arms branching from the last torso joint, offset sideways via
+  // the first arm joint's link offset.
+  std::vector<std::size_t> wrists;
+  for (int side = 0; side < 2; ++side) {
+    int arm_parent = shoulder;
+    for (std::size_t i = 0; i < arm_dof; ++i) {
+      DhParam dh{link_length, (i % 2 == 0) ? kPi / 2.0 : -kPi / 2.0, 0.0,
+                 0.0};
+      if (i == 0) dh.d = (side == 0 ? 1.0 : -1.0) * 2.0 * link_length;
+      nodes.push_back({revolute(dh), arm_parent});
+      arm_parent = static_cast<int>(nodes.size()) - 1;
+    }
+    wrists.push_back(nodes.size() - 1);
+  }
+
+  return Tree(std::move(nodes), std::move(wrists),
+              "humanoid-" + std::to_string(torso_dof + 2 * arm_dof) + "dof");
+}
+
+Tree makeSerpentineTree(std::size_t dof, double link_length) {
+  constexpr double kPi = std::numbers::pi;
+  std::vector<Tree::Node> nodes;
+  nodes.reserve(dof);
+  for (std::size_t i = 0; i < dof; ++i) {
+    const double twist = (i % 2 == 0) ? kPi / 2.0 : -kPi / 2.0;
+    nodes.push_back({revolute({link_length, twist, 0.0, 0.0}),
+                     static_cast<int>(i) - 1});
+  }
+  return Tree(std::move(nodes), {dof - 1},
+              "serpentine-tree-" + std::to_string(dof) + "dof");
+}
+
+}  // namespace dadu::kin

@@ -1,0 +1,93 @@
+// Tree-structured robots with multiple end effectors.
+//
+// The paper's motivating robots are humanoids (NASA Valkyrie, 44 DOF):
+// kinematic *trees* — a torso chain branching into limbs — with one
+// task target per limb.  The related-work section notes that CCD-class
+// methods "are just used in the manipulators with one end-effector";
+// the Jacobian family generalises cleanly by stacking one 3-row block
+// per end effector, and Quick-IK's speculative search carries over
+// verbatim (see QuickIkTreeSolver).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dadu/kinematics/joint.hpp"
+#include "dadu/linalg/mat4.hpp"
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// An open kinematic tree.  Nodes are stored in topological order
+/// (every parent index is smaller than its child's); joint i's
+/// variable is q[i].
+class Tree {
+ public:
+  struct Node {
+    Joint joint;
+    int parent = -1;  ///< -1 = attached to the base frame
+  };
+
+  /// `end_effectors` are node indices whose distal frames carry task
+  /// targets (typically leaves).  Throws std::invalid_argument on
+  /// malformed topology (forward parent references, bad indices,
+  /// empty tree, no end effectors).
+  Tree(std::vector<Node> nodes, std::vector<std::size_t> end_effectors,
+       std::string name = "tree",
+       linalg::Mat4 base = linalg::Mat4::identity());
+
+  std::size_t dof() const { return nodes_.size(); }
+  std::size_t endEffectorCount() const { return end_effectors_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<std::size_t>& endEffectors() const {
+    return end_effectors_;
+  }
+  const std::string& name() const { return name_; }
+  const linalg::Mat4& base() const { return base_; }
+
+  /// True iff joint `j` lies on the path from the base to node `node`
+  /// (inclusive) — i.e. moving joint j moves node's frame.
+  bool isAncestor(std::size_t j, std::size_t node) const;
+
+  /// Global frames of every node at configuration q (output reused).
+  void frames(const linalg::VecX& q, std::vector<linalg::Mat4>& out) const;
+
+  /// Positions of all end effectors at q.
+  std::vector<linalg::Vec3> endEffectorPositions(const linalg::VecX& q) const;
+
+  /// Stacked position Jacobian: 3*E rows (block e = end effector e),
+  /// N columns.  Entries for joints outside an end effector's ancestor
+  /// path are zero.
+  linalg::MatX stackedJacobian(const linalg::VecX& q) const;
+
+  /// Sum of |a| + |d| along the longest root-to-leaf path: outer reach
+  /// bound used by workload scaling.
+  double maxReach() const;
+
+  void requireSize(const linalg::VecX& q) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> end_effectors_;
+  std::string name_;
+  linalg::Mat4 base_;
+  // ancestors_[n] = sorted list of joints on the base->n path.
+  std::vector<std::vector<std::size_t>> ancestors_;
+};
+
+/// A humanoid upper body: `torso_dof` serpentine torso joints
+/// branching into two `arm_dof`-joint serpentine arms; end effectors =
+/// both wrists.  Total DOF = torso_dof + 2 * arm_dof (defaults: 4 + 2*7
+/// = 18).
+Tree makeHumanoidUpperBody(std::size_t torso_dof = 4,
+                           std::size_t arm_dof = 7,
+                           double link_length = 0.08);
+
+/// A single-branch tree equivalent to makeSerpentine(dof) — the
+/// degenerate case tests use to cross-check against Chain kinematics.
+Tree makeSerpentineTree(std::size_t dof, double link_length = 0.1);
+
+}  // namespace dadu::kin

@@ -1,0 +1,79 @@
+#include "dadu/kinematics/workspace.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <set>
+#include <tuple>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::kin {
+namespace {
+
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  double uniform(double lo, double hi) {
+    return lo + (hi - lo) * (static_cast<double>(next() >> 11) * 0x1.0p-53);
+  }
+};
+
+}  // namespace
+
+ReachBall reachBall(const Chain& chain) {
+  return {chain.base().position(), chain.maxReach()};
+}
+
+bool plausiblyReachable(const Chain& chain, const linalg::Vec3& target,
+                        double margin) {
+  return reachBall(chain).contains(target, margin);
+}
+
+double workspaceCoverage(const Chain& chain, int samples, std::uint64_t seed,
+                         double cell) {
+  const ReachBall ball = reachBall(chain);
+  if (ball.radius <= 0.0) return 0.0;
+  SplitMix64 rng{seed};
+  constexpr double kPi = std::numbers::pi;
+
+  // Quantise attained positions onto a grid (in units of the ball
+  // radius) and compare occupied cells to the cells of the ball.
+  std::set<std::tuple<int, int, int>> occupied;
+  linalg::VecX q(chain.dof());
+  for (int s = 0; s < samples; ++s) {
+    for (std::size_t i = 0; i < chain.dof(); ++i) {
+      const Joint& j = chain.joint(i);
+      const double lo = std::isfinite(j.min) ? j.min : -kPi;
+      const double hi = std::isfinite(j.max) ? j.max : kPi;
+      q[i] = rng.uniform(lo, hi);
+    }
+    const linalg::Vec3 p = (endEffectorPosition(chain, q) - ball.center) /
+                           ball.radius;  // normalised coordinates
+    occupied.insert({static_cast<int>(std::floor(p.x / cell)),
+                     static_cast<int>(std::floor(p.y / cell)),
+                     static_cast<int>(std::floor(p.z / cell))});
+  }
+
+  // Count grid cells whose centers lie inside the unit ball.
+  long long ball_cells = 0;
+  const int lim = static_cast<int>(std::ceil(1.0 / cell)) + 1;
+  for (int x = -lim; x <= lim; ++x)
+    for (int y = -lim; y <= lim; ++y)
+      for (int z = -lim; z <= lim; ++z) {
+        const double cx = (x + 0.5) * cell;
+        const double cy = (y + 0.5) * cell;
+        const double cz = (z + 0.5) * cell;
+        if (cx * cx + cy * cy + cz * cz <= 1.0) ++ball_cells;
+      }
+  if (ball_cells == 0) return 0.0;
+  return static_cast<double>(occupied.size()) /
+         static_cast<double>(ball_cells);
+}
+
+}  // namespace dadu::kin

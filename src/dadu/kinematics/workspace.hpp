@@ -1,0 +1,37 @@
+// Workspace reasoning helpers: reach bounds and reachability tests used
+// by workload generation (targets must be solvable, matching the
+// paper's evaluation where every method is run to convergence) and by
+// examples that visualise reachable sets.
+#pragma once
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::kin {
+
+/// Conservative outer bound of the reachable set: the ball of radius
+/// maxReach() around the base origin.
+struct ReachBall {
+  linalg::Vec3 center;
+  double radius = 0.0;
+
+  bool contains(const linalg::Vec3& p, double margin = 0.0) const {
+    return (p - center).norm() <= radius - margin;
+  }
+};
+
+ReachBall reachBall(const Chain& chain);
+
+/// True if `target` lies inside the chain's outer reach ball with
+/// `margin` to spare.  Necessary (not sufficient) for solvability;
+/// workload generation uses FK sampling for sufficiency.
+bool plausiblyReachable(const Chain& chain, const linalg::Vec3& target,
+                        double margin = 0.0);
+
+/// Monte-Carlo estimate of the fraction of the reach ball's volume the
+/// chain can actually attain; a coverage diagnostic for preset design
+/// (serpentine chains should score high, planar chains ~0 in 3-D).
+double workspaceCoverage(const Chain& chain, int samples = 2000,
+                         std::uint64_t seed = 42, double cell = 0.1);
+
+}  // namespace dadu::kin

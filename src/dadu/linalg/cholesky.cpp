@@ -1,0 +1,59 @@
+#include "dadu/linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dadu::linalg {
+
+std::optional<Cholesky> Cholesky::factor(const MatX& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  MatX l(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= l(j, k) * l(j, k);
+    if (!(d > 0.0)) return std::nullopt;  // also rejects NaN
+    const double ljj = std::sqrt(d);
+    l(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      l(i, j) = s / ljj;
+    }
+  }
+  return Cholesky(std::move(l));
+}
+
+VecX Cholesky::solve(const VecX& b) const {
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  // Forward: L y = b
+  VecX y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  // Back: L^T x = y
+  VecX x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+double Cholesky::determinant() const {
+  double d = 1.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) d *= l_(i, i);
+  return d * d;
+}
+
+std::optional<VecX> choleskySolve(const MatX& a, const VecX& b) {
+  auto f = Cholesky::factor(a);
+  if (!f) return std::nullopt;
+  return f->solve(b);
+}
+
+}  // namespace dadu::linalg

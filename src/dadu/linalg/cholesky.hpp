@@ -1,0 +1,40 @@
+// Cholesky (L L^T) factorisation for symmetric positive-definite
+// systems.
+//
+// The damped-least-squares baseline solves (J J^T + lambda^2 I) y = e
+// every iteration; with a 3-dimensional task space that system is 3x3,
+// but the factorisation here is general so it also serves redundancy-
+// resolution extensions working in N-dimensional joint space.
+#pragma once
+
+#include <optional>
+
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite
+/// matrix.  Construction fails (empty optional) if A is not SPD within
+/// round-off (non-positive pivot encountered).
+class Cholesky {
+ public:
+  static std::optional<Cholesky> factor(const MatX& a);
+
+  /// Solve A x = b via forward/back substitution on the stored factor.
+  VecX solve(const VecX& b) const;
+
+  /// det(A) = prod(L_ii)^2.
+  double determinant() const;
+
+  const MatX& factorMatrix() const { return l_; }
+
+ private:
+  explicit Cholesky(MatX l) : l_(std::move(l)) {}
+  MatX l_;
+};
+
+/// One-shot SPD solve; returns nullopt if A is not SPD.
+std::optional<VecX> choleskySolve(const MatX& a, const VecX& b);
+
+}  // namespace dadu::linalg

@@ -1,0 +1,89 @@
+#include "dadu/linalg/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dadu::linalg {
+
+std::int64_t FixedFormat::fromDouble(double v) const {
+  return static_cast<std::int64_t>(
+      std::llround(v * static_cast<double>(one())));
+}
+
+double FixedFormat::toDouble(std::int64_t raw) const {
+  return static_cast<double>(raw) / static_cast<double>(one());
+}
+
+std::int64_t FixedFormat::mul(std::int64_t a, std::int64_t b) const {
+  // 128-bit intermediate = the full-width hardware multiplier result.
+  // (__extension__ silences -Wpedantic: __int128 is a GCC/Clang
+  // extension, which this project's supported toolchains all provide.)
+  __extension__ using Wide = __int128;
+  const Wide wide = static_cast<Wide>(a) * static_cast<Wide>(b);
+  // Round to nearest: add half an LSB before the arithmetic shift.
+  const Wide half = Wide{1} << (frac_bits - 1);
+  return static_cast<std::int64_t>((wide + half) >> frac_bits);
+}
+
+double FixedFormat::resolution() const {
+  return 1.0 / static_cast<double>(one());
+}
+
+FixedSinCos cordicSinCosFixed(const FixedFormat& fmt, double angle,
+                              int iterations) {
+  if (iterations <= 0) iterations = fmt.frac_bits;
+  iterations = std::clamp(iterations, 1, 60);
+
+  // Argument reduction to [-pi/2, pi/2] (CORDIC's convergence region),
+  // tracking the sign flip for the other half of the circle.  The
+  // reduction itself is what a hardware block's range reducer does;
+  // performing it in double here only sets the starting raw angle.
+  constexpr double kPi = std::numbers::pi;
+  double reduced = std::remainder(angle, 2.0 * kPi);
+  bool flip = false;
+  if (reduced > kPi / 2.0) {
+    reduced = kPi - reduced;
+    flip = true;
+  } else if (reduced < -kPi / 2.0) {
+    reduced = -kPi - reduced;
+    flip = true;
+  }
+
+  // Gain-compensated start vector: x = 1/K, y = 0 with
+  // K = prod_i sqrt(1 + 2^-2i).
+  double gain = 1.0;
+  for (int i = 0; i < iterations; ++i)
+    gain *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+
+  std::int64_t x = fmt.fromDouble(1.0 / gain);
+  std::int64_t y = 0;
+  std::int64_t z = fmt.fromDouble(reduced);
+
+  for (int i = 0; i < iterations; ++i) {
+    const std::int64_t atan_i = fmt.fromDouble(std::atan(std::ldexp(1.0, -i)));
+    const std::int64_t dx = y >> i;
+    const std::int64_t dy = x >> i;
+    if (z >= 0) {
+      x -= dx;
+      y += dy;
+      z -= atan_i;
+    } else {
+      x += dx;
+      y -= dy;
+      z += atan_i;
+    }
+  }
+
+  if (flip) x = -x;
+  return {y, x};
+}
+
+void cordicSinCos(const FixedFormat& fmt, double angle, double& sin_out,
+                  double& cos_out, int iterations) {
+  const FixedSinCos sc = cordicSinCosFixed(fmt, angle, iterations);
+  sin_out = fmt.toDouble(sc.sin_raw);
+  cos_out = fmt.toDouble(sc.cos_raw);
+}
+
+}  // namespace dadu::linalg

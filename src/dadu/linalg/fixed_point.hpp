@@ -1,0 +1,49 @@
+// Runtime-parameterised Qm.n fixed-point arithmetic and a fixed-point
+// CORDIC sine/cosine — the arithmetic a lean ASIC datapath (like
+// IKAcc's FKU) would actually synthesise instead of floating point.
+//
+// Values are stored as int64_t with `frac_bits` fractional bits; the
+// format is a runtime parameter so the word-length ablation can sweep
+// it without templates.  Multiplication uses a 128-bit intermediate
+// with round-to-nearest, the behaviour of a full-width hardware
+// multiplier followed by a rounding shift.
+#pragma once
+
+#include <cstdint>
+
+namespace dadu::linalg {
+
+/// A fixed-point format: int64 raw values with 2^-frac_bits resolution.
+struct FixedFormat {
+  int frac_bits = 16;
+
+  std::int64_t fromDouble(double v) const;
+  double toDouble(std::int64_t raw) const;
+
+  /// Raw multiply with rounding: (a * b) >> frac_bits.
+  std::int64_t mul(std::int64_t a, std::int64_t b) const;
+
+  /// Resolution (value of one LSB).
+  double resolution() const;
+
+  std::int64_t one() const { return std::int64_t{1} << frac_bits; }
+};
+
+/// CORDIC rotation-mode sine/cosine evaluated entirely in the given
+/// fixed format (shift-add iterations, fixed-point arctangent table,
+/// pre-scaled gain).  `iterations` <= 62; accuracy is ~2^-iterations
+/// bounded below by the format's resolution.  Angle in radians, any
+/// magnitude (argument reduction included).
+struct FixedSinCos {
+  std::int64_t sin_raw;
+  std::int64_t cos_raw;
+};
+FixedSinCos cordicSinCosFixed(const FixedFormat& fmt, double angle,
+                              int iterations = 0 /* 0 = frac_bits */);
+
+/// Convenience: CORDIC sin/cos converted back to double (for tests and
+/// accuracy studies).
+void cordicSinCos(const FixedFormat& fmt, double angle, double& sin_out,
+                  double& cos_out, int iterations = 0);
+
+}  // namespace dadu::linalg

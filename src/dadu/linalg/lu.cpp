@@ -1,0 +1,88 @@
+#include "dadu/linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace dadu::linalg {
+
+std::optional<Lu> Lu::factor(const MatX& a, double pivot_tol) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  MatX lu = a;
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  int sign = 1;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pick the largest pivot in column k.
+    std::size_t piv = k;
+    double best = std::abs(lu(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    if (!(best > pivot_tol)) return std::nullopt;
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu(k, j), lu(piv, j));
+      std::swap(perm[k], perm[piv]);
+      sign = -sign;
+    }
+    const double inv = 1.0 / lu(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = lu(i, k) * inv;
+      lu(i, k) = f;
+      for (std::size_t j = k + 1; j < n; ++j) lu(i, j) -= f * lu(k, j);
+    }
+  }
+  return Lu(std::move(lu), std::move(perm), sign);
+}
+
+VecX Lu::solve(const VecX& b) const {
+  const std::size_t n = lu_.rows();
+  assert(b.size() == n);
+  VecX x(n);
+  // Apply permutation, forward-substitute L (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    for (std::size_t k = 0; k < i; ++k) s -= lu_(i, k) * x[k];
+    x[i] = s;
+  }
+  // Back-substitute U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = x[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= lu_(ii, k) * x[k];
+    x[ii] = s / lu_(ii, ii);
+  }
+  return x;
+}
+
+MatX Lu::inverse() const {
+  const std::size_t n = lu_.rows();
+  MatX inv(n, n);
+  VecX e(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    e.setZero();
+    e[j] = 1.0;
+    const VecX col = solve(e);
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  return inv;
+}
+
+double Lu::determinant() const {
+  double d = sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+std::optional<VecX> luSolve(const MatX& a, const VecX& b) {
+  auto f = Lu::factor(a);
+  if (!f) return std::nullopt;
+  return f->solve(b);
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,133 @@
+// 3x3 matrix: rotation blocks of SE(3) transforms and the JJ^T products
+// of the Jacobian-transpose update (Eq. 8 of the paper works on the
+// 3-dimensional task space, so JJ^T is always 3x3).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::linalg {
+
+/// Row-major 3x3 matrix of doubles.
+struct Mat3 {
+  // m[r][c]
+  std::array<std::array<double, 3>, 3> m{};
+
+  constexpr Mat3() = default;
+
+  static constexpr Mat3 zero() { return {}; }
+  static constexpr Mat3 identity() {
+    Mat3 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = 1.0;
+    return r;
+  }
+  /// Build from rows.
+  static constexpr Mat3 fromRows(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+    Mat3 r;
+    r.m[0] = {r0.x, r0.y, r0.z};
+    r.m[1] = {r1.x, r1.y, r1.z};
+    r.m[2] = {r2.x, r2.y, r2.z};
+    return r;
+  }
+  static constexpr Mat3 fromCols(const Vec3& c0, const Vec3& c1, const Vec3& c2) {
+    Mat3 r;
+    r.m[0] = {c0.x, c1.x, c2.x};
+    r.m[1] = {c0.y, c1.y, c2.y};
+    r.m[2] = {c0.z, c1.z, c2.z};
+    return r;
+  }
+  /// Outer product a b^T; the building block of JJ^T = sum_i J_i J_i^T
+  /// (Eq. 11) accumulated column by column.
+  static constexpr Mat3 outer(const Vec3& a, const Vec3& b) {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = a[i] * b[j];
+    return r;
+  }
+
+  constexpr double operator()(std::size_t r, std::size_t c) const { return m[r][c]; }
+  double& operator()(std::size_t r, std::size_t c) { return m[r][c]; }
+
+  constexpr Vec3 row(std::size_t r) const { return {m[r][0], m[r][1], m[r][2]}; }
+  constexpr Vec3 col(std::size_t c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+  constexpr bool operator==(const Mat3&) const = default;
+
+  constexpr Mat3 operator+(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = m[i][j] + o.m[i][j];
+    return r;
+  }
+  constexpr Mat3 operator-(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = m[i][j] - o.m[i][j];
+    return r;
+  }
+  constexpr Mat3 operator*(double s) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = m[i][j] * s;
+    return r;
+  }
+  Mat3& operator+=(const Mat3& o) {
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) m[i][j] += o.m[i][j];
+    return *this;
+  }
+
+  constexpr Vec3 operator*(const Vec3& v) const {
+    return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+  }
+  constexpr Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < 3; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    return r;
+  }
+
+  constexpr Mat3 transposed() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  constexpr double trace() const { return m[0][0] + m[1][1] + m[2][2]; }
+
+  constexpr double determinant() const {
+    return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+           m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+           m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+  }
+
+  /// Frobenius norm; used by tests asserting orthonormality drift.
+  double frobeniusNorm() const {
+    double s = 0.0;
+    for (const auto& r : m)
+      for (double v : r) s += v * v;
+    return std::sqrt(s);
+  }
+};
+
+constexpr Mat3 operator*(double s, const Mat3& a) { return a * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Mat3& a) {
+  for (std::size_t i = 0; i < 3; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < 3; ++j) os << a(i, j) << (j < 2 ? ", " : "");
+    os << (i == 2 ? "]" : "\n");
+  }
+  return os;
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,147 @@
+// 4x4 homogeneous transformation matrix.
+//
+// This is the datatype the paper's accelerator is built around: forward
+// kinematics is the chained product of per-joint transformation
+// matrices, f(theta) = prod_i {i-1}T_i (Eq. 10), and IKAcc's Forward
+// Kinematics Unit is a dedicated 4x4-multiply logic block.  The
+// software multiply below (64 mul + 48 add) is exactly the operation
+// the FKU cycle model in dadu/ikacc prices.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::linalg {
+
+/// Row-major 4x4 matrix; rigid transforms keep the last row [0 0 0 1].
+struct Mat4 {
+  std::array<std::array<double, 4>, 4> m{};
+
+  constexpr Mat4() = default;
+
+  static constexpr Mat4 zero() { return {}; }
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    r.m[0][0] = r.m[1][1] = r.m[2][2] = r.m[3][3] = 1.0;
+    return r;
+  }
+
+  /// Compose from a rotation block and a translation column.
+  static constexpr Mat4 fromRotationTranslation(const Mat3& rot, const Vec3& p) {
+    Mat4 r = identity();
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r.m[i][j] = rot(i, j);
+    r.m[0][3] = p.x;
+    r.m[1][3] = p.y;
+    r.m[2][3] = p.z;
+    return r;
+  }
+
+  static constexpr Mat4 translation(const Vec3& p) {
+    return fromRotationTranslation(Mat3::identity(), p);
+  }
+
+  static Mat4 rotationX(double a) {
+    const double c = std::cos(a), s = std::sin(a);
+    Mat4 r = identity();
+    r.m[1][1] = c; r.m[1][2] = -s;
+    r.m[2][1] = s; r.m[2][2] = c;
+    return r;
+  }
+  static Mat4 rotationY(double a) {
+    const double c = std::cos(a), s = std::sin(a);
+    Mat4 r = identity();
+    r.m[0][0] = c;  r.m[0][2] = s;
+    r.m[2][0] = -s; r.m[2][2] = c;
+    return r;
+  }
+  static Mat4 rotationZ(double a) {
+    const double c = std::cos(a), s = std::sin(a);
+    Mat4 r = identity();
+    r.m[0][0] = c; r.m[0][1] = -s;
+    r.m[1][0] = s; r.m[1][1] = c;
+    return r;
+  }
+
+  constexpr double operator()(std::size_t r, std::size_t c) const { return m[r][c]; }
+  double& operator()(std::size_t r, std::size_t c) { return m[r][c]; }
+
+  constexpr bool operator==(const Mat4&) const = default;
+
+  /// The paper's notation: T.M is the rotation block, T.P the position
+  /// column (used when forming Jacobian columns J_i = T.M z x (T_N.P -
+  /// T_i.P)).
+  constexpr Mat3 rotation() const {
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) r(i, j) = m[i][j];
+    return r;
+  }
+  constexpr Vec3 position() const { return {m[0][3], m[1][3], m[2][3]}; }
+
+  constexpr Mat4 operator*(const Mat4& o) const {
+    Mat4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j) {
+        double s = 0.0;
+        for (std::size_t k = 0; k < 4; ++k) s += m[i][k] * o.m[k][j];
+        r.m[i][j] = s;
+      }
+    return r;
+  }
+
+  constexpr Vec4 operator*(const Vec4& v) const {
+    Vec4 r;
+    for (std::size_t i = 0; i < 4; ++i) {
+      r[i] = m[i][0] * v.x + m[i][1] * v.y + m[i][2] * v.z + m[i][3] * v.w;
+    }
+    return r;
+  }
+
+  /// Apply to a point (w = 1).
+  constexpr Vec3 transformPoint(const Vec3& p) const {
+    return ((*this) * Vec4::point(p)).xyz();
+  }
+  /// Apply to a direction (w = 0; rotation only).
+  constexpr Vec3 transformDirection(const Vec3& d) const {
+    return ((*this) * Vec4::direction(d)).xyz();
+  }
+
+  constexpr Mat4 transposed() const {
+    Mat4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+      for (std::size_t j = 0; j < 4; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  /// Closed-form inverse for rigid transforms: [R p]^-1 = [R^T -R^T p].
+  /// Precondition: rotation block orthonormal, last row [0 0 0 1].
+  constexpr Mat4 rigidInverse() const {
+    const Mat3 rt = rotation().transposed();
+    const Vec3 p = position();
+    return fromRotationTranslation(rt, -(rt * p));
+  }
+
+  double frobeniusNorm() const {
+    double s = 0.0;
+    for (const auto& r : m)
+      for (double v : r) s += v * v;
+    return std::sqrt(s);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Mat4& a) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < 4; ++j) os << a(i, j) << (j < 3 ? ", " : "");
+    os << (i == 3 ? "]" : "\n");
+  }
+  return os;
+}
+
+}  // namespace dadu::linalg

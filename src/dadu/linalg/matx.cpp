@@ -1,0 +1,195 @@
+#include "dadu/linalg/matx.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu::linalg {
+
+MatX::MatX(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_)
+      throw std::invalid_argument("MatX: ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+MatX MatX::identity(std::size_t n) {
+  MatX r(n, n);
+  for (std::size_t i = 0; i < n; ++i) r(i, i) = 1.0;
+  return r;
+}
+
+MatX MatX::operator+(const MatX& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  MatX r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] + o.data_[i];
+  return r;
+}
+
+MatX MatX::operator-(const MatX& o) const {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  MatX r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] - o.data_[i];
+  return r;
+}
+
+MatX MatX::operator*(double s) const {
+  MatX r(rows_, cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) r.data_[i] = data_[i] * s;
+  return r;
+}
+
+MatX MatX::operator*(const MatX& o) const {
+  assert(cols_ == o.rows_);
+  MatX r(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const double* orow = o.rowPtr(k);
+      double* rrow = r.rowPtr(i);
+      for (std::size_t j = 0; j < o.cols_; ++j) rrow[j] += aik * orow[j];
+    }
+  }
+  return r;
+}
+
+VecX MatX::operator*(const VecX& v) const {
+  assert(cols_ == v.size());
+  VecX r(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = rowPtr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += row[j] * v[j];
+    r[i] = s;
+  }
+  return r;
+}
+
+MatX& MatX::operator+=(const MatX& o) {
+  assert(rows_ == o.rows_ && cols_ == o.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+MatX& MatX::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+MatX MatX::transposed() const {
+  MatX r(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) r(j, i) = (*this)(i, j);
+  return r;
+}
+
+VecX MatX::applyTransposed(const VecX& v) const {
+  assert(rows_ == v.size());
+  VecX r(cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* row = rowPtr(i);
+    const double vi = v[i];
+    for (std::size_t j = 0; j < cols_; ++j) r[j] += row[j] * vi;
+  }
+  return r;
+}
+
+MatX MatX::gram() const {
+  MatX r(rows_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = i; j < rows_; ++j) {
+      const double* a = rowPtr(i);
+      const double* b = rowPtr(j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) s += a[k] * b[k];
+      r(i, j) = s;
+      r(j, i) = s;
+    }
+  }
+  return r;
+}
+
+double MatX::frobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double MatX::maxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void MatX::setZero() {
+  for (double& v : data_) v = 0.0;
+}
+
+void MatX::setCol3(std::size_t c, const Vec3& v) {
+  assert(rows_ == 3 && c < cols_);
+  (*this)(0, c) = v.x;
+  (*this)(1, c) = v.y;
+  (*this)(2, c) = v.z;
+}
+
+Vec3 MatX::col3(std::size_t c) const {
+  assert(rows_ == 3 && c < cols_);
+  return {(*this)(0, c), (*this)(1, c), (*this)(2, c)};
+}
+
+Vec3 mul3(const MatX& j, const VecX& v) {
+  assert(j.rows() == 3 && j.cols() == v.size());
+  Vec3 r;
+  for (std::size_t i = 0; i < 3; ++i) {
+    const double* row = j.rowPtr(i);
+    double s = 0.0;
+    for (std::size_t k = 0; k < j.cols(); ++k) s += row[k] * v[k];
+    r[i] = s;
+  }
+  return r;
+}
+
+void mulTransposed3(const MatX& j, const Vec3& e, VecX& out) {
+  assert(j.rows() == 3);
+  if (out.size() != j.cols()) out.resize(j.cols());
+  const double* r0 = j.rowPtr(0);
+  const double* r1 = j.rowPtr(1);
+  const double* r2 = j.rowPtr(2);
+  for (std::size_t k = 0; k < j.cols(); ++k)
+    out[k] = r0[k] * e.x + r1[k] * e.y + r2[k] * e.z;
+}
+
+Mat3 gram3(const MatX& j) {
+  assert(j.rows() == 3);
+  Mat3 g;
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t l = i; l < 3; ++l) {
+      const double* a = j.rowPtr(i);
+      const double* b = j.rowPtr(l);
+      double s = 0.0;
+      for (std::size_t k = 0; k < j.cols(); ++k) s += a[k] * b[k];
+      g(i, l) = s;
+      g(l, i) = s;
+    }
+  }
+  return g;
+}
+
+std::ostream& operator<<(std::ostream& os, const MatX& a) {
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      os << a(i, j);
+      if (j + 1 < a.cols()) os << ", ";
+    }
+    os << (i + 1 == a.rows() ? "]" : "\n");
+  }
+  return os;
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,95 @@
+// Dynamic dense matrix: the 3xN position Jacobian and the small
+// factorisation workspaces of the pseudoinverse / damped-least-squares
+// baselines.
+//
+// Row-major storage.  For the Jacobian-transpose update the library
+// never materialises J^T: applyTransposed() computes J^T e directly,
+// which is also what the accelerator's SPU pipeline does in hardware.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::linalg {
+
+/// Dynamic row-major matrix of doubles.
+class MatX {
+ public:
+  MatX() = default;
+  MatX(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+  /// Build from nested initializer lists; all rows must be equal length.
+  MatX(std::initializer_list<std::initializer_list<double>> rows);
+
+  static MatX zero(std::size_t r, std::size_t c) { return {r, c}; }
+  static MatX identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+  /// Pointer to the start of row r (rows are contiguous).
+  const double* rowPtr(std::size_t r) const { return data_.data() + r * cols_; }
+  double* rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+
+  bool operator==(const MatX&) const = default;
+
+  MatX operator+(const MatX& o) const;
+  MatX operator-(const MatX& o) const;
+  MatX operator*(double s) const;
+  MatX operator*(const MatX& o) const;
+  VecX operator*(const VecX& v) const;
+  MatX& operator+=(const MatX& o);
+  MatX& operator*=(double s);
+
+  MatX transposed() const;
+
+  /// out = A^T v without forming A^T.  For the 3xN Jacobian this is the
+  /// dtheta_base = J^T (Xt - f(theta)) step (Algorithm 1, line 4).
+  VecX applyTransposed(const VecX& v) const;
+
+  /// A A^T as a dense matrix (rows x rows); small for IK (3x3).
+  MatX gram() const;
+
+  double frobeniusNorm() const;
+  double maxAbs() const;
+
+  void setZero();
+  /// Copy a Vec3 into column c of a 3-row matrix.
+  void setCol3(std::size_t c, const Vec3& v);
+  Vec3 col3(std::size_t c) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Convenience for the 3-row Jacobian: J v for VecX v returning Vec3.
+Vec3 mul3(const MatX& j, const VecX& v);
+
+/// J^T e for 3-row J and Vec3 e, writing into a caller-provided vector
+/// (hot path of every transpose-method iteration).
+void mulTransposed3(const MatX& j, const Vec3& e, VecX& out);
+
+/// JJ^T for a 3-row J as a Mat3 (Eq. 8 numerator/denominator operand).
+Mat3 gram3(const MatX& j);
+
+std::ostream& operator<<(std::ostream& os, const MatX& a);
+
+}  // namespace dadu::linalg

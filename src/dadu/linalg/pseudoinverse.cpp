@@ -1,0 +1,89 @@
+#include "dadu/linalg/pseudoinverse.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dadu::linalg {
+namespace {
+
+double defaultTol(const Svd& svd) {
+  if (svd.s.size() == 0) return 0.0;
+  const double dim =
+      static_cast<double>(std::max(svd.u.rows(), svd.v.rows()));
+  return dim * std::numeric_limits<double>::epsilon() * svd.s[0];
+}
+
+// Assemble V * diag(w) * U^T for per-singular-value weights w.
+MatX assemble(const Svd& svd, const VecX& w) {
+  const std::size_t n = svd.v.rows();
+  const std::size_t m = svd.u.rows();
+  const std::size_t r = svd.s.size();
+  MatX pinv(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < r; ++k) acc += svd.v(i, k) * w[k] * svd.u(j, k);
+      pinv(i, j) = acc;
+    }
+  return pinv;
+}
+
+VecX applyWeighted(const Svd& svd, const VecX& b, const VecX& w) {
+  assert(b.size() == svd.u.rows());
+  const std::size_t r = svd.s.size();
+  // c = U^T b, scaled.
+  VecX c(r);
+  for (std::size_t k = 0; k < r; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < svd.u.rows(); ++i) acc += svd.u(i, k) * b[i];
+    c[k] = acc * w[k];
+  }
+  // x = V c.
+  VecX x(svd.v.rows());
+  for (std::size_t i = 0; i < svd.v.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < r; ++k) acc += svd.v(i, k) * c[k];
+    x[i] = acc;
+  }
+  return x;
+}
+
+VecX reciprocalWeights(const Svd& svd, double tol) {
+  if (tol <= 0.0) tol = defaultTol(svd);
+  VecX w(svd.s.size());
+  for (std::size_t k = 0; k < svd.s.size(); ++k)
+    w[k] = svd.s[k] > tol ? 1.0 / svd.s[k] : 0.0;
+  return w;
+}
+
+VecX dampedWeights(const Svd& svd, double lambda) {
+  VecX w(svd.s.size());
+  for (std::size_t k = 0; k < svd.s.size(); ++k) {
+    const double s = svd.s[k];
+    w[k] = s / (s * s + lambda * lambda);
+  }
+  return w;
+}
+
+}  // namespace
+
+MatX pseudoinverse(const MatX& a, double tol) {
+  const Svd svd = svdJacobi(a);
+  return assemble(svd, reciprocalWeights(svd, tol));
+}
+
+MatX dampedPseudoinverse(const MatX& a, double lambda) {
+  const Svd svd = svdJacobi(a);
+  return assemble(svd, dampedWeights(svd, lambda));
+}
+
+VecX pseudoinverseSolve(const Svd& svd, const VecX& b, double tol) {
+  return applyWeighted(svd, b, reciprocalWeights(svd, tol));
+}
+
+VecX dampedSolve(const Svd& svd, const VecX& b, double lambda) {
+  return applyWeighted(svd, b, dampedWeights(svd, lambda));
+}
+
+}  // namespace dadu::linalg

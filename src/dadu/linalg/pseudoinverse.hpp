@@ -1,0 +1,29 @@
+// Moore-Penrose pseudoinverse built on the Jacobi SVD.
+//
+// This is the J^+ of the paper's pseudoinverse baseline: delta_theta =
+// J^+ delta_X (Eq. 5 realised through SVD).  The damped variant
+// implements the Levenberg-style regularisation used by DLS solvers,
+// where 1/sigma is replaced by sigma / (sigma^2 + lambda^2) to stay
+// bounded near singular configurations.
+#pragma once
+
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/svd.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::linalg {
+
+/// A^+ with singular values below `tol` treated as zero (tol <= 0
+/// selects the standard relative machine tolerance).
+MatX pseudoinverse(const MatX& a, double tol = 0.0);
+
+/// Damped pseudoinverse: V diag(sigma_i / (sigma_i^2 + lambda^2)) U^T.
+MatX dampedPseudoinverse(const MatX& a, double lambda);
+
+/// x = A^+ b without materialising A^+ (applies U^T, scales, applies V).
+VecX pseudoinverseSolve(const Svd& svd, const VecX& b, double tol = 0.0);
+
+/// x = V diag(s/(s^2+l^2)) U^T b for an existing factorisation.
+VecX dampedSolve(const Svd& svd, const VecX& b, double lambda);
+
+}  // namespace dadu::linalg

@@ -1,0 +1,121 @@
+#include "dadu/linalg/quaternion.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dadu::linalg {
+
+Quaternion Quaternion::fromAxisAngle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  if (u.squaredNorm() == 0.0) return identity();
+  const double half = angle / 2.0;
+  const double s = std::sin(half);
+  return {std::cos(half), u.x * s, u.y * s, u.z * s};
+}
+
+Quaternion Quaternion::fromMatrix(const Mat3& r) {
+  // Shepperd: pick the largest of {w, x, y, z} as pivot for stability.
+  const double t = r.trace();
+  Quaternion q;
+  if (t > 0.0) {
+    const double s = std::sqrt(t + 1.0) * 2.0;
+    q.w = 0.25 * s;
+    q.x = (r(2, 1) - r(1, 2)) / s;
+    q.y = (r(0, 2) - r(2, 0)) / s;
+    q.z = (r(1, 0) - r(0, 1)) / s;
+  } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(0, 0) - r(1, 1) - r(2, 2)) * 2.0;
+    q.w = (r(2, 1) - r(1, 2)) / s;
+    q.x = 0.25 * s;
+    q.y = (r(0, 1) + r(1, 0)) / s;
+    q.z = (r(0, 2) + r(2, 0)) / s;
+  } else if (r(1, 1) > r(2, 2)) {
+    const double s = std::sqrt(1.0 + r(1, 1) - r(0, 0) - r(2, 2)) * 2.0;
+    q.w = (r(0, 2) - r(2, 0)) / s;
+    q.x = (r(0, 1) + r(1, 0)) / s;
+    q.y = 0.25 * s;
+    q.z = (r(1, 2) + r(2, 1)) / s;
+  } else {
+    const double s = std::sqrt(1.0 + r(2, 2) - r(0, 0) - r(1, 1)) * 2.0;
+    q.w = (r(1, 0) - r(0, 1)) / s;
+    q.x = (r(0, 2) + r(2, 0)) / s;
+    q.y = (r(1, 2) + r(2, 1)) / s;
+    q.z = 0.25 * s;
+  }
+  return q.normalized();
+}
+
+Mat3 Quaternion::toMatrix() const {
+  const Quaternion q = normalized();
+  Mat3 r;
+  const double xx = q.x * q.x, yy = q.y * q.y, zz = q.z * q.z;
+  const double xy = q.x * q.y, xz = q.x * q.z, yz = q.y * q.z;
+  const double wx = q.w * q.x, wy = q.w * q.y, wz = q.w * q.z;
+  r(0, 0) = 1.0 - 2.0 * (yy + zz);
+  r(0, 1) = 2.0 * (xy - wz);
+  r(0, 2) = 2.0 * (xz + wy);
+  r(1, 0) = 2.0 * (xy + wz);
+  r(1, 1) = 1.0 - 2.0 * (xx + zz);
+  r(1, 2) = 2.0 * (yz - wx);
+  r(2, 0) = 2.0 * (xz - wy);
+  r(2, 1) = 2.0 * (yz + wx);
+  r(2, 2) = 1.0 - 2.0 * (xx + yy);
+  return r;
+}
+
+double Quaternion::norm() const {
+  return std::sqrt(w * w + x * x + y * y + z * z);
+}
+
+Quaternion Quaternion::normalized() const {
+  const double n = norm();
+  if (n <= 0.0) return identity();
+  return {w / n, x / n, y / n, z / n};
+}
+
+Quaternion Quaternion::operator*(const Quaternion& o) const {
+  return {w * o.w - x * o.x - y * o.y - z * o.z,
+          w * o.x + x * o.w + y * o.z - z * o.y,
+          w * o.y - x * o.z + y * o.w + z * o.x,
+          w * o.z + x * o.y - y * o.x + z * o.w};
+}
+
+Vec3 Quaternion::rotate(const Vec3& v) const {
+  // q v q* expanded (Rodrigues-like form, avoids building the matrix).
+  const Vec3 u{x, y, z};
+  const Vec3 t = u.cross(v) * 2.0;
+  return v + t * w + u.cross(t);
+}
+
+double Quaternion::angleTo(const Quaternion& o) const {
+  const double dot =
+      std::abs(w * o.w + x * o.x + y * o.y + z * o.z);  // double cover
+  return 2.0 * std::acos(std::clamp(dot, -1.0, 1.0));
+}
+
+Quaternion slerp(const Quaternion& a_in, const Quaternion& b_in, double t) {
+  Quaternion a = a_in.normalized();
+  Quaternion b = b_in.normalized();
+  double dot = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+  // Shortest arc: flip one end if needed.
+  if (dot < 0.0) {
+    b = {-b.w, -b.x, -b.y, -b.z};
+    dot = -dot;
+  }
+  dot = std::min(dot, 1.0);
+  const double theta = std::acos(dot);
+  if (theta < 1e-9) {
+    // Nearly parallel: nlerp is exact to first order.
+    Quaternion q{a.w + t * (b.w - a.w), a.x + t * (b.x - a.x),
+                 a.y + t * (b.y - a.y), a.z + t * (b.z - a.z)};
+    return q.normalized();
+  }
+  const double s = std::sin(theta);
+  const double wa = std::sin((1.0 - t) * theta) / s;
+  const double wb = std::sin(t * theta) / s;
+  return Quaternion{wa * a.w + wb * b.w, wa * a.x + wb * b.x,
+                    wa * a.y + wb * b.y, wa * a.z + wb * b.z}
+      .normalized();
+}
+
+}  // namespace dadu::linalg

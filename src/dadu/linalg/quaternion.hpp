@@ -1,0 +1,53 @@
+// Unit quaternions for orientation representation and interpolation.
+//
+// Pose targets arrive from motion planners as quaternions far more
+// often than as rotation matrices; this provides the conversions and
+// the slerp used to build orientation trajectories for the pose-IK
+// solvers (solvers themselves keep working on Mat3 internally, where
+// the Jacobian lives).
+#pragma once
+
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::linalg {
+
+struct Quaternion {
+  double w = 1.0;
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  static Quaternion identity() { return {}; }
+  /// Unit quaternion for a rotation of `angle` about `axis`
+  /// (normalised internally; zero axis -> identity).
+  static Quaternion fromAxisAngle(const Vec3& axis, double angle);
+  /// From an orthonormal rotation matrix (Shepperd's method; stable in
+  /// all trace regimes).
+  static Quaternion fromMatrix(const Mat3& r);
+
+  Mat3 toMatrix() const;
+
+  double norm() const;
+  Quaternion normalized() const;
+  Quaternion conjugate() const { return {w, -x, -y, -z}; }
+
+  /// Hamilton product: (*this) then... i.e. composed rotation
+  /// q1 * q2 applies q2 first, then q1 (matching matrix convention
+  /// toMatrix(q1*q2) == toMatrix(q1) * toMatrix(q2)).
+  Quaternion operator*(const Quaternion& o) const;
+
+  /// Rotate a vector.
+  Vec3 rotate(const Vec3& v) const;
+
+  /// Geodesic angle to another unit quaternion (handles double cover).
+  double angleTo(const Quaternion& o) const;
+
+  bool operator==(const Quaternion&) const = default;
+};
+
+/// Spherical linear interpolation between unit quaternions, shortest
+/// arc; t in [0, 1].
+Quaternion slerp(const Quaternion& a, const Quaternion& b, double t);
+
+}  // namespace dadu::linalg

@@ -1,0 +1,48 @@
+#include "dadu/linalg/rotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dadu::linalg {
+
+Mat3 axisAngle(const Vec3& axis, double angle) {
+  const Vec3 u = axis.normalized();
+  if (u.squaredNorm() == 0.0) return Mat3::identity();
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  const double t = 1.0 - c;
+  Mat3 r;
+  r(0, 0) = c + u.x * u.x * t;
+  r(0, 1) = u.x * u.y * t - u.z * s;
+  r(0, 2) = u.x * u.z * t + u.y * s;
+  r(1, 0) = u.y * u.x * t + u.z * s;
+  r(1, 1) = c + u.y * u.y * t;
+  r(1, 2) = u.y * u.z * t - u.x * s;
+  r(2, 0) = u.z * u.x * t - u.y * s;
+  r(2, 1) = u.z * u.y * t + u.x * s;
+  r(2, 2) = c + u.z * u.z * t;
+  return r;
+}
+
+Mat3 rpy(double roll, double pitch, double yaw) {
+  return axisAngle(Vec3::unitZ(), yaw) * axisAngle(Vec3::unitY(), pitch) *
+         axisAngle(Vec3::unitX(), roll);
+}
+
+double orthonormalityError(const Mat3& r) {
+  const Mat3 d = r * r.transposed() - Mat3::identity();
+  return d.frobeniusNorm();
+}
+
+bool isRotation(const Mat3& r, double tol) {
+  return orthonormalityError(r) <= tol && std::abs(r.determinant() - 1.0) <= tol;
+}
+
+double rotationAngleBetween(const Mat3& a, const Mat3& b) {
+  const Mat3 rel = a.transposed() * b;
+  // trace(R) = 1 + 2 cos(angle); clamp for round-off.
+  const double c = std::clamp((rel.trace() - 1.0) / 2.0, -1.0, 1.0);
+  return std::acos(c);
+}
+
+}  // namespace dadu::linalg

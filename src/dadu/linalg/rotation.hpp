@@ -1,0 +1,29 @@
+// Rotation constructors and checks shared by the kinematics layer and
+// the test suite.
+#pragma once
+
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::linalg {
+
+/// Rotation of `angle` radians about arbitrary unit `axis`
+/// (Rodrigues' formula).  `axis` is normalised internally; a zero axis
+/// yields the identity.
+Mat3 axisAngle(const Vec3& axis, double angle);
+
+/// Z-Y-X (yaw-pitch-roll) Euler angles to rotation matrix.
+Mat3 rpy(double roll, double pitch, double yaw);
+
+/// ||R R^T - I||_F — zero for an exact rotation; tests bound the drift
+/// accumulated over long kinematic chains with this.
+double orthonormalityError(const Mat3& r);
+
+/// True iff R is orthonormal with determinant +1 within `tol`.
+bool isRotation(const Mat3& r, double tol = 1e-9);
+
+/// Angle of the rotation taking `a` to `b`, i.e. the geodesic distance
+/// on SO(3); used by orientation-aware IK extensions and tests.
+double rotationAngleBetween(const Mat3& a, const Mat3& b);
+
+}  // namespace dadu::linalg

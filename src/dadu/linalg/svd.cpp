@@ -1,0 +1,164 @@
+#include "dadu/linalg/svd.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace dadu::linalg {
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: rotate column pairs of W
+// until all pairs are orthogonal, accumulating the rotations into V.
+// Then W = U * diag(s) with s_j = ||w_j||.
+struct JacobiResult {
+  MatX u;
+  VecX s;
+  MatX v;
+  int sweeps = 0;
+};
+
+JacobiResult jacobiTall(const MatX& a, int max_sweeps, double tol) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  assert(m >= n);
+
+  MatX w = a;                 // working copy, columns get orthogonalised
+  MatX v = MatX::identity(n); // accumulated right rotations
+
+  int sweep = 0;
+  for (; sweep < max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        // Column dot products.
+        double app = 0.0, aqq = 0.0, apq = 0.0;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <= tol * std::sqrt(app * aqq)) continue;
+        rotated = true;
+
+        // Classic Jacobi rotation zeroing the (p,q) off-diagonal of
+        // W^T W.
+        const double zeta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (!rotated) break;
+  }
+
+  // Extract singular values and left vectors.
+  VecX s(n);
+  MatX u(m, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    s[j] = norm;
+    if (norm > 0.0) {
+      const double inv = 1.0 / norm;
+      for (std::size_t i = 0; i < m; ++i) u(i, j) = w(i, j) * inv;
+    } else {
+      // Null column: leave u column zero; rank() excludes it.  Keeping
+      // a deterministic (if non-orthonormal) basis here is fine for
+      // the pseudoinverse, which multiplies the column by 1/s = 0.
+      for (std::size_t i = 0; i < m; ++i) u(i, j) = 0.0;
+    }
+  }
+
+  // Sort descending, permuting u, s, v consistently.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return s[x] > s[y]; });
+  MatX us(m, n), vs(n, n);
+  VecX ss(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t src = order[j];
+    ss[j] = s[src];
+    for (std::size_t i = 0; i < m; ++i) us(i, j) = u(i, src);
+    for (std::size_t i = 0; i < n; ++i) vs(i, j) = v(i, src);
+  }
+  return {std::move(us), std::move(ss), std::move(vs), sweep};
+}
+
+}  // namespace
+
+MatX Svd::reconstruct() const {
+  const std::size_t m = u.rows();
+  const std::size_t n = v.rows();
+  const std::size_t r = s.size();
+  MatX a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < r; ++k) acc += u(i, k) * s[k] * v(j, k);
+      a(i, j) = acc;
+    }
+  return a;
+}
+
+double Svd::conditionNumber(double tol) const {
+  if (s.size() == 0) return std::numeric_limits<double>::infinity();
+  const std::size_t r = rank(tol);
+  if (r < s.size() || r == 0) return std::numeric_limits<double>::infinity();
+  return s[0] / s[s.size() - 1];
+}
+
+std::size_t Svd::rank(double tol) const {
+  if (s.size() == 0) return 0;
+  if (tol <= 0.0) {
+    const double dim = static_cast<double>(std::max(u.rows(), v.rows()));
+    tol = dim * std::numeric_limits<double>::epsilon() * s[0];
+  }
+  std::size_t r = 0;
+  while (r < s.size() && s[r] > tol) ++r;
+  return r;
+}
+
+Svd svdJacobi(const MatX& a, int max_sweeps, double tol) {
+  assert(!a.empty());
+  if (a.rows() >= a.cols()) {
+    auto [u, s, v, sweeps] = jacobiTall(a, max_sweeps, tol);
+    return {std::move(u), std::move(s), std::move(v), sweeps};
+  }
+  // Wide matrix (the 3 x N Jacobian case): factor the transpose and
+  // swap the roles of U and V.
+  auto [u, s, v, sweeps] = jacobiTall(a.transposed(), max_sweeps, tol);
+  return {std::move(v), std::move(s), std::move(u), sweeps};
+}
+
+long long svdFlopsPerSweep(std::size_t m, std::size_t n) {
+  // Work on the tall orientation.
+  if (m < n) std::swap(m, n);
+  // Per column pair: 6m mul-adds for the three dot products, 6m for the
+  // column rotation, plus 6n for the V rotation; n(n-1)/2 pairs.
+  const long long pairs = static_cast<long long>(n) * (n - 1) / 2;
+  return pairs * (6LL * m + 6LL * m + 6LL * n);
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,52 @@
+// Singular value decomposition via one-sided Jacobi.
+//
+// The paper's pseudoinverse baseline (J^-1-SVD, the KDL/ROS solver)
+// computes the Moore-Penrose inverse of the Jacobian through an SVD at
+// every iteration; the paper's whole argument is that this per-
+// iteration SVD is expensive and hard to parallelise, which the
+// transpose method avoids.  We therefore need a real SVD, not a stub:
+// one-sided Jacobi is compact, numerically robust for the small
+// (3 x N) matrices IK produces, and — matching the paper's
+// characterisation — inherently iterative and serial across sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::linalg {
+
+/// Thin SVD: A (m x n) = U (m x r) * diag(s) (r x r) * V^T (r x n)
+/// with r = min(m, n) and s sorted descending (non-negative).
+struct Svd {
+  MatX u;           // m x r, orthonormal columns
+  VecX s;           // r singular values, descending
+  MatX v;           // n x r, orthonormal columns
+  int sweeps = 0;   // Jacobi sweeps until convergence (diagnostic; the
+                    // serial cost the paper attributes to SVD scales
+                    // with this)
+
+  /// Reassemble U diag(s) V^T; tests assert closeness to the input.
+  MatX reconstruct() const;
+
+  /// sigma_max / sigma_min over the numerically nonzero spectrum
+  /// (infinity if rank-deficient).
+  double conditionNumber(double tol = 0.0) const;
+
+  /// Number of singular values above `tol` (default: relative machine
+  /// tolerance max(m,n) * eps * sigma_max, the usual rank heuristic).
+  std::size_t rank(double tol = 0.0) const;
+};
+
+/// Compute the thin SVD of `a`.  `max_sweeps` bounds the Jacobi
+/// iteration; convergence is reached when every column pair is
+/// orthogonal to within `tol` relative to the column norms.
+Svd svdJacobi(const MatX& a, int max_sweeps = 60, double tol = 1e-14);
+
+/// Count of floating-point multiply-adds a one-sided Jacobi SVD of an
+/// m x n matrix spends per sweep — used by the platform timing models
+/// to price the J^-1-SVD baseline on modelled hardware.
+long long svdFlopsPerSweep(std::size_t m, std::size_t n);
+
+}  // namespace dadu::linalg

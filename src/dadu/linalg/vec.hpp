@@ -1,0 +1,114 @@
+// Fixed-size vector types used throughout Dadu.
+//
+// IK works almost entirely with 3-vectors (task-space positions, error
+// vectors) and 4-vectors (homogeneous points), so these are concrete
+// aggregate types rather than a generic template: they stay trivially
+// copyable, fit in registers, and keep compile times and error messages
+// small.  The dynamic-length counterpart lives in vecx.hpp.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+namespace dadu::linalg {
+
+/// 3-component column vector of doubles (task-space position / error).
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  static constexpr Vec3 zero() { return {}; }
+  static constexpr Vec3 unitX() { return {1.0, 0.0, 0.0}; }
+  static constexpr Vec3 unitY() { return {0.0, 1.0, 0.0}; }
+  static constexpr Vec3 unitZ() { return {0.0, 0.0, 1.0}; }
+
+  constexpr double operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+  double& operator[](std::size_t i) {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  Vec3& operator+=(const Vec3& o) { x += o.x; y += o.y; z += o.z; return *this; }
+  Vec3& operator-=(const Vec3& o) { x -= o.x; y -= o.y; z -= o.z; return *this; }
+  Vec3& operator*=(double s) { x *= s; y *= s; z *= s; return *this; }
+
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  constexpr double squaredNorm() const { return dot(*this); }
+  double norm() const { return std::sqrt(squaredNorm()); }
+
+  /// Unit vector in the same direction; returns zero vector if the norm
+  /// is below `eps` (callers in kinematics treat that as a degenerate
+  /// axis and skip the joint contribution).
+  Vec3 normalized(double eps = 1e-300) const {
+    const double n = norm();
+    return n > eps ? *this / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << '[' << v.x << ", " << v.y << ", " << v.z << ']';
+}
+
+/// 4-component vector (homogeneous coordinates).
+struct Vec4 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+  double w = 0.0;
+
+  constexpr Vec4() = default;
+  constexpr Vec4(double x_, double y_, double z_, double w_)
+      : x(x_), y(y_), z(z_), w(w_) {}
+  /// Promote a position to a homogeneous point (w = 1).
+  static constexpr Vec4 point(const Vec3& p) { return {p.x, p.y, p.z, 1.0}; }
+  /// Promote a direction to a homogeneous vector (w = 0).
+  static constexpr Vec4 direction(const Vec3& d) { return {d.x, d.y, d.z, 0.0}; }
+
+  constexpr double operator[](std::size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : (i == 2 ? z : w));
+  }
+  double& operator[](std::size_t i) {
+    return i == 0 ? x : (i == 1 ? y : (i == 2 ? z : w));
+  }
+
+  constexpr Vec4 operator+(const Vec4& o) const { return {x + o.x, y + o.y, z + o.z, w + o.w}; }
+  constexpr Vec4 operator-(const Vec4& o) const { return {x - o.x, y - o.y, z - o.z, w - o.w}; }
+  constexpr Vec4 operator*(double s) const { return {x * s, y * s, z * s, w * s}; }
+
+  constexpr bool operator==(const Vec4&) const = default;
+
+  constexpr double dot(const Vec4& o) const {
+    return x * o.x + y * o.y + z * o.z + w * o.w;
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+
+  /// Drop the homogeneous coordinate (no perspective divide: rigid
+  /// transforms keep w exactly 0 or 1).
+  constexpr Vec3 xyz() const { return {x, y, z}; }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Vec4& v) {
+  return os << '[' << v.x << ", " << v.y << ", " << v.z << ", " << v.w << ']';
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,93 @@
+#include "dadu/linalg/vecx.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace dadu::linalg {
+
+VecX VecX::operator+(const VecX& o) const {
+  assert(size() == o.size());
+  VecX r(size());
+  for (std::size_t i = 0; i < size(); ++i) r[i] = data_[i] + o[i];
+  return r;
+}
+
+VecX VecX::operator-(const VecX& o) const {
+  assert(size() == o.size());
+  VecX r(size());
+  for (std::size_t i = 0; i < size(); ++i) r[i] = data_[i] - o[i];
+  return r;
+}
+
+VecX VecX::operator*(double s) const {
+  VecX r(size());
+  for (std::size_t i = 0; i < size(); ++i) r[i] = data_[i] * s;
+  return r;
+}
+
+VecX VecX::operator/(double s) const { return (*this) * (1.0 / s); }
+
+VecX VecX::operator-() const {
+  VecX r(size());
+  for (std::size_t i = 0; i < size(); ++i) r[i] = -data_[i];
+  return r;
+}
+
+VecX& VecX::operator+=(const VecX& o) {
+  assert(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] += o[i];
+  return *this;
+}
+
+VecX& VecX::operator-=(const VecX& o) {
+  assert(size() == o.size());
+  for (std::size_t i = 0; i < size(); ++i) data_[i] -= o[i];
+  return *this;
+}
+
+VecX& VecX::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double VecX::dot(const VecX& o) const {
+  assert(size() == o.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += data_[i] * o[i];
+  return s;
+}
+
+double VecX::norm() const { return std::sqrt(squaredNorm()); }
+
+double VecX::maxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void VecX::setZero() {
+  for (double& v : data_) v = 0.0;
+}
+
+VecX operator*(double s, const VecX& v) { return v * s; }
+
+void axpy(double a, const VecX& x, VecX& y) {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void axpyInto(double a, const VecX& x, const VecX& y, VecX& out) {
+  assert(x.size() == y.size() && out.size() == x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = y[i] + a * x[i];
+}
+
+std::ostream& operator<<(std::ostream& os, const VecX& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << v[i];
+    if (i + 1 < v.size()) os << ", ";
+  }
+  return os << ']';
+}
+
+}  // namespace dadu::linalg

@@ -1,0 +1,81 @@
+// Dynamic-length vector: joint-angle vectors theta of an N-DOF chain.
+//
+// The paper targets manipulators with up to 100 degrees of freedom, so
+// joint vectors are heap-allocated with the length fixed per robot.
+// The type is deliberately small: IK inner loops index raw storage, so
+// operations here favour clarity, and the handful that sit on hot
+// paths (axpy-style updates) are provided as named free functions that
+// avoid temporaries.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+namespace dadu::linalg {
+
+/// Dynamic column vector of doubles.
+class VecX {
+ public:
+  VecX() = default;
+  /// n zeros.
+  explicit VecX(std::size_t n) : data_(n, 0.0) {}
+  VecX(std::size_t n, double fill) : data_(n, fill) {}
+  VecX(std::initializer_list<double> vals) : data_(vals) {}
+  explicit VecX(std::vector<double> vals) : data_(std::move(vals)) {}
+
+  static VecX zero(std::size_t n) { return VecX(n); }
+  static VecX constant(std::size_t n, double v) { return VecX(n, v); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double operator[](std::size_t i) const { return data_[i]; }
+  double& operator[](std::size_t i) { return data_[i]; }
+
+  const double* data() const { return data_.data(); }
+  double* data() { return data_.data(); }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  bool operator==(const VecX&) const = default;
+
+  VecX operator+(const VecX& o) const;
+  VecX operator-(const VecX& o) const;
+  VecX operator*(double s) const;
+  VecX operator/(double s) const;
+  VecX operator-() const;
+  VecX& operator+=(const VecX& o);
+  VecX& operator-=(const VecX& o);
+  VecX& operator*=(double s);
+
+  double dot(const VecX& o) const;
+  double squaredNorm() const { return dot(*this); }
+  double norm() const;
+  /// Largest |x_i|; 0 for the empty vector.
+  double maxAbs() const;
+
+  void setZero();
+  void resize(std::size_t n) { data_.assign(n, 0.0); }
+
+ private:
+  std::vector<double> data_;
+};
+
+VecX operator*(double s, const VecX& v);
+
+/// y := y + a*x  (no temporary; the theta_k = theta + alpha_k *
+/// dtheta_base update in Quick-IK's speculation loop).
+void axpy(double a, const VecX& x, VecX& y);
+
+/// out := y + a*x with out pre-sized by caller (re-usable scratch in
+/// speculation loops that must not allocate per speculation).
+void axpyInto(double a, const VecX& x, const VecX& y, VecX& out);
+
+std::ostream& operator<<(std::ostream& os, const VecX& v);
+
+}  // namespace dadu::linalg

@@ -1,0 +1,61 @@
+// Fixed-size thread pool with a blocking parallel-for.
+//
+// This is the "multithreads architecture" of the paper's Section 4:
+// Quick-IK's speculative searches are independent within an iteration
+// and are fanned out over worker threads, exactly as the paper fans
+// them over GPU threads or SSUs.  The pool is created once per solver
+// and reused across iterations (thread creation would dominate
+// otherwise, the software analogue of the paper's kernel-launch
+// overhead observation).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dadu::par {
+
+class ThreadPool {
+ public:
+  /// `threads` = 0 selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [begin, end) across the pool and block until
+  /// all complete.  Work is split into contiguous blocks, one per
+  /// worker (speculation counts are small, 16..128, so static
+  /// partitioning is both sufficient and deterministic).  With an
+  /// empty pool (threads == 1 at construction with inline mode) the
+  /// loop runs inline on the caller.
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Submit one task; returns immediately.  parallelFor is built on
+  /// this; exposed for tests and irregular workloads.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace dadu::par

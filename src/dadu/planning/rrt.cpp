@@ -1,0 +1,184 @@
+#include "dadu/planning/rrt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::plan {
+namespace {
+
+struct Node {
+  linalg::VecX q;
+  int parent = -1;
+};
+
+/// Nearest node by joint-space distance (linear scan: tree sizes here
+/// are thousands, far below the break-even of a k-d tree over VecX).
+std::size_t nearest(const std::vector<Node>& tree, const linalg::VecX& q) {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const double d = (tree[i].q - q).squaredNorm();
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+linalg::VecX stepToward(const linalg::VecX& from, const linalg::VecX& to,
+                        double step) {
+  const linalg::VecX d = to - from;
+  const double n = d.norm();
+  if (n <= step) return to;
+  return from + d * (step / n);
+}
+
+std::vector<linalg::VecX> extractPath(const std::vector<Node>& tree,
+                                      int leaf) {
+  std::vector<linalg::VecX> path;
+  for (int i = leaf; i != -1; i = tree[static_cast<std::size_t>(i)].parent)
+    path.push_back(tree[static_cast<std::size_t>(i)].q);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+double pathLength(const std::vector<linalg::VecX>& path) {
+  double len = 0.0;
+  for (std::size_t i = 1; i < path.size(); ++i)
+    len += (path[i] - path[i - 1]).norm();
+  return len;
+}
+
+RrtPlanner::RrtPlanner(geom::RobotGeometry geometry, geom::Obstacles obstacles,
+                       RrtOptions options)
+    : geometry_(std::move(geometry)),
+      obstacles_(std::move(obstacles)),
+      options_(options) {}
+
+bool RrtPlanner::stateFree(const linalg::VecX& q) const {
+  if (!obstacles_.empty() &&
+      geometry_.environmentClearance(q, obstacles_) < options_.margin)
+    return false;
+  if (options_.check_self &&
+      geometry_.selfClearance(q) < options_.margin)
+    return false;
+  return true;
+}
+
+bool RrtPlanner::edgeFree(const linalg::VecX& a, const linalg::VecX& b) const {
+  const double dist = (b - a).norm();
+  const int steps = std::max(
+      1, static_cast<int>(std::ceil(dist / options_.collision_resolution)));
+  for (int s = 1; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    if (!stateFree(a + (b - a) * t)) return false;
+  }
+  return true;
+}
+
+RrtResult RrtPlanner::plan(const linalg::VecX& start,
+                           const linalg::VecX& goal) {
+  RrtResult result;
+  geometry_.chain().requireSize(start);
+  geometry_.chain().requireSize(goal);
+  if (!stateFree(start) || !stateFree(goal)) return result;
+
+  // Trivial case first.
+  if (edgeFree(start, goal)) {
+    result.success = true;
+    result.path = {start, goal};
+    result.path_length = pathLength(result.path);
+    return result;
+  }
+
+  workload::Rng rng(options_.seed);
+  const kin::Chain& chain = geometry_.chain();
+  const auto sample = [&] {
+    linalg::VecX q(chain.dof());
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const kin::Joint& j = chain.joint(i);
+      const double lo = std::isfinite(j.min) ? j.min : -std::numbers::pi;
+      const double hi = std::isfinite(j.max) ? j.max : std::numbers::pi;
+      q[i] = rng.uniform(lo, hi);
+    }
+    return q;
+  };
+
+  // Bidirectional trees; `a` grows towards the sample, `b` tries to
+  // connect to a's new node; swap each round (RRT-Connect).
+  std::vector<Node> tree_a = {{start, -1}};
+  std::vector<Node> tree_b = {{goal, -1}};
+  bool a_is_start = true;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const linalg::VecX target = rng.uniform() < options_.goal_bias
+                                    ? tree_b[0].q
+                                    : sample();
+
+    // Extend tree_a one step towards the sample.
+    const std::size_t na = nearest(tree_a, target);
+    const linalg::VecX qa =
+        stepToward(tree_a[na].q, target, options_.step_size);
+    if (!edgeFree(tree_a[na].q, qa)) {
+      std::swap(tree_a, tree_b);
+      a_is_start = !a_is_start;
+      continue;
+    }
+    tree_a.push_back({qa, static_cast<int>(na)});
+
+    // Greedily connect tree_b towards the new node.
+    std::size_t nb = nearest(tree_b, qa);
+    linalg::VecX qb = tree_b[nb].q;
+    while (true) {
+      const linalg::VecX next = stepToward(qb, qa, options_.step_size);
+      if (!edgeFree(qb, next)) break;
+      tree_b.push_back({next, static_cast<int>(nb)});
+      nb = tree_b.size() - 1;
+      qb = next;
+      if ((qb - qa).norm() < 1e-12) {
+        // Trees met: assemble start->meet + meet->goal.
+        auto path_a = extractPath(tree_a, static_cast<int>(tree_a.size()) - 1);
+        auto path_b = extractPath(tree_b, static_cast<int>(nb));
+        if (!a_is_start) std::swap(path_a, path_b);
+        // path_a runs start->meet; path_b runs goal->meet: reverse it.
+        std::reverse(path_b.begin(), path_b.end());
+        // Drop the duplicated meeting configuration.
+        if (!path_b.empty()) path_b.erase(path_b.begin());
+        path_a.insert(path_a.end(), path_b.begin(), path_b.end());
+        result.path = std::move(path_a);
+        result.success = true;
+
+        // Shortcut smoothing: try to splice random segment pairs.
+        for (int pass = 0;
+             pass < options_.smoothing_passes && result.path.size() > 2;
+             ++pass) {
+          const std::size_t i =
+              rng.below(result.path.size() - 1);
+          const std::size_t j =
+              i + 1 + rng.below(result.path.size() - i - 1);
+          if (j <= i + 1) continue;
+          if (edgeFree(result.path[i], result.path[j])) {
+            result.path.erase(result.path.begin() + static_cast<long>(i) + 1,
+                              result.path.begin() + static_cast<long>(j));
+          }
+        }
+        result.path_length = pathLength(result.path);
+        return result;
+      }
+    }
+
+    std::swap(tree_a, tree_b);
+    a_is_start = !a_is_start;
+  }
+  return result;  // budget exhausted
+}
+
+}  // namespace dadu::plan

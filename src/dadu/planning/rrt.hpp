@@ -1,0 +1,65 @@
+// Joint-space RRT-Connect motion planning.
+//
+// The layer above IK in a real robot stack (and the subject of the
+// Dadu group's follow-up accelerator work): IK gives the goal
+// configuration, the planner finds a collision-free joint path to it.
+// Implemented here as the classic bidirectional RRT-Connect over the
+// capsule collision model, with shortcut smoothing — both a realistic
+// consumer of fast IK (planners issue thousands of collision/IK
+// queries) and the substrate for the planning example.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dadu/geometry/robot_geometry.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::plan {
+
+struct RrtOptions {
+  int max_iterations = 4000;       ///< tree-growth iterations
+  double step_size = 0.25;         ///< joint-space extension step (rad)
+  double goal_bias = 0.1;          ///< fraction of samples pulled to the goal
+  double collision_resolution = 0.1;  ///< edge-checking step (rad)
+  double margin = 0.0;             ///< required clearance
+  bool check_self = false;         ///< include self-collision in checks
+  int smoothing_passes = 60;       ///< shortcut attempts on the raw path
+  std::uint64_t seed = 1;
+};
+
+struct RrtResult {
+  bool success = false;
+  std::vector<linalg::VecX> path;  ///< start..goal, collision-free waypoints
+  int iterations = 0;              ///< growth iterations consumed
+  double path_length = 0.0;        ///< joint-space length of the path
+
+  bool empty() const { return path.empty(); }
+};
+
+class RrtPlanner {
+ public:
+  RrtPlanner(geom::RobotGeometry geometry, geom::Obstacles obstacles,
+             RrtOptions options = {});
+
+  /// Plan from `start` to `goal` (both must be collision-free; returns
+  /// failure otherwise).  Deterministic per options.seed.
+  RrtResult plan(const linalg::VecX& start, const linalg::VecX& goal);
+
+  /// True iff every interpolated configuration between a and b is
+  /// collision-free at the configured resolution.
+  bool edgeFree(const linalg::VecX& a, const linalg::VecX& b) const;
+
+  bool stateFree(const linalg::VecX& q) const;
+
+ private:
+  geom::RobotGeometry geometry_;
+  geom::Obstacles obstacles_;
+  RrtOptions options_;
+};
+
+/// Joint-space length of a waypoint path.
+double pathLength(const std::vector<linalg::VecX>& path);
+
+}  // namespace dadu::plan

@@ -1,0 +1,48 @@
+#include "dadu/platform/cpu_model.hpp"
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/linalg/svd.hpp"
+
+namespace dadu::platform {
+namespace {
+
+double headFlops(std::size_t dof) {
+  return static_cast<double>(kin::jacobianFlops(dof)) +
+         8.0 * static_cast<double>(dof);
+}
+
+CpuEstimate fromFlops(const CpuModelConfig& cfg, double flops) {
+  CpuEstimate est;
+  est.time_ms = flops / (cfg.sustained_gflops * 1e6);
+  est.energy_j = cfg.average_power_w * est.time_ms * 1e-3;
+  return est;
+}
+
+}  // namespace
+
+CpuEstimate estimateCpuJtSerial(const CpuModelConfig& cfg, std::size_t dof,
+                                double iterations) {
+  const double per_iter = headFlops(dof) + 2.0 * static_cast<double>(dof);
+  return fromFlops(cfg, iterations * per_iter);
+}
+
+CpuEstimate estimateCpuQuickIk(const CpuModelConfig& cfg, std::size_t dof,
+                               double iterations, int speculations) {
+  const double per_iter =
+      headFlops(dof) +
+      static_cast<double>(speculations) *
+          (static_cast<double>(kin::fkFlops(dof)) + 2.0 * static_cast<double>(dof));
+  return fromFlops(cfg, iterations * per_iter);
+}
+
+CpuEstimate estimateCpuPinvSvd(const CpuModelConfig& cfg, std::size_t dof,
+                               double iterations, double svd_sweeps_per_iter) {
+  const double svd_flops =
+      svd_sweeps_per_iter * static_cast<double>(linalg::svdFlopsPerSweep(3, dof));
+  // J^+ e application: ~12 * dof.
+  const double per_iter = headFlops(dof) + svd_flops + 12.0 * static_cast<double>(dof);
+  return fromFlops(cfg, iterations * per_iter);
+}
+
+}  // namespace dadu::platform

@@ -1,0 +1,40 @@
+#include "dadu/platform/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+
+namespace dadu::platform {
+
+GpuEstimate estimateGpuQuickIk(const GpuModelConfig& cfg, std::size_t dof,
+                               double iterations, int speculations) {
+  GpuEstimate est;
+  if (iterations <= 0.0) return est;
+
+  // Serial head on the CPU: Jacobian + J^T e + Eq. 8.
+  const double head_flops =
+      static_cast<double>(kin::jacobianFlops(dof)) + 8.0 * static_cast<double>(dof);
+  const double head_us = head_flops / (cfg.cpu_serial_gflops * 1e3);
+
+  // Speculative kernel: warps of speculations run concurrently up to
+  // the residency limit, each thread walking the dependent FK chain.
+  const int warps =
+      (speculations + cfg.warp_size - 1) / std::max(cfg.warp_size, 1);
+  const int serial_batches =
+      (warps + cfg.max_concurrent_warps - 1) /
+      std::max(cfg.max_concurrent_warps, 1);
+  const double fk_flops = static_cast<double>(kin::fkFlops(dof));
+  const double kernel_us =
+      static_cast<double>(serial_batches) * fk_flops /
+      (cfg.per_thread_gflops * 1e3);
+
+  const double per_iter_us = cfg.iteration_overhead_us + head_us + kernel_us;
+  est.time_ms = iterations * per_iter_us * 1e-3;
+  est.energy_j = cfg.average_power_w * est.time_ms * 1e-3;
+  est.overhead_fraction = cfg.iteration_overhead_us / per_iter_us;
+  return est;
+}
+
+}  // namespace dadu::platform

@@ -1,0 +1,60 @@
+// Analytic timing/energy model of Quick-IK on a Jetson TX1-class
+// embedded GPU (the paper's JT-TX1 configuration).
+//
+// We do not have CUDA hardware, so the GPU column is modelled rather
+// than measured (see DESIGN.md, substitution table).  The model
+// follows the paper's own analysis of where the GPU implementation's
+// time goes (Section 6.3.1):
+//
+//   * "GPU needs to exchange data with CPU at each iteration" — the
+//     serial head (Jacobian, alpha_base) runs on the A57, speculation
+//     on the GPU, so each iteration pays a fixed kernel-launch +
+//     host<->device copy overhead.  This dominates and is why the GPU
+//     is only ~3x faster than the SVD baseline despite 64-way
+//     parallelism.
+//   * The speculative kernel runs all speculations concurrently, but
+//     each thread serially chains N 4x4 multiplies (FK is a strict
+//     dependency chain), so kernel time scales with N at per-thread
+//     scalar throughput.
+//   * The serial head runs on the CPU at scalar throughput.
+//
+// Constants are calibrated against public TX1 characteristics and the
+// paper's Table 2/3 (see EXPERIMENTS.md for the resulting fit).
+#pragma once
+
+#include <cstddef>
+
+namespace dadu::platform {
+
+struct GpuModelConfig {
+  /// Kernel launch + cudaMemcpy of theta/dtheta down and errors back,
+  /// per iteration.  Embedded-Tegra launch+sync latencies are tens of
+  /// microseconds; two copies and a sync land at ~100 us.
+  double iteration_overhead_us = 100.0;
+  /// Per-thread scalar throughput of one CUDA core chasing a dependent
+  /// FK chain (no ILP): ~1 GFLOP/s effective at ~1 GHz.
+  double per_thread_gflops = 1.0;
+  /// A57 serial scalar throughput for the Jacobian/alpha head.
+  double cpu_serial_gflops = 2.0;
+  /// Threads per warp — speculation counts are rounded up to warps.
+  int warp_size = 32;
+  /// Concurrent warps the small kernel can keep resident; speculation
+  /// waves beyond this serialise.
+  int max_concurrent_warps = 16;
+  /// Board-level average power under this load (paper Table 3).
+  double average_power_w = 4.8;
+};
+
+struct GpuEstimate {
+  double time_ms = 0.0;
+  double energy_j = 0.0;
+  double overhead_fraction = 0.0;  ///< share of time in launch/copy overhead
+};
+
+/// Estimate a full Quick-IK solve of `iterations` iterations with
+/// `speculations` speculative searches per iteration on a `dof`-joint
+/// chain.
+GpuEstimate estimateGpuQuickIk(const GpuModelConfig& cfg, std::size_t dof,
+                               double iterations, int speculations);
+
+}  // namespace dadu::platform

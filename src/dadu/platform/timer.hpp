@@ -1,0 +1,22 @@
+// Wall-clock timer for the measured-CPU rows of Table 2.
+#pragma once
+
+#include <chrono>
+
+namespace dadu::platform {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace dadu::platform

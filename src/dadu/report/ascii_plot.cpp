@@ -1,0 +1,138 @@
+#include "dadu/report/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace dadu::report {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@'};
+
+struct Range {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+double transform(double v, bool log_y, double floor_positive) {
+  if (!log_y) return v;
+  return std::log10(std::max(v, floor_positive));
+}
+
+Range dataRange(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    bool log_y) {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  double floor_positive = std::numeric_limits<double>::infinity();
+  for (const auto& [name, values] : series)
+    for (double v : values)
+      if (v > 0.0) floor_positive = std::min(floor_positive, v);
+  if (!std::isfinite(floor_positive)) floor_positive = 1e-12;
+
+  for (const auto& [name, values] : series)
+    for (double v : values) {
+      const double t = transform(v, log_y, floor_positive);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return {0.0, 1.0};
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+  return {lo, hi};
+}
+
+std::string renderCanvas(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const PlotOptions& o) {
+  const int w = std::max(o.width, 8);
+  const int h = std::max(o.height, 4);
+
+  double floor_positive = std::numeric_limits<double>::infinity();
+  for (const auto& [name, values] : series)
+    for (double v : values)
+      if (v > 0.0) floor_positive = std::min(floor_positive, v);
+  if (!std::isfinite(floor_positive)) floor_positive = 1e-12;
+
+  const Range range = dataRange(series, o.log_y);
+
+  std::vector<std::string> canvas(h, std::string(w, ' '));
+  std::size_t longest = 1;
+  for (const auto& [name, values] : series)
+    longest = std::max(longest, values.size());
+
+  for (std::size_t s = 0; s < series.size(); ++s) {
+    const auto& values = series[s].second;
+    const char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const int col =
+          longest <= 1
+              ? 0
+              : static_cast<int>(static_cast<double>(i) * (w - 1) /
+                                 static_cast<double>(longest - 1));
+      const double t = transform(values[i], o.log_y, floor_positive);
+      const double frac = (t - range.lo) / (range.hi - range.lo);
+      const int row = (h - 1) - static_cast<int>(std::lround(frac * (h - 1)));
+      canvas[std::clamp(row, 0, h - 1)][std::clamp(col, 0, w - 1)] = glyph;
+    }
+  }
+
+  std::ostringstream out;
+  if (!o.label.empty()) out << o.label << '\n';
+  const auto axisValue = [&](double t) {
+    return o.log_y ? std::pow(10.0, t) : t;
+  };
+  out << std::scientific << std::setprecision(1);
+  out << std::setw(9) << axisValue(range.hi) << " +" << '\n';
+  for (const auto& row : canvas) out << std::string(11, ' ') << row << '\n';
+  out << std::setw(9) << axisValue(range.lo) << " +" << std::string(w, '-')
+      << '\n';
+  if (series.size() > 1) {
+    out << std::string(11, ' ');
+    for (std::size_t s = 0; s < series.size(); ++s)
+      out << kGlyphs[s % sizeof(kGlyphs)] << " = " << series[s].first << "  ";
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string plotSeries(const std::vector<double>& values,
+                       const PlotOptions& options) {
+  return renderCanvas({{options.label.empty() ? "series" : options.label,
+                        values}},
+                      options);
+}
+
+std::string plotMultiSeries(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const PlotOptions& options) {
+  return renderCanvas(series, options);
+}
+
+std::string barChart(
+    const std::vector<std::pair<std::string, double>>& values, int width,
+    const std::string& unit) {
+  double hi = 0.0;
+  std::size_t name_w = 1;
+  for (const auto& [name, v] : values) {
+    hi = std::max(hi, v);
+    name_w = std::max(name_w, name.size());
+  }
+  if (hi <= 0.0) hi = 1.0;
+
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);
+  for (const auto& [name, v] : values) {
+    const int len = static_cast<int>(std::lround(v / hi * width));
+    out << std::setw(static_cast<int>(name_w)) << std::left << name << " |"
+        << std::string(std::max(len, v > 0.0 ? 1 : 0), '#') << ' ' << v;
+    if (!unit.empty()) out << ' ' << unit;
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace dadu::report

@@ -1,0 +1,36 @@
+// Terminal plotting: log-scale convergence curves and bar charts, so
+// examples and benches can show the *shape* of a result (the thing the
+// paper's figures communicate) without any plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dadu::report {
+
+struct PlotOptions {
+  int width = 72;       ///< character columns for the data area
+  int height = 16;      ///< character rows
+  bool log_y = true;    ///< logarithmic y (IK error spans decades)
+  std::string label;    ///< printed above the plot
+};
+
+/// Render one series (e.g. per-iteration error) as an ASCII chart.
+/// Non-positive values are clamped to the smallest positive value when
+/// log_y is set.  Returns a multi-line string.
+std::string plotSeries(const std::vector<double>& values,
+                       const PlotOptions& options = {});
+
+/// Render several labelled series on a shared canvas, one glyph per
+/// series ('*', 'o', '+', 'x', ...).
+std::string plotMultiSeries(
+    const std::vector<std::pair<std::string, std::vector<double>>>& series,
+    const PlotOptions& options = {});
+
+/// Horizontal bar chart for labelled scalar comparisons (e.g. solve
+/// time per method).
+std::string barChart(
+    const std::vector<std::pair<std::string, double>>& values, int width = 48,
+    const std::string& unit = "");
+
+}  // namespace dadu::report

@@ -1,0 +1,40 @@
+#include "dadu/report/csv.hpp"
+
+#include <stdexcept>
+
+namespace dadu::report {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  writeRow(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char ch : cell) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    out_ << escape(row[i]);
+    if (i + 1 < row.size()) out_ << ',';
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::addRow(const std::vector<std::string>& row) {
+  if (row.size() != width_)
+    throw std::runtime_error("CsvWriter: row width mismatch in " + path_);
+  writeRow(row);
+  out_.flush();
+}
+
+}  // namespace dadu::report

@@ -1,0 +1,30 @@
+// CSV writer so every bench can dump machine-readable results next to
+// its console table (for replotting the paper's figures).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dadu::report {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header; throws
+  /// std::runtime_error if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void addRow(const std::vector<std::string>& row);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t width_;
+
+  static std::string escape(const std::string& cell);
+  void writeRow(const std::vector<std::string>& row);
+};
+
+}  // namespace dadu::report

@@ -1,0 +1,40 @@
+// Fixed-width console tables in the style of the paper's Tables 1-3,
+// used by every bench binary to print its reproduced rows.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dadu::report {
+
+/// A simple column-aligned text table.  Cells are strings; numeric
+/// helpers format with fixed precision.  Rendering right-aligns
+/// numeric-looking cells and left-aligns text.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Format helpers.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string sci(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string toString() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner ("== Table 2: ... ==") used by benches.
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace dadu::report

@@ -1,0 +1,40 @@
+// Damped least squares (Levenberg-style), a standard member of the
+// inverse-Jacobian family the paper situates itself in.
+//
+// dtheta = J^T (J J^T + lambda^2 I)^-1 e.  With a 3-D task space the
+// inner system is 3x3 and solved by Cholesky, so — unlike the SVD
+// pseudoinverse — each iteration is cheap and fully deterministic in
+// cost.  Included as the intermediate point between JT (cheapest
+// iteration) and J^+-SVD (fewest iterations).
+#pragma once
+
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+class DlsSolver final : public IkSolver {
+ public:
+  DlsSolver(kin::Chain chain, SolveOptions options, double lambda = 0.1,
+            double max_task_step = 0.1)
+      : chain_(std::move(chain)),
+        options_(options),
+        lambda_(lambda),
+        max_task_step_(max_task_step) {}
+
+  SolveResult solve(const linalg::Vec3& target,
+                    const linalg::VecX& seed) override;
+  std::string name() const override { return "dls"; }
+  const kin::Chain& chain() const override { return chain_; }
+  const SolveOptions& options() const override { return options_; }
+  double lambda() const { return lambda_; }
+
+ private:
+  kin::Chain chain_;
+  SolveOptions options_;
+  double lambda_;
+  double max_task_step_;
+  JtWorkspace ws_;
+};
+
+}  // namespace dadu::ik

@@ -1,0 +1,36 @@
+// Abstract IK solver interface.
+//
+// A solver is constructed for one chain (so it can pre-allocate all
+// per-iteration workspaces: high-DOF real-time control cannot afford
+// per-solve allocation) and then solves any number of targets.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+#include "dadu/solvers/types.hpp"
+
+namespace dadu::ik {
+
+class IkSolver {
+ public:
+  virtual ~IkSolver() = default;
+
+  /// Solve for `target`, starting from joint configuration `seed`.
+  /// Throws std::invalid_argument on seed-size mismatch or non-finite
+  /// target.
+  virtual SolveResult solve(const linalg::Vec3& target,
+                            const linalg::VecX& seed) = 0;
+
+  /// Stable identifier ("jt-serial", "quick-ik", ...) used by benches
+  /// and reports.
+  virtual std::string name() const = 0;
+
+  virtual const kin::Chain& chain() const = 0;
+  virtual const SolveOptions& options() const = 0;
+};
+
+}  // namespace dadu::ik

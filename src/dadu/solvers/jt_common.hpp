@@ -1,0 +1,60 @@
+// Shared machinery of the Jacobian-transpose family (JT-Serial,
+// JT fixed-alpha, Quick-IK) and general solver plumbing.
+#pragma once
+
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::ik {
+
+/// Reusable per-iteration workspace for transpose-method solvers: the
+/// Jacobian, link-frame scratch and the base update direction.  One
+/// instance per solver; sized on first use.
+struct JtWorkspace {
+  linalg::MatX j;                       // 3 x N Jacobian
+  std::vector<linalg::Mat4> frames;     // link frames scratch
+  linalg::VecX dtheta_base;             // J^T e
+};
+
+/// Result of the serial head of a transpose iteration: everything the
+/// paper's SPU produces (J implicit in workspace, dtheta_base,
+/// alpha_base) plus the current error.
+struct JtIterationHead {
+  linalg::Vec3 error_vec;   // e = Xt - f(theta)
+  double error = 0.0;       // ||e||
+  double alpha_base = 0.0;  // Eq. 8 step size
+  bool stalled = false;     // J^T e vanished while error is nonzero
+};
+
+/// Evaluate J(theta), e, dtheta_base = J^T e and alpha_base =
+/// (e . JJ^T e) / (JJ^T e . JJ^T e)  (Eq. 8).  Writes into `ws`.
+JtIterationHead jtIterationHead(const kin::Chain& chain,
+                                const linalg::VecX& theta,
+                                const linalg::Vec3& target, JtWorkspace& ws);
+
+/// Validate solver inputs (seed size, finite target); throws
+/// std::invalid_argument on violation.
+void validateInputs(const kin::Chain& chain, const linalg::Vec3& target,
+                    const linalg::VecX& seed);
+
+/// Classical stability-safe constant gain for the *original* transpose
+/// method (Wolovich & Elliott [6]): the update theta += alpha J^T e is
+/// a gradient step on ||e||^2/2, stable when alpha < 2 / lambda_max(J
+/// J^T).  lambda_max is bounded by the sum of squared lever arms,
+/// which is largest at the fully stretched configuration, so
+///
+///     alpha = c / sum_i (distance from joint i to the tip, stretched)^2
+///
+/// with a conservative c (default 4, comfortably inside the stability
+/// region across the paper's DOF ladder) is the per-robot constant a
+/// careful classical implementation would pick.  This gain is what
+/// makes the original method need thousands of iterations at high DOF
+/// (paper Fig. 5a) — the gap Quick-IK closes.
+double stabilityGain(const kin::Chain& chain, double c = 4.0);
+
+}  // namespace dadu::ik

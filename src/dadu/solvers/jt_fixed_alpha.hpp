@@ -1,0 +1,33 @@
+// Jacobian transpose with a fixed scalar step size.
+//
+// Ablation baseline: the paper motivates Eq. 8 (and then Quick-IK's
+// speculative search) by the sensitivity of the transpose method to
+// alpha — "for a sufficiently small alpha > 0 the error decreases",
+// but tiny alpha crawls.  This solver makes that trade-off measurable.
+#pragma once
+
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+class JtFixedAlphaSolver final : public IkSolver {
+ public:
+  JtFixedAlphaSolver(kin::Chain chain, SolveOptions options, double alpha)
+      : chain_(std::move(chain)), options_(options), alpha_(alpha) {}
+
+  SolveResult solve(const linalg::Vec3& target,
+                    const linalg::VecX& seed) override;
+  std::string name() const override { return "jt-fixed-alpha"; }
+  const kin::Chain& chain() const override { return chain_; }
+  const SolveOptions& options() const override { return options_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  kin::Chain chain_;
+  SolveOptions options_;
+  double alpha_;
+  JtWorkspace ws_;
+};
+
+}  // namespace dadu::ik

@@ -1,0 +1,50 @@
+#include "dadu/solvers/jt_momentum.hpp"
+
+namespace dadu::ik {
+
+SolveResult JtMomentumSolver::solve(const linalg::Vec3& target,
+                                    const linalg::VecX& seed) {
+  validateInputs(chain_, target, seed);
+
+  SolveResult result;
+  result.theta = seed;
+  linalg::VecX velocity(chain_.dof());
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const JtIterationHead head =
+        jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    if (options_.record_history) result.error_history.push_back(head.error);
+    result.error = head.error;
+
+    if (head.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      return result;
+    }
+    if (head.stalled && velocity.maxAbs() < 1e-300) {
+      result.status = Status::kStalled;
+      return result;
+    }
+
+    // velocity = beta * velocity + alpha * J^T e; theta += velocity.
+    velocity *= beta_;
+    if (!head.stalled)
+      linalg::axpy(head.alpha_base, ws_.dtheta_base, velocity);
+    result.theta += velocity;
+    if (options_.clamp_to_limits)
+      result.theta = chain_.clampToLimits(result.theta);
+
+    ++result.iterations;
+    ++result.speculation_load;
+  }
+
+  const JtIterationHead head =
+      jtIterationHead(chain_, result.theta, target, ws_);
+  ++result.fk_evaluations;
+  result.error = head.error;
+  result.status = head.error < options_.accuracy ? Status::kConverged
+                                                 : Status::kMaxIterations;
+  return result;
+}
+
+}  // namespace dadu::ik

@@ -1,0 +1,44 @@
+// J^-1-SVD: pseudoinverse method, the paper's strong serial baseline.
+//
+// Mirrors the KDL/ROS solver the paper measured: each iteration
+// factorises the Jacobian with SVD and takes the Moore-Penrose step
+// dtheta = J^+ e.  Converges in few iterations but pays a full SVD per
+// iteration — the serial cost the paper's whole design argument rests
+// on.  The task-space error is clamped to `max_task_step` per
+// iteration, the standard stabilisation (also in KDL) that keeps the
+// Newton step inside the linearisation's region of validity.
+#pragma once
+
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+class PinvSvdSolver final : public IkSolver {
+ public:
+  PinvSvdSolver(kin::Chain chain, SolveOptions options,
+                double max_task_step = 0.1)
+      : chain_(std::move(chain)),
+        options_(options),
+        max_task_step_(max_task_step) {}
+
+  SolveResult solve(const linalg::Vec3& target,
+                    const linalg::VecX& seed) override;
+  std::string name() const override { return "pinv-svd"; }
+  const kin::Chain& chain() const override { return chain_; }
+  const SolveOptions& options() const override { return options_; }
+
+  /// Total Jacobi sweeps spent in SVD across the last solve — the
+  /// quantity the platform models price when estimating the serial
+  /// cost of this method on modelled hardware.
+  long long lastSvdSweeps() const { return last_svd_sweeps_; }
+
+ private:
+  kin::Chain chain_;
+  SolveOptions options_;
+  double max_task_step_;
+  JtWorkspace ws_;
+  long long last_svd_sweeps_ = 0;
+};
+
+}  // namespace dadu::ik

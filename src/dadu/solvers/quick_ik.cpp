@@ -1,0 +1,101 @@
+#include "dadu/solvers/quick_ik.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::ik {
+
+QuickIkSolver::QuickIkSolver(kin::Chain chain, SolveOptions options,
+                             Execution execution, std::size_t threads)
+    : chain_(std::move(chain)), options_(options), execution_(execution) {
+  if (options_.speculations < 1)
+    throw std::invalid_argument("Quick-IK requires at least 1 speculation");
+  if (execution_ == Execution::kThreadPool)
+    pool_ = std::make_unique<par::ThreadPool>(threads);
+  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
+  error_k_.assign(options_.speculations, 0.0);
+}
+
+SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
+                                 const linalg::VecX& seed) {
+  validateInputs(chain_, target, seed);
+
+  const int max_spec = options_.speculations;
+  SolveResult result;
+  result.theta = seed;
+
+  if (options_.max_iterations <= 0) {
+    // Zero budget: report the seed's error honestly.
+    const JtIterationHead head =
+        jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    result.error = head.error;
+    result.status = head.error < options_.accuracy ? Status::kConverged
+                                                   : Status::kMaxIterations;
+    return result;
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const JtIterationHead head =
+        jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    if (options_.record_history) result.error_history.push_back(head.error);
+    result.error = head.error;
+
+    if (head.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      return result;
+    }
+    if (head.stalled) {
+      result.status = Status::kStalled;
+      return result;
+    }
+
+    // Speculative search (Algorithm 1, lines 6-15).  Each k is fully
+    // independent: own candidate vector, own FK pass.
+    const auto speculate = [&](std::size_t idx) {
+      const int k = static_cast<int>(idx) + 1;
+      const double alpha_k =
+          (static_cast<double>(k) / max_spec) * head.alpha_base;  // Eq. 9
+      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta, theta_k_[idx]);
+      if (options_.clamp_to_limits)
+        theta_k_[idx] = chain_.clampToLimits(theta_k_[idx]);
+      const linalg::Vec3 x_k = kin::endEffectorPosition(chain_, theta_k_[idx]);
+      error_k_[idx] = (target - x_k).norm();
+    };
+
+    if (execution_ == Execution::kThreadPool) {
+      pool_->parallelFor(0, static_cast<std::size_t>(max_spec), speculate);
+    } else {
+      for (std::size_t idx = 0; idx < static_cast<std::size_t>(max_spec);
+           ++idx)
+        speculate(idx);
+    }
+    result.fk_evaluations += max_spec;
+    result.speculation_load += max_spec;
+    ++result.iterations;
+
+    // Parameter selection (line 16): argmin error, smallest k on ties,
+    // deterministic regardless of execution strategy.
+    std::size_t best = 0;
+    for (std::size_t idx = 1; idx < static_cast<std::size_t>(max_spec); ++idx)
+      if (error_k_[idx] < error_k_[best]) best = idx;
+
+    result.theta = theta_k_[best];
+    result.error = error_k_[best];
+
+    if (error_k_[best] < options_.accuracy) {  // line 12-13 early exit
+      result.status = Status::kConverged;
+      if (options_.record_history) result.error_history.push_back(result.error);
+      return result;
+    }
+  }
+
+  result.status = result.error < options_.accuracy ? Status::kConverged
+                                                   : Status::kMaxIterations;
+  return result;
+}
+
+}  // namespace dadu::ik

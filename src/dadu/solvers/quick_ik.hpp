@@ -1,0 +1,68 @@
+// Quick-IK (Algorithm 1 of the paper): speculative parallel search over
+// the step-size parameter of the Jacobian-transpose method.
+//
+// Each iteration computes the serial head (J, dtheta_base = J^T e,
+// alpha_base per Eq. 8) and then evaluates `Max` speculative step sizes
+//
+//     alpha_k = (k / Max) * alpha_base,   k = 1..Max        (Eq. 9)
+//
+// in parallel, each requiring one forward-kinematics pass f(theta +
+// alpha_k dtheta_base).  The candidate with the smallest remaining
+// error becomes the next iterate; any candidate already under the
+// accuracy threshold ends the solve.  The speculation set spans
+// (0, alpha_base] because the error is guaranteed to decrease for
+// sufficiently small positive alpha while alpha_base is the
+// near-optimal linearised step — searching between the two captures
+// the best of both (Section 4, "Speculation strategy").
+//
+// Execution of the speculation loop is pluggable: inline (the paper's
+// "Atom" single-thread row) or fanned out over a thread pool (the
+// multithreaded architecture the paper maps to GPU threads / SSUs).
+// Both produce bit-identical results — selection is a deterministic
+// argmin with smallest-k tie-break — which is also what lets the
+// IKAcc simulator's functional output be validated against this class.
+#pragma once
+
+#include <memory>
+
+#include "dadu/parallel/thread_pool.hpp"
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+class QuickIkSolver final : public IkSolver {
+ public:
+  enum class Execution {
+    kSerial,      ///< speculations evaluated inline on the caller
+    kThreadPool,  ///< speculations fanned out over worker threads
+  };
+
+  /// `threads` is only used with kThreadPool (0 = hardware concurrency).
+  QuickIkSolver(kin::Chain chain, SolveOptions options,
+                Execution execution = Execution::kSerial,
+                std::size_t threads = 0);
+
+  SolveResult solve(const linalg::Vec3& target,
+                    const linalg::VecX& seed) override;
+  std::string name() const override {
+    return execution_ == Execution::kSerial ? "quick-ik" : "quick-ik-mt";
+  }
+  const kin::Chain& chain() const override { return chain_; }
+  const SolveOptions& options() const override { return options_; }
+  Execution execution() const { return execution_; }
+
+ private:
+  kin::Chain chain_;
+  SolveOptions options_;
+  Execution execution_;
+  std::unique_ptr<par::ThreadPool> pool_;  // only for kThreadPool
+
+  JtWorkspace ws_;
+  // Per-speculation scratch, sized once: candidate joint vectors and
+  // errors.  Indexed by k-1.
+  std::vector<linalg::VecX> theta_k_;
+  std::vector<double> error_k_;
+};
+
+}  // namespace dadu::ik

@@ -1,0 +1,93 @@
+#include "dadu/solvers/quick_ik_adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "dadu/kinematics/forward.hpp"
+
+namespace dadu::ik {
+
+QuickIkAdaptiveSolver::QuickIkAdaptiveSolver(kin::Chain chain,
+                                             SolveOptions options,
+                                             int min_speculations)
+    : chain_(std::move(chain)),
+      options_(options),
+      min_spec_(min_speculations) {
+  if (options_.speculations < 1)
+    throw std::invalid_argument(
+        "Quick-IK (adaptive) requires at least 1 speculation");
+  if (min_spec_ < 1 || min_spec_ > options_.speculations)
+    throw std::invalid_argument(
+        "Quick-IK (adaptive): min speculations out of range");
+  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
+  error_k_.assign(options_.speculations, 0.0);
+}
+
+SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
+                                         const linalg::VecX& seed) {
+  validateInputs(chain_, target, seed);
+
+  SolveResult result;
+  result.theta = seed;
+  int spec = options_.speculations;  // start wide, adapt down
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const JtIterationHead head =
+        jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    if (options_.record_history) result.error_history.push_back(head.error);
+    result.error = head.error;
+
+    if (head.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      return result;
+    }
+    if (head.stalled) {
+      result.status = Status::kStalled;
+      return result;
+    }
+
+    for (int k = 1; k <= spec; ++k) {
+      const double alpha_k =
+          (static_cast<double>(k) / spec) * head.alpha_base;  // Eq. 9
+      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta,
+                       theta_k_[k - 1]);
+      if (options_.clamp_to_limits)
+        theta_k_[k - 1] = chain_.clampToLimits(theta_k_[k - 1]);
+      const linalg::Vec3 x_k =
+          kin::endEffectorPosition(chain_, theta_k_[k - 1]);
+      error_k_[k - 1] = (target - x_k).norm();
+    }
+    result.fk_evaluations += spec;
+    result.speculation_load += spec;
+    ++result.iterations;
+
+    std::size_t best = 0;
+    for (std::size_t idx = 1; idx < static_cast<std::size_t>(spec); ++idx)
+      if (error_k_[idx] < error_k_[best]) best = idx;
+
+    result.theta = theta_k_[best];
+    result.error = error_k_[best];
+    if (result.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      if (options_.record_history) result.error_history.push_back(result.error);
+      return result;
+    }
+
+    // Adapt: boundary winner (top quarter of the range) means the full
+    // Eq. 8 step is near-optimal — shrink the search; interior winner
+    // means curvature — widen it again.
+    const int k_best = static_cast<int>(best) + 1;
+    if (4 * k_best > 3 * spec) {
+      spec = std::max(min_spec_, spec / 2);
+    } else {
+      spec = std::min(options_.speculations, spec * 2);
+    }
+  }
+
+  result.status = result.error < options_.accuracy ? Status::kConverged
+                                                   : Status::kMaxIterations;
+  return result;
+}
+
+}  // namespace dadu::ik

@@ -1,0 +1,82 @@
+#include "dadu/solvers/quick_ik_f32.hpp"
+
+#include <stdexcept>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/forward_f32.hpp"
+
+namespace dadu::ik {
+
+QuickIkF32Solver::QuickIkF32Solver(kin::Chain chain, SolveOptions options)
+    : chain_(std::move(chain)), options_(options) {
+  if (options_.speculations < 1)
+    throw std::invalid_argument(
+        "Quick-IK (f32) requires at least 1 speculation");
+  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
+  error_k_.assign(options_.speculations, 0.0);
+}
+
+SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
+                                    const linalg::VecX& seed) {
+  validateInputs(chain_, target, seed);
+
+  const int max_spec = options_.speculations;
+  SolveResult result;
+  result.theta = seed;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    // Serial head in double (SPU datapath).
+    const JtIterationHead head =
+        jtIterationHead(chain_, result.theta, target, ws_);
+    ++result.fk_evaluations;
+    if (options_.record_history) result.error_history.push_back(head.error);
+    result.error = head.error;
+
+    if (head.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      return result;
+    }
+    if (head.stalled) {
+      result.status = Status::kStalled;
+      return result;
+    }
+
+    // Speculative searches on the float datapath (SSU/FKU array).
+    for (int k = 1; k <= max_spec; ++k) {
+      const double alpha_k =
+          (static_cast<double>(k) / max_spec) * head.alpha_base;
+      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta,
+                       theta_k_[k - 1]);
+      const linalg::Vec3 x_k =
+          kin::endEffectorPositionF32(chain_, theta_k_[k - 1]);
+      error_k_[k - 1] = (target - x_k).norm();
+    }
+    result.fk_evaluations += max_spec;
+    result.speculation_load += max_spec;
+    ++result.iterations;
+
+    std::size_t best = 0;
+    for (std::size_t idx = 1; idx < static_cast<std::size_t>(max_spec); ++idx)
+      if (error_k_[idx] < error_k_[best]) best = idx;
+
+    result.theta = theta_k_[best];
+    // Honest accuracy: re-measure the winner in double before claiming
+    // convergence (a hardware build would do the final check on the
+    // host controller anyway).
+    result.error =
+        (target - kin::endEffectorPosition(chain_, result.theta)).norm();
+    ++result.fk_evaluations;
+
+    if (result.error < options_.accuracy) {
+      result.status = Status::kConverged;
+      if (options_.record_history) result.error_history.push_back(result.error);
+      return result;
+    }
+  }
+
+  result.status = result.error < options_.accuracy ? Status::kConverged
+                                                   : Status::kMaxIterations;
+  return result;
+}
+
+}  // namespace dadu::ik

@@ -1,0 +1,36 @@
+// Quick-IK with a single-precision speculative datapath.
+//
+// Models an IKAcc whose Forward Kinematics Units are built from FP32
+// arithmetic: the serial head (Jacobian, alpha_base) stays in double —
+// it runs once per iteration and would live in the SPU where a wider
+// datapath is affordable — while the 64 speculative FK evaluations use
+// the float pipeline, as the SSU array would.  The selection argmin
+// operates on float-derived errors; the solver's convergence check
+// re-measures the chosen candidate in double so the reported accuracy
+// is honest.
+#pragma once
+
+#include "dadu/solvers/ik_solver.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+class QuickIkF32Solver final : public IkSolver {
+ public:
+  QuickIkF32Solver(kin::Chain chain, SolveOptions options);
+
+  SolveResult solve(const linalg::Vec3& target,
+                    const linalg::VecX& seed) override;
+  std::string name() const override { return "quick-ik-f32"; }
+  const kin::Chain& chain() const override { return chain_; }
+  const SolveOptions& options() const override { return options_; }
+
+ private:
+  kin::Chain chain_;
+  SolveOptions options_;
+  JtWorkspace ws_;
+  std::vector<linalg::VecX> theta_k_;
+  std::vector<double> error_k_;
+};
+
+}  // namespace dadu::ik

@@ -1,0 +1,115 @@
+#include "dadu/solvers/quick_ik_tree.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu::ik {
+namespace {
+
+/// Stacked error vector (targets - positions) and per-EE norms.
+struct StackedError {
+  linalg::VecX e;
+  std::vector<double> per_ee;
+  double norm = 0.0;
+  bool allWithin(double accuracy) const {
+    for (double v : per_ee)
+      if (!(v < accuracy)) return false;
+    return true;
+  }
+};
+
+StackedError measure(const kin::Tree& tree,
+                     const std::vector<linalg::Vec3>& targets,
+                     const linalg::VecX& theta) {
+  const auto positions = tree.endEffectorPositions(theta);
+  StackedError out;
+  out.e = linalg::VecX(3 * targets.size());
+  out.per_ee.resize(targets.size());
+  double sq = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const linalg::Vec3 d = targets[i] - positions[i];
+    out.e[3 * i + 0] = d.x;
+    out.e[3 * i + 1] = d.y;
+    out.e[3 * i + 2] = d.z;
+    out.per_ee[i] = d.norm();
+    sq += d.squaredNorm();
+  }
+  out.norm = std::sqrt(sq);
+  return out;
+}
+
+}  // namespace
+
+QuickIkTreeSolver::QuickIkTreeSolver(kin::Tree tree, SolveOptions options)
+    : tree_(std::move(tree)), options_(options) {
+  if (options_.speculations < 1)
+    throw std::invalid_argument(
+        "Quick-IK (tree) requires at least 1 speculation");
+  theta_k_.assign(options_.speculations, linalg::VecX(tree_.dof()));
+  error_k_.assign(options_.speculations, 0.0);
+}
+
+TreeSolveResult QuickIkTreeSolver::solve(
+    const std::vector<linalg::Vec3>& targets, const linalg::VecX& seed) {
+  if (targets.size() != tree_.endEffectorCount())
+    throw std::invalid_argument("Quick-IK (tree): " +
+                                std::to_string(targets.size()) +
+                                " targets for " +
+                                std::to_string(tree_.endEffectorCount()) +
+                                " end effectors");
+  tree_.requireSize(seed);
+  for (const auto& t : targets)
+    if (!std::isfinite(t.x) || !std::isfinite(t.y) || !std::isfinite(t.z))
+      throw std::invalid_argument("Quick-IK (tree): non-finite target");
+  for (double v : seed)
+    if (!std::isfinite(v))
+      throw std::invalid_argument("Quick-IK (tree): non-finite seed");
+
+  const int max_spec = options_.speculations;
+  TreeSolveResult result;
+  result.theta = seed;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const StackedError err = measure(tree_, targets, result.theta);
+    result.errors = err.per_ee;
+
+    if (err.allWithin(options_.accuracy)) {
+      result.status = Status::kConverged;
+      return result;
+    }
+
+    // Serial head over the stacked system.
+    const linalg::MatX j = tree_.stackedJacobian(result.theta);
+    const linalg::VecX dtheta_base = j.applyTransposed(err.e);
+    const linalg::VecX jjte = j * dtheta_base;
+    const double denom = jjte.dot(jjte);
+    if (!(denom > 0.0) || dtheta_base.maxAbs() < 1e-300) {
+      result.status = Status::kStalled;
+      return result;
+    }
+    const double alpha_base = err.e.dot(jjte) / denom;
+
+    // Speculative search; the selector minimises the stacked norm.
+    for (int k = 1; k <= max_spec; ++k) {
+      const double alpha_k =
+          (static_cast<double>(k) / max_spec) * alpha_base;
+      linalg::axpyInto(alpha_k, dtheta_base, result.theta, theta_k_[k - 1]);
+      error_k_[k - 1] = measure(tree_, targets, theta_k_[k - 1]).norm;
+    }
+    result.speculation_load += max_spec;
+    ++result.iterations;
+
+    std::size_t best = 0;
+    for (std::size_t idx = 1; idx < static_cast<std::size_t>(max_spec); ++idx)
+      if (error_k_[idx] < error_k_[best]) best = idx;
+    result.theta = theta_k_[best];
+  }
+
+  const StackedError err = measure(tree_, targets, result.theta);
+  result.errors = err.per_ee;
+  result.status = err.allWithin(options_.accuracy) ? Status::kConverged
+                                                   : Status::kMaxIterations;
+  return result;
+}
+
+}  // namespace dadu::ik

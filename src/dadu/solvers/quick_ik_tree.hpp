@@ -1,0 +1,56 @@
+// Quick-IK for kinematic trees with multiple end effectors.
+//
+// Algorithm 1 generalises directly: stack one 3-row Jacobian block and
+// one error sub-vector per end effector, take dtheta_base = J^T e over
+// the stack, compute alpha_base from the stacked Eq. 8, and run the
+// speculative search with the stacked error norm as the selection
+// metric.  Convergence requires EVERY end effector within accuracy —
+// the humanoid "both hands on their targets" criterion.  This is the
+// regime the related-work section rules CCD out of, and where the
+// accelerator story gets stronger: the FKU workload per speculation
+// grows with the number of branches while the algorithm structure is
+// unchanged.
+#pragma once
+
+#include <vector>
+
+#include "dadu/kinematics/tree.hpp"
+#include "dadu/solvers/types.hpp"
+
+namespace dadu::ik {
+
+struct TreeSolveResult {
+  Status status = Status::kMaxIterations;
+  int iterations = 0;
+  long long speculation_load = 0;
+  /// Per-end-effector final errors (metres).
+  std::vector<double> errors;
+  double maxError() const {
+    double m = 0.0;
+    for (double e : errors) m = std::max(m, e);
+    return m;
+  }
+  linalg::VecX theta;
+  bool converged() const { return status == Status::kConverged; }
+};
+
+class QuickIkTreeSolver {
+ public:
+  QuickIkTreeSolver(kin::Tree tree, SolveOptions options);
+
+  /// One target per end effector (order matches tree.endEffectors());
+  /// throws std::invalid_argument on a count mismatch or bad seed.
+  TreeSolveResult solve(const std::vector<linalg::Vec3>& targets,
+                        const linalg::VecX& seed);
+
+  const kin::Tree& tree() const { return tree_; }
+  const SolveOptions& options() const { return options_; }
+
+ private:
+  kin::Tree tree_;
+  SolveOptions options_;
+  std::vector<linalg::VecX> theta_k_;
+  std::vector<double> error_k_;
+};
+
+}  // namespace dadu::ik

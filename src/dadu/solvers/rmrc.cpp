@@ -1,0 +1,64 @@
+#include "dadu/solvers/rmrc.hpp"
+
+#include <cmath>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/linalg/cholesky.hpp"
+
+namespace dadu::ik {
+
+RmrcResult trackRmrc(const kin::Chain& chain,
+                     const std::vector<linalg::Vec3>& path,
+                     const linalg::VecX& q0, const RmrcOptions& options) {
+  RmrcResult result;
+  if (path.empty()) return result;
+  chain.requireSize(q0);
+
+  linalg::VecX q = q0;
+  linalg::MatX j;
+  std::vector<linalg::Mat4> frames;
+  linalg::Vec3 ee;
+
+  result.joint_path.reserve(path.size());
+  result.tracking_error.reserve(path.size());
+  double sq_sum = 0.0;
+
+  for (std::size_t k = 0; k < path.size(); ++k) {
+    kin::positionJacobian(chain, q, j, frames, ee);
+
+    // Desired task velocity: feedforward along the path + drift
+    // correction towards the current waypoint.
+    linalg::Vec3 v = (path[k] - ee) * options.feedback_gain;
+    if (k + 1 < path.size())
+      v += (path[k + 1] - path[k]) / options.dt;
+
+    // theta_dot = J^T (J J^T + lambda^2 I)^-1 v (damped RMRC).
+    const linalg::Mat3 g = linalg::gram3(j);
+    linalg::MatX a(3, 3);
+    for (std::size_t r = 0; r < 3; ++r)
+      for (std::size_t c = 0; c < 3; ++c) a(r, c) = g(r, c);
+    for (std::size_t d = 0; d < 3; ++d)
+      a(d, d) += options.lambda * options.lambda;
+    const auto y = linalg::choleskySolve(a, {v.x, v.y, v.z});
+    if (y) {
+      linalg::VecX qdot;
+      linalg::mulTransposed3(j, {(*y)[0], (*y)[1], (*y)[2]}, qdot);
+      linalg::axpy(options.dt, qdot, q);
+    }
+    // On a Cholesky failure (NaN poisoning) we freeze; the error trace
+    // records the consequence rather than crashing the controller.
+
+    const double err = (path[k] - kin::endEffectorPosition(chain, q)).norm();
+    result.joint_path.push_back(q);
+    result.tracking_error.push_back(err);
+    result.max_error = std::max(result.max_error, err);
+    sq_sum += err * err;
+  }
+
+  result.rms_error =
+      std::sqrt(sq_sum / static_cast<double>(path.size()));
+  return result;
+}
+
+}  // namespace dadu::ik

@@ -1,0 +1,43 @@
+// Resolved Motion Rate Control — Whitney 1969, the paper's reference
+// [5] and the ancestor of the whole inverse-Jacobian family.
+//
+// Velocity-level IK: instead of solving positions from scratch, the
+// controller integrates joint rates that realise a desired task-space
+// velocity,
+//
+//     theta_dot = J^+ ( x_dot_ff + K * e )
+//
+// where x_dot_ff is the path's feedforward velocity and K e the
+// closed-loop drift correction (CLIK).  This is how a tracking
+// controller consumes IK in practice, and the natural consumer of the
+// warm-start solvers benchmarked elsewhere; included as a
+// library-complete baseline and used by the control-loop simulation.
+#pragma once
+
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/solvers/jt_common.hpp"
+
+namespace dadu::ik {
+
+struct RmrcOptions {
+  double dt = 0.01;            ///< integration step (s)
+  double feedback_gain = 20.0; ///< K (1/s); 0 = open-loop integration
+  double lambda = 0.02;        ///< damping of the velocity pseudoinverse
+};
+
+struct RmrcResult {
+  std::vector<linalg::VecX> joint_path;  ///< configuration per waypoint
+  std::vector<double> tracking_error;    ///< task error per waypoint (m)
+  double max_error = 0.0;
+  double rms_error = 0.0;
+};
+
+/// Track `path` (waypoints spaced `options.dt` apart in time) starting
+/// from configuration `q0`.
+RmrcResult trackRmrc(const kin::Chain& chain,
+                     const std::vector<linalg::Vec3>& path,
+                     const linalg::VecX& q0, const RmrcOptions& options = {});
+
+}  // namespace dadu::ik

@@ -1,0 +1,48 @@
+#include "dadu/solvers/types.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dadu::ik {
+
+std::string toString(Status s) {
+  switch (s) {
+    case Status::kConverged: return "converged";
+    case Status::kMaxIterations: return "max-iterations";
+    case Status::kStalled: return "stalled";
+  }
+  return "unknown";
+}
+
+BatchStats summarize(const std::vector<SolveResult>& results) {
+  BatchStats stats;
+  stats.count = static_cast<int>(results.size());
+  if (results.empty()) return stats;
+  double iter_sum = 0.0, load_sum = 0.0, err_sum = 0.0;
+  for (const SolveResult& r : results) {
+    if (r.converged()) ++stats.converged;
+    iter_sum += r.iterations;
+    load_sum += static_cast<double>(r.speculation_load);
+    err_sum += r.error;
+  }
+  stats.mean_iterations = iter_sum / stats.count;
+  stats.mean_load = load_sum / stats.count;
+  stats.mean_error = err_sum / stats.count;
+  return stats;
+}
+
+double iterationPercentile(const std::vector<SolveResult>& results,
+                           double p) {
+  if (results.empty()) return 0.0;
+  std::vector<int> iters;
+  iters.reserve(results.size());
+  for (const SolveResult& r : results) iters.push_back(r.iterations);
+  std::sort(iters.begin(), iters.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * N), 1-based.
+  const std::size_t rank = static_cast<std::size_t>(std::max(
+      1.0, std::ceil(clamped / 100.0 * static_cast<double>(iters.size()))));
+  return static_cast<double>(iters[rank - 1]);
+}
+
+}  // namespace dadu::ik

@@ -1,0 +1,54 @@
+#include "dadu/workload/obstacles.hpp"
+
+#include <cmath>
+
+#include "dadu/kinematics/workspace.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::workload {
+
+geom::Obstacles generateObstacleField(
+    const kin::Chain& chain, const std::vector<linalg::Vec3>& protected_points,
+    const ObstacleFieldOptions& options) {
+  Rng rng(options.seed ^ 0x0b57ac1e5ULL);
+  const kin::ReachBall ball = kin::reachBall(chain);
+  const double reach = ball.radius;
+
+  geom::Obstacles field;
+  field.reserve(options.count);
+  for (int i = 0; i < options.count; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < options.max_redraws_per_obstacle;
+         ++attempt) {
+      geom::Sphere candidate;
+      candidate.radius =
+          reach * rng.uniform(options.min_radius, options.max_radius);
+      // Uniform direction via rejection from the cube, radius in
+      // [0.2, 0.9] of reach so obstacles sit in the useful workspace.
+      linalg::Vec3 dir;
+      do {
+        dir = {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      } while (dir.squaredNorm() > 1.0 || dir.squaredNorm() < 1e-6);
+      candidate.center =
+          ball.center + dir.normalized() * (reach * rng.uniform(0.2, 0.9));
+
+      bool clear = true;
+      for (const linalg::Vec3& p : protected_points) {
+        if ((p - candidate.center).norm() <
+            candidate.radius + options.keepout) {
+          clear = false;
+          break;
+        }
+      }
+      if (clear) {
+        field.push_back(candidate);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) break;  // budget exhausted: return what we have
+  }
+  return field;
+}
+
+}  // namespace dadu::workload

@@ -1,0 +1,33 @@
+// Random obstacle-field generation for collision-aware IK and motion
+// planning workloads: fields that are dense enough to matter but
+// guaranteed to keep given key points (start pose, target) free.
+#pragma once
+
+#include <cstdint>
+
+#include "dadu/geometry/robot_geometry.hpp"
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+
+namespace dadu::workload {
+
+struct ObstacleFieldOptions {
+  int count = 6;
+  double min_radius = 0.05;  ///< fraction of chain reach
+  double max_radius = 0.12;  ///< fraction of chain reach
+  /// Obstacles keep at least this clearance (absolute metres) from
+  /// every protected point.
+  double keepout = 0.05;
+  std::uint64_t seed = 1;
+  int max_redraws_per_obstacle = 64;
+};
+
+/// Sample spherical obstacles inside the chain's reach ball, rejecting
+/// spheres that violate the keepout around any protected point.  May
+/// return fewer than `count` obstacles if the redraw budget runs out
+/// (dense keepouts).
+geom::Obstacles generateObstacleField(
+    const kin::Chain& chain, const std::vector<linalg::Vec3>& protected_points,
+    const ObstacleFieldOptions& options = {});
+
+}  // namespace dadu::workload

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation for workloads.
+//
+// Every experiment in the paper runs "1K target positions" per DOF
+// configuration; for the reproduction to be comparable across solvers
+// and across runs, target sets must be a pure function of (dof, index).
+// SplitMix64 is tiny, splittable by construction (seed arithmetic), and
+// passes BigCrush — more than enough for workload sampling.
+#pragma once
+
+#include <cstdint>
+#include <numbers>
+
+namespace dadu::workload {
+
+/// SplitMix64 PRNG (Steele et al., "Fast splittable pseudorandom number
+/// generators").
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Derive an independent stream, e.g. one per (dof, target index).
+  static Rng forStream(std::uint64_t seed, std::uint64_t stream) {
+    return Rng(seed ^ (stream * 0x9e3779b97f4a7c15ULL + 0xbf58476d1ce4e5b9ULL));
+  }
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform angle in [-pi, pi).
+  double angle() { return uniform(-std::numbers::pi, std::numbers::pi); }
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace dadu::workload

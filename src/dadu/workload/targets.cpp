@@ -1,0 +1,54 @@
+#include "dadu/workload/targets.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::workload {
+namespace {
+
+linalg::VecX randomConfiguration(const kin::Chain& chain, Rng& rng) {
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < chain.dof(); ++i) {
+    const kin::Joint& j = chain.joint(i);
+    const double lo = std::isfinite(j.min) ? j.min : -std::numbers::pi;
+    const double hi = std::isfinite(j.max) ? j.max : std::numbers::pi;
+    q[i] = rng.uniform(lo, hi);
+  }
+  return q;
+}
+
+}  // namespace
+
+IkTask generateTask(const kin::Chain& chain, int index,
+                    const TargetGenOptions& opts) {
+  Rng rng = Rng::forStream(opts.seed,
+                           chain.dof() * 0x10001ULL + static_cast<std::uint64_t>(index));
+  const double min_radius = opts.min_radius_fraction * chain.maxReach();
+
+  IkTask task;
+  for (int attempt = 0; attempt <= opts.max_redraws; ++attempt) {
+    task.generator = randomConfiguration(chain, rng);
+    task.target = kin::endEffectorPosition(chain, task.generator);
+    const double r = (task.target - chain.base().position()).norm();
+    if (r >= min_radius) break;
+    // else: fold-over draw; redraw (keep last if budget exhausted)
+  }
+
+  task.seed = linalg::VecX(chain.dof());
+  for (std::size_t i = 0; i < chain.dof(); ++i)
+    task.seed[i] = rng.uniform(-opts.seed_joint_range, opts.seed_joint_range);
+  return task;
+}
+
+std::vector<IkTask> generateTasks(const kin::Chain& chain, int count,
+                                  const TargetGenOptions& opts) {
+  std::vector<IkTask> tasks;
+  tasks.reserve(count);
+  for (int i = 0; i < count; ++i) tasks.push_back(generateTask(chain, i, opts));
+  return tasks;
+}
+
+}  // namespace dadu::workload

@@ -1,0 +1,53 @@
+// Target-position workload generation.
+//
+// The paper's evaluation solves batches of random target positions per
+// DOF configuration.  To guarantee each target is actually attainable
+// (the paper reports convergence for all methods), targets are sampled
+// by drawing a random joint configuration and running forward
+// kinematics — the classic "reachable by construction" scheme.  Seeds
+// are fixed per (chain dof, index) so that every solver in a comparison
+// sees the identical workload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::workload {
+
+/// One IK task: target position plus the start configuration the solver
+/// is seeded with.  The generating configuration is retained so tests
+/// can verify the target is attainable exactly.
+struct IkTask {
+  linalg::Vec3 target;
+  linalg::VecX seed;        ///< solver start configuration
+  linalg::VecX generator;   ///< configuration whose FK equals target
+};
+
+/// Options for target sampling.
+struct TargetGenOptions {
+  std::uint64_t seed = 2017;  ///< base seed (DAC'17 vintage)
+  /// Start configuration: uniform per joint in +- this (rad).  The
+  /// paper initialises theta randomly (Algorithm 1 line 1), so the
+  /// default spans the full circle; narrow it for warm-start studies.
+  double seed_joint_range = 3.141592653589793;
+  /// Re-draw targets closer to the base than this fraction of max reach
+  /// (near-base targets put the chain close to fold-over singularities
+  /// that are about chain geometry, not solver quality).
+  double min_radius_fraction = 0.15;
+  int max_redraws = 64;
+};
+
+/// Generate `count` reachable tasks for `chain`.
+std::vector<IkTask> generateTasks(const kin::Chain& chain, int count,
+                                  const TargetGenOptions& opts = {});
+
+/// Single task for (chain, index); generateTasks(c, n)[i] ==
+/// generateTask(c, i) — benches that shard work rely on this.
+IkTask generateTask(const kin::Chain& chain, int index,
+                    const TargetGenOptions& opts = {});
+
+}  // namespace dadu::workload

@@ -1,0 +1,159 @@
+// CLI tests: robot-spec resolution, argument parsing, every subcommand
+// through captured streams, and error paths.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dadu/cli/cli.hpp"
+
+namespace dadu::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun runCli(const std::vector<std::string>& args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(CliParse, NumberList) {
+  EXPECT_EQ(parseNumberList("1,2,-3.5"), (std::vector<double>{1, 2, -3.5}));
+  EXPECT_EQ(parseNumberList("0.25"), std::vector<double>{0.25});
+  EXPECT_THROW(parseNumberList(""), std::invalid_argument);
+  EXPECT_THROW(parseNumberList("1,,2"), std::invalid_argument);
+  EXPECT_THROW(parseNumberList("1,abc"), std::invalid_argument);
+}
+
+TEST(CliParse, RobotSpecs) {
+  EXPECT_EQ(resolveRobot("serpentine:25").dof(), 25u);
+  EXPECT_EQ(resolveRobot("planar:6").dof(), 6u);
+  EXPECT_EQ(resolveRobot("puma").dof(), 6u);
+  EXPECT_EQ(resolveRobot("iiwa").dof(), 7u);
+  EXPECT_EQ(resolveRobot("tentacle:5").dof(), 10u);
+  EXPECT_EQ(resolveRobot("random:15:3").dof(), 15u);
+  EXPECT_THROW(resolveRobot("hexapod:6"), std::invalid_argument);
+  EXPECT_THROW(resolveRobot("/no/such/robot.dh"), std::runtime_error);
+}
+
+TEST(Cli, NoArgsPrintsUsageAndFails) {
+  const auto r = runCli({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpPrintsUsageAndSucceeds) {
+  const auto r = runCli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const auto r = runCli({"dance", "--robot", "puma"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MissingRobotOptionFails) {
+  const auto r = runCli({"info"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--robot"), std::string::npos);
+}
+
+TEST(Cli, InfoReportsBasics) {
+  const auto r = runCli({"info", "--robot", "serpentine:12"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("dof:         12"), std::string::npos);
+  EXPECT_NE(r.out.find("max reach"), std::string::npos);
+}
+
+TEST(Cli, FkComputesPosition) {
+  const auto r =
+      runCli({"fk", "--robot", "planar:2", "--joints", "0,0"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("position"), std::string::npos);
+  EXPECT_NE(r.out.find("0.2"), std::string::npos);  // stretched 2x0.1 m
+}
+
+TEST(Cli, FkRejectsWrongJointCount) {
+  const auto r = runCli({"fk", "--robot", "planar:3", "--joints", "0,0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("3 DOF"), std::string::npos);
+}
+
+TEST(Cli, SolveConvergesOnEasyTarget) {
+  const auto r = runCli({"solve", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("status:      converged"), std::string::npos);
+}
+
+TEST(Cli, SolveHonoursSolverChoice) {
+  const auto r = runCli({"solve", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2", "--solver", "pinv-svd"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("pinv-svd"), std::string::npos);
+}
+
+TEST(Cli, SolveUnknownSolverFails) {
+  const auto r = runCli({"solve", "--robot", "puma", "--target", "0.3,0.2,0.1",
+                         "--solver", "magic"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, SolveUnreachableTargetReturnsNonZero) {
+  const auto r = runCli({"solve", "--robot", "planar:2", "--target",
+                         "5,0,0", "--max-iter", "100"});
+  EXPECT_EQ(r.code, 1);  // ran fine, did not converge
+}
+
+TEST(Cli, AccelReportsHardwareStats) {
+  const auto r = runCli({"accel", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2", "--ssus", "16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("cycles"), std::string::npos);
+  EXPECT_NE(r.out.find("mW"), std::string::npos);
+  EXPECT_NE(r.out.find("mm^2"), std::string::npos);
+}
+
+TEST(Cli, OptionWithoutValueFails) {
+  const auto r = runCli({"info", "--robot"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, BadTargetArityFails) {
+  const auto r = runCli({"solve", "--robot", "puma", "--target", "1,2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("3 numbers"), std::string::npos);
+}
+
+
+TEST(Cli, PoseSolvesPositionAndOrientation) {
+  const auto r = runCli({"pose", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2", "--rpy", "0.1,0.2,0.3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("pos error"), std::string::npos);
+  EXPECT_NE(r.out.find("ang error"), std::string::npos);
+  EXPECT_NE(r.out.find("converged"), std::string::npos);
+}
+
+TEST(Cli, PoseRequiresRpy) {
+  const auto r = runCli({"pose", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("rpy"), std::string::npos);
+}
+
+TEST(Cli, PoseBadRpyArityFails) {
+  const auto r = runCli({"pose", "--robot", "serpentine:12", "--target",
+                         "0.5,0.3,0.2", "--rpy", "0.1,0.2"});
+  EXPECT_EQ(r.code, 2);
+}
+
+}  // namespace
+}  // namespace dadu::cli

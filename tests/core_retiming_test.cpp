@@ -1,0 +1,126 @@
+// Trajectory retiming, chain-utility and percentile-statistics tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dadu/core/retiming.hpp"
+#include "dadu/kinematics/chain_utils.hpp"
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/types.hpp"
+
+namespace dadu {
+namespace {
+
+TEST(Retiming, EmptyAndSingle) {
+  EXPECT_TRUE(retimeTrapezoidal({}).empty());
+  const auto one = retimeTrapezoidal({linalg::VecX{1.0, 2.0}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(trajectoryDuration(one), 0.0);
+}
+
+TEST(Retiming, RejectsBadLimits) {
+  RetimingLimits bad;
+  bad.max_velocity = 0.0;
+  EXPECT_THROW(retimeTrapezoidal({linalg::VecX{0.0}}, bad),
+               std::invalid_argument);
+}
+
+TEST(Retiming, TriangularProfileTime) {
+  // Short move never reaching vmax: t = 2 sqrt(d / a).
+  RetimingLimits lim;
+  lim.max_velocity = 10.0;  // effectively unbounded
+  lim.max_acceleration = 4.0;
+  const auto timed =
+      retimeTrapezoidal({linalg::VecX{0.0}, linalg::VecX{1.0}}, lim);
+  EXPECT_NEAR(timed[1].time, 2.0 * std::sqrt(1.0 / 4.0), 1e-12);
+}
+
+TEST(Retiming, TrapezoidalProfileTime) {
+  // Long move: 2*vmax/amax ramps + cruise.
+  RetimingLimits lim;
+  lim.max_velocity = 1.0;
+  lim.max_acceleration = 1.0;
+  const auto timed =
+      retimeTrapezoidal({linalg::VecX{0.0}, linalg::VecX{5.0}}, lim);
+  // d_accel = 1; cruise = 4 / 1 = 4 s; ramps = 2 s.
+  EXPECT_NEAR(timed[1].time, 6.0, 1e-12);
+}
+
+TEST(Retiming, WorstJointGovernsSegment) {
+  RetimingLimits lim;
+  lim.max_velocity = 1.0;
+  lim.max_acceleration = 1.0;
+  const auto small = retimeTrapezoidal(
+      {linalg::VecX{0.0, 0.0}, linalg::VecX{0.1, 0.1}}, lim);
+  const auto mixed = retimeTrapezoidal(
+      {linalg::VecX{0.0, 0.0}, linalg::VecX{0.1, 3.0}}, lim);
+  EXPECT_GT(mixed[1].time, small[1].time);
+}
+
+TEST(Retiming, TimesAreMonotone) {
+  std::vector<linalg::VecX> path;
+  for (int i = 0; i < 6; ++i)
+    path.push_back(linalg::VecX{0.3 * i, -0.2 * i});
+  const auto timed = retimeTrapezoidal(path);
+  for (std::size_t i = 1; i < timed.size(); ++i)
+    EXPECT_GT(timed[i].time, timed[i - 1].time);
+  EXPECT_DOUBLE_EQ(trajectoryDuration(timed), timed.back().time);
+}
+
+TEST(Retiming, SampleInterpolatesAndClamps) {
+  const auto timed = retimeTrapezoidal(
+      {linalg::VecX{0.0}, linalg::VecX{2.0}});
+  const double t_end = timed.back().time;
+  EXPECT_DOUBLE_EQ(sampleTrajectory(timed, -1.0)[0], 0.0);
+  EXPECT_DOUBLE_EQ(sampleTrajectory(timed, t_end + 5)[0], 2.0);
+  EXPECT_NEAR(sampleTrajectory(timed, t_end / 2)[0], 1.0, 1e-12);
+  EXPECT_TRUE(sampleTrajectory({}, 1.0).empty());
+}
+
+TEST(ChainUtils, AppendComposesKinematics) {
+  const auto torso = kin::makePlanar(2, 0.3);
+  const auto arm = kin::makePlanar(3, 0.2);
+  const auto full = kin::appendChains(torso, arm);
+  EXPECT_EQ(full.dof(), 5u);
+  EXPECT_NEAR(full.maxReach(), 0.6 + 0.6, 1e-12);
+  // FK of the composition at zero matches the sum of stretches.
+  const auto p = kin::endEffectorPosition(full, full.zeroConfiguration());
+  EXPECT_NEAR(p.x, 1.2, 1e-12);
+  EXPECT_EQ(full.name(), "planar-2dof+planar-3dof");
+}
+
+TEST(ChainUtils, SubChainExtractsSpan) {
+  const auto chain = kin::makeSerpentine(10);
+  const auto mid = kin::subChain(chain, 3, 7);
+  EXPECT_EQ(mid.dof(), 4u);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(mid.joint(i).dh.alpha, chain.joint(3 + i).dh.alpha);
+  EXPECT_THROW(kin::subChain(chain, 5, 5), std::out_of_range);
+  EXPECT_THROW(kin::subChain(chain, 8, 12), std::out_of_range);
+}
+
+TEST(ChainUtils, UniformLimits) {
+  const auto limited = kin::withUniformLimits(kin::makeSerpentine(5), -1, 1);
+  for (const auto& j : limited.joints()) {
+    EXPECT_DOUBLE_EQ(j.min, -1.0);
+    EXPECT_DOUBLE_EQ(j.max, 1.0);
+  }
+}
+
+TEST(Percentiles, NearestRankSemantics) {
+  std::vector<ik::SolveResult> batch(10);
+  for (int i = 0; i < 10; ++i) batch[i].iterations = (i + 1) * 10;  // 10..100
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile(batch, 50), 50.0);
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile(batch, 90), 90.0);
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile(batch, 100), 100.0);
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile(batch, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile({}, 50), 0.0);
+  // Order independence.
+  std::swap(batch[0], batch[9]);
+  EXPECT_DOUBLE_EQ(ik::iterationPercentile(batch, 90), 90.0);
+}
+
+}  // namespace
+}  // namespace dadu

@@ -1,0 +1,150 @@
+// Failure-injection tests: malformed inputs, degenerate geometry and
+// adversarial options must produce exceptions or clean non-converged
+// results — never crashes, hangs or NaN joint vectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "dadu/ikacc/accelerator.hpp"
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/factory.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+void expectFinite(const linalg::VecX& v) {
+  for (double x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+class SolverFailureInjection : public ::testing::TestWithParam<std::string> {
+ protected:
+  kin::Chain chain_ = kin::makeSerpentine(12);
+};
+
+TEST_P(SolverFailureInjection, NanTargetThrows) {
+  const auto solver = makeSolver(GetParam(), chain_, {});
+  EXPECT_THROW(
+      solver->solve({std::nan(""), 0.0, 0.0}, chain_.zeroConfiguration()),
+      std::invalid_argument);
+}
+
+TEST_P(SolverFailureInjection, InfiniteTargetThrows) {
+  const auto solver = makeSolver(GetParam(), chain_, {});
+  EXPECT_THROW(solver->solve({0.0, std::numeric_limits<double>::infinity(), 0.0},
+                             chain_.zeroConfiguration()),
+               std::invalid_argument);
+}
+
+TEST_P(SolverFailureInjection, WrongSeedSizeThrows) {
+  const auto solver = makeSolver(GetParam(), chain_, {});
+  EXPECT_THROW(solver->solve({0.3, 0.2, 0.1}, linalg::VecX(5)),
+               std::invalid_argument);
+}
+
+TEST_P(SolverFailureInjection, NanSeedThrows) {
+  const auto solver = makeSolver(GetParam(), chain_, {});
+  linalg::VecX seed(12);
+  seed[7] = std::nan("");
+  EXPECT_THROW(solver->solve({0.3, 0.2, 0.1}, seed), std::invalid_argument);
+}
+
+TEST_P(SolverFailureInjection, TargetAtBaseOriginStaysFinite) {
+  // The base origin maximises fold-over singularity exposure.
+  SolveOptions options;
+  options.max_iterations = 100;
+  const auto solver = makeSolver(GetParam(), chain_, options);
+  const auto r = solver->solve({0.0, 0.0, 0.0}, linalg::VecX(12, 0.2));
+  expectFinite(r.theta);
+  EXPECT_TRUE(std::isfinite(r.error));
+}
+
+TEST_P(SolverFailureInjection, ZeroIterationBudget) {
+  SolveOptions options;
+  options.max_iterations = 0;
+  const auto solver = makeSolver(GetParam(), chain_, options);
+  const auto task = workload::generateTask(chain_, 0);
+  const auto r = solver->solve(task.target, task.seed);
+  EXPECT_EQ(r.iterations, 0);
+  expectFinite(r.theta);
+  // Seed configuration should be returned untouched.
+  EXPECT_EQ(r.theta, task.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SolverFailureInjection,
+                         ::testing::Values("jt-serial", "jt-fixed-alpha",
+                                           "quick-ik", "quick-ik-mt",
+                                           "pinv-svd", "dls", "sdls", "ccd"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+TEST(FailureInjection, AcceleratorValidatesLikeSoftware) {
+  const auto chain = kin::makeSerpentine(12);
+  acc::IkAccelerator hw(chain, {});
+  EXPECT_THROW(hw.solve({std::nan(""), 0, 0}, chain.zeroConfiguration()),
+               std::invalid_argument);
+  EXPECT_THROW(hw.solve({0.1, 0.1, 0.1}, linalg::VecX(3)),
+               std::invalid_argument);
+}
+
+TEST(FailureInjection, SingleJointChainWorks) {
+  const kin::Chain tiny({kin::revolute({0.5, 0, 0, 0})}, "one-joint");
+  SolveOptions options;
+  options.max_iterations = 500;
+  for (const char* name : {"jt-serial", "quick-ik", "pinv-svd", "ccd"}) {
+    const auto solver = makeSolver(name, tiny, options);
+    // Reachable: the circle of radius 0.5 about the base z axis.
+    const auto r = solver->solve({0.0, 0.5, 0.0}, linalg::VecX(1, 0.3));
+    EXPECT_TRUE(r.converged()) << name;
+  }
+}
+
+TEST(FailureInjection, TargetEqualsCurrentPoseConvergesInstantly) {
+  const auto chain = kin::makeSerpentine(12);
+  const linalg::VecX seed(12, 0.25);
+  const auto at = kin::endEffectorPosition(chain, seed);
+  for (const auto& name : solverNames()) {
+    const auto solver = makeSolver(name, chain, {});
+    const auto r = solver->solve(at, seed);
+    EXPECT_TRUE(r.converged()) << name;
+    EXPECT_EQ(r.iterations, 0) << name;
+  }
+}
+
+TEST(FailureInjection, HugeSpeculationCountStillCorrect) {
+  const auto chain = kin::makeSerpentine(12);
+  SolveOptions options;
+  options.speculations = 1000;  // more than any sensible hardware
+  QuickIkSolver solver(chain, options);
+  const auto task = workload::generateTask(chain, 0);
+  const auto r = solver.solve(task.target, task.seed);
+  EXPECT_TRUE(r.converged());
+
+  acc::AccConfig cfg;
+  cfg.num_ssus = 32;  // 1000 speculations -> 32 waves
+  acc::IkAccelerator hw(chain, options, cfg);
+  const auto rh = hw.solve(task.target, task.seed);
+  EXPECT_EQ(rh.theta, r.theta);
+  EXPECT_EQ(hw.lastStats().waves_per_iteration, 32);
+}
+
+TEST(FailureInjection, TinyLinksDoNotUnderflow) {
+  const auto chain = kin::makeSerpentine(12, 1e-6);
+  SolveOptions options;
+  options.accuracy = 1e-9;
+  options.max_iterations = 200;
+  QuickIkSolver solver(chain, options);
+  const auto task = workload::generateTask(chain, 0);
+  const auto r = solver.solve(task.target, task.seed);
+  expectFinite(r.theta);
+}
+
+}  // namespace
+}  // namespace dadu::ik

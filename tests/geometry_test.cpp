@@ -1,0 +1,173 @@
+// Geometry substrate tests: distance primitives, robot body model,
+// self/environment collision and the collision-aware solver.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "dadu/geometry/collision_aware_solver.hpp"
+#include "dadu/geometry/distance.hpp"
+#include "dadu/geometry/robot_geometry.hpp"
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::geom {
+namespace {
+
+TEST(Distance, ClosestPointOnSegment) {
+  const linalg::Vec3 a{0, 0, 0}, b{10, 0, 0};
+  EXPECT_EQ(closestPointOnSegment(a, b, {5, 3, 0}), linalg::Vec3(5, 0, 0));
+  EXPECT_EQ(closestPointOnSegment(a, b, {-4, 1, 0}), a);   // clamps to a
+  EXPECT_EQ(closestPointOnSegment(a, b, {17, -2, 0}), b);  // clamps to b
+  // Degenerate segment.
+  EXPECT_EQ(closestPointOnSegment(a, a, {3, 4, 0}), a);
+}
+
+TEST(Distance, PointSegment) {
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({5, 3, 0}, {0, 0, 0}, {10, 0, 0}),
+                   3.0);
+  EXPECT_DOUBLE_EQ(pointSegmentDistance({-3, 4, 0}, {0, 0, 0}, {10, 0, 0}),
+                   5.0);
+}
+
+TEST(Distance, SegmentSegmentParallel) {
+  EXPECT_DOUBLE_EQ(
+      segmentSegmentDistance({0, 0, 0}, {1, 0, 0}, {0, 2, 0}, {1, 2, 0}),
+      2.0);
+}
+
+TEST(Distance, SegmentSegmentSkew) {
+  // Classic skew pair: z-offset crossing.
+  EXPECT_DOUBLE_EQ(
+      segmentSegmentDistance({-1, 0, 0}, {1, 0, 0}, {0, -1, 1}, {0, 1, 1}),
+      1.0);
+}
+
+TEST(Distance, SegmentSegmentIntersecting) {
+  EXPECT_NEAR(
+      segmentSegmentDistance({-1, 0, 0}, {1, 0, 0}, {0, -1, 0}, {0, 1, 0}),
+      0.0, 1e-12);
+}
+
+TEST(Distance, SegmentSegmentEndpointCases) {
+  // Closest at endpoints, not interiors.
+  EXPECT_DOUBLE_EQ(
+      segmentSegmentDistance({0, 0, 0}, {1, 0, 0}, {3, 0, 0}, {5, 0, 0}),
+      2.0);
+  // One segment degenerate.
+  EXPECT_DOUBLE_EQ(
+      segmentSegmentDistance({0, 0, 0}, {0, 0, 0}, {1, 1, 0}, {1, -1, 0}),
+      1.0);
+  // Both degenerate.
+  EXPECT_DOUBLE_EQ(
+      segmentSegmentDistance({0, 0, 0}, {0, 0, 0}, {3, 4, 0}, {3, 4, 0}),
+      5.0);
+}
+
+TEST(Distance, CapsuleClearances) {
+  const Capsule a{{0, 0, 0}, {1, 0, 0}, 0.2};
+  const Capsule b{{0, 1, 0}, {1, 1, 0}, 0.3};
+  EXPECT_NEAR(capsuleCapsuleClearance(a, b), 1.0 - 0.5, 1e-12);
+  // Penetrating pair: negative clearance.
+  const Capsule c{{0, 0.3, 0}, {1, 0.3, 0}, 0.2};
+  EXPECT_LT(capsuleCapsuleClearance(a, c), 0.0);
+
+  const Sphere s{{0.5, 2, 0}, 0.5};
+  EXPECT_NEAR(capsuleSphereClearance(a, s), 2.0 - 0.2 - 0.5, 1e-12);
+}
+
+TEST(RobotGeometry, CapsulesFollowLinkFrames) {
+  const auto chain = kin::makePlanar(3, 0.5);
+  RobotGeometry body(chain, 0.05);
+  const auto capsules = body.linkCapsules(chain.zeroConfiguration());
+  ASSERT_EQ(capsules.size(), 3u);
+  EXPECT_EQ(capsules[0].a, linalg::Vec3(0, 0, 0));
+  EXPECT_NEAR((capsules[0].b - linalg::Vec3(0.5, 0, 0)).norm(), 0.0, 1e-12);
+  EXPECT_NEAR((capsules[2].b - linalg::Vec3(1.5, 0, 0)).norm(), 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(capsules[1].radius, 0.05);
+}
+
+TEST(RobotGeometry, StretchedChainIsSelfCollisionFree) {
+  const auto chain = kin::makePlanar(6, 0.3);
+  RobotGeometry body(chain, 0.03);
+  EXPECT_GT(body.selfClearance(chain.zeroConfiguration()), 0.0);
+}
+
+TEST(RobotGeometry, FoldedChainSelfCollides) {
+  // Fold the planar arm back onto itself: joint 2 at pi overlays link 3
+  // onto link 1.
+  const auto chain = kin::makePlanar(3, 0.3);
+  RobotGeometry body(chain, 0.05);
+  const linalg::VecX folded{0.0, std::numbers::pi, 0.0};
+  EXPECT_LT(body.selfClearance(folded), 0.0);
+}
+
+TEST(RobotGeometry, EnvironmentClearance) {
+  const auto chain = kin::makePlanar(2, 0.5);
+  RobotGeometry body(chain, 0.05);
+  const Obstacles obstacles = {{{0.5, 1.0, 0.0}, 0.2}};
+  // Stretched along x: obstacle 1m above link 1.
+  const double clear =
+      body.environmentClearance(chain.zeroConfiguration(), obstacles);
+  EXPECT_NEAR(clear, 1.0 - 0.05 - 0.2, 1e-9);
+  EXPECT_TRUE(body.collisionFree(chain.zeroConfiguration(), obstacles));
+  // Obstacle sitting on the arm.
+  const Obstacles blocking = {{{0.5, 0.0, 0.0}, 0.2}};
+  EXPECT_FALSE(body.collisionFree(chain.zeroConfiguration(), blocking));
+}
+
+TEST(CollisionAwareSolver, ValidatesConstruction) {
+  const auto chain = kin::makeSerpentine(12);
+  RobotGeometry body(chain, 0.02);
+  EXPECT_THROW(CollisionAwareSolver(nullptr, body, {}), std::invalid_argument);
+  EXPECT_THROW(
+      CollisionAwareSolver(
+          std::make_unique<ik::QuickIkSolver>(kin::makeSerpentine(10),
+                                              ik::SolveOptions{}),
+          body, {}),
+      std::invalid_argument);
+}
+
+TEST(CollisionAwareSolver, FindsFreeSolutionAroundObstacle) {
+  const auto chain = kin::makeSerpentine(25);
+  RobotGeometry body(chain, 0.02);
+  const auto task = workload::generateTask(chain, 1);
+
+  // An obstacle near (but not covering) the target: some IK solutions
+  // pass through it, free ones exist.
+  const linalg::Vec3 offset{0.15, 0.15, 0.0};
+  const Obstacles obstacles = {{task.target + offset, 0.08}};
+
+  // Environment avoidance only: a 25-DOF snake's coarse capsule model
+  // self-"collides" in nearly every useful pose, so self checking is
+  // disabled, as a snake-robot deployment would.
+  CollisionAwareSolver solver(
+      std::make_unique<ik::QuickIkSolver>(chain, ik::SolveOptions{}), body,
+      obstacles, /*margin=*/0.0, /*max_attempts=*/10, /*restart_seed=*/5,
+      /*check_self=*/false);
+  const auto r = solver.solve(task.target, task.seed);
+  EXPECT_TRUE(r.success());
+  EXPECT_GE(r.clearance, 0.0);
+  // And the solution still reaches the target.
+  const auto reached = kin::endEffectorPosition(chain, r.solve.theta);
+  EXPECT_LT((reached - task.target).norm(), 1e-2);
+}
+
+TEST(CollisionAwareSolver, ReportsFailureWhenTargetInsideObstacle) {
+  const auto chain = kin::makeSerpentine(12);
+  RobotGeometry body(chain, 0.02);
+  const auto task = workload::generateTask(chain, 0);
+  // Obstacle swallowing the target: the end effector must end inside it.
+  const Obstacles obstacles = {{task.target, 0.15}};
+  CollisionAwareSolver solver(
+      std::make_unique<ik::QuickIkSolver>(chain, ik::SolveOptions{}), body,
+      obstacles, 0.0, 4);
+  const auto r = solver.solve(task.target, task.seed);
+  EXPECT_FALSE(r.success());
+  EXPECT_LT(r.clearance, 0.0);
+  EXPECT_EQ(r.attempts, 4);
+}
+
+}  // namespace
+}  // namespace dadu::geom

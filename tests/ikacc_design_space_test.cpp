@@ -1,0 +1,128 @@
+// Design-space exploration and execution-trace tests.
+#include <gtest/gtest.h>
+
+#include "dadu/ikacc/accelerator.hpp"
+#include "dadu/ikacc/design_space.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::acc {
+namespace {
+
+TEST(DesignSpace, GridIsCartesianProduct) {
+  const auto grid = makeGrid({8, 32}, {16, 24, 32}, {64});
+  EXPECT_EQ(grid.size(), 6u);
+  // Every combination appears exactly once.
+  int seen_8_16 = 0;
+  for (const auto& p : grid)
+    if (p.num_ssus == 8 && p.mm4_cycles == 16 && p.speculations == 64)
+      ++seen_8_16;
+  EXPECT_EQ(seen_8_16, 1);
+}
+
+TEST(DesignSpace, ExploreEvaluatesEveryPoint) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto tasks = workload::generateTasks(chain, 2);
+  const auto grid = makeGrid({8, 32}, {24}, {16, 64});
+  ik::SolveOptions options;
+
+  const auto results = exploreDesignSpace(chain, tasks, grid, options);
+  ASSERT_EQ(results.size(), grid.size());
+  for (const auto& r : results) {
+    EXPECT_GT(r.latency_ms, 0.0);
+    EXPECT_GT(r.energy_mj, 0.0);
+    EXPECT_GT(r.area_mm2, 0.0);
+    EXPECT_GT(r.mean_iterations, 0.0);
+    EXPECT_GT(r.convergence_rate, 0.0);
+    EXPECT_NEAR(r.edp(), r.energy_mj * r.latency_ms, 1e-15);
+  }
+}
+
+TEST(DesignSpace, MoreSsusCostMoreAreaLessLatency) {
+  const auto chain = kin::makeSerpentine(25);
+  const auto tasks = workload::generateTasks(chain, 2);
+  const auto grid = makeGrid({8, 64}, {24}, {64});
+  const auto results = exploreDesignSpace(chain, tasks, grid, {});
+  ASSERT_EQ(results.size(), 2u);
+  const auto& small = results[0];
+  const auto& big = results[1];
+  EXPECT_LT(small.area_mm2, big.area_mm2);
+  EXPECT_GE(small.latency_ms, big.latency_ms);
+}
+
+TEST(DesignSpace, FasterFkuReducesLatency) {
+  const auto chain = kin::makeSerpentine(25);
+  const auto tasks = workload::generateTasks(chain, 2);
+  const auto results =
+      exploreDesignSpace(chain, tasks, makeGrid({32}, {8, 48}, {64}), {});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_LT(results[0].latency_ms, results[1].latency_ms);
+}
+
+TEST(DesignSpace, ParetoRemovesDominatedPoints) {
+  std::vector<DesignResult> all(3);
+  all[0].latency_ms = 1.0; all[0].energy_mj = 1.0; all[0].area_mm2 = 1.0;
+  all[1].latency_ms = 2.0; all[1].energy_mj = 2.0; all[1].area_mm2 = 2.0;  // dominated
+  all[2].latency_ms = 0.5; all[2].energy_mj = 3.0; all[2].area_mm2 = 1.0;  // trade-off
+  const auto front = paretoFront(all);
+  ASSERT_EQ(front.size(), 2u);
+  for (const auto& r : front) EXPECT_NE(r.latency_ms, 2.0);
+}
+
+TEST(DesignSpace, ParetoKeepsIncomparablePoints) {
+  std::vector<DesignResult> all(2);
+  all[0].latency_ms = 1.0; all[0].energy_mj = 2.0; all[0].area_mm2 = 1.0;
+  all[1].latency_ms = 2.0; all[1].energy_mj = 1.0; all[1].area_mm2 = 1.0;
+  EXPECT_EQ(paretoFront(all).size(), 2u);
+}
+
+TEST(DesignSpace, ParetoOfRealSweepIsNonEmptySubset) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto tasks = workload::generateTasks(chain, 2);
+  const auto all = exploreDesignSpace(
+      chain, tasks, makeGrid({8, 16, 32, 64}, {16, 32}, {64}), {});
+  const auto front = paretoFront(all);
+  EXPECT_GE(front.size(), 1u);
+  EXPECT_LE(front.size(), all.size());
+}
+
+TEST(Trace, RecordsOneEntryPerIteration) {
+  const auto chain = kin::makeSerpentine(25);
+  ik::SolveOptions options;
+  IkAccelerator hw(chain, options);
+  const auto task = workload::generateTask(chain, 0);
+  const auto r = hw.solve(task.target, task.seed);
+  ASSERT_TRUE(r.converged());
+  const SolveTrace& trace = hw.lastTrace();
+  ASSERT_EQ(static_cast<int>(trace.size()), r.iterations);
+
+  long long prev_cum = 0;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].iteration, static_cast<int>(i) + 1);  // 1-based
+    EXPECT_GT(trace[i].spu_cycles, 0);
+    EXPECT_GT(trace[i].wave_cycles, trace[i].spu_cycles);  // waves dominate
+    EXPECT_GT(trace[i].cumulative_cycles, prev_cum);
+    prev_cum = trace[i].cumulative_cycles;
+    EXPECT_GE(trace[i].selected_k, 1);
+    EXPECT_LE(trace[i].selected_k, options.speculations);
+    EXPECT_GE(trace[i].alpha_base, 0.0);
+  }
+  // Final trace error is the converged error.
+  EXPECT_DOUBLE_EQ(trace.back().error, r.error);
+  // Trace errors are non-increasing (selector argmin property).
+  for (std::size_t i = 1; i < trace.size(); ++i)
+    EXPECT_LE(trace[i].error, trace[i - 1].error + 1e-12);
+}
+
+TEST(Trace, ResetBetweenSolves) {
+  const auto chain = kin::makeSerpentine(12);
+  IkAccelerator hw(chain, {});
+  const auto t0 = workload::generateTask(chain, 0);
+  (void)hw.solve(t0.target, t0.seed);
+  const std::size_t first = hw.lastTrace().size();
+  (void)hw.solve(t0.target, t0.seed);
+  EXPECT_EQ(hw.lastTrace().size(), first);
+}
+
+}  // namespace
+}  // namespace dadu::acc

@@ -1,0 +1,106 @@
+// Tree-accelerator tests: functional equivalence with the software
+// tree solver and cost scaling with branches.
+#include <gtest/gtest.h>
+
+#include "dadu/ikacc/accelerator.hpp"
+#include "dadu/ikacc/tree_accelerator.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::acc {
+namespace {
+
+linalg::VecX randomConfig(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  linalg::VecX q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = rng.angle();
+  return q;
+}
+
+TEST(TreeAccelerator, FunctionallyEqualsSoftwareTreeSolver) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody(4, 6);
+  ik::SolveOptions options;
+  ik::QuickIkTreeSolver software(tree, options);
+  TreeIkAccelerator hardware(tree, options);
+
+  const auto targets =
+      tree.endEffectorPositions(randomConfig(tree.dof(), 41));
+  const auto seed = randomConfig(tree.dof(), 42);
+  const auto sw = software.solve(targets, seed);
+  const auto hw = hardware.solve(targets, seed);
+  EXPECT_EQ(sw.iterations, hw.iterations);
+  EXPECT_EQ(sw.theta, hw.theta);
+  EXPECT_EQ(sw.status, hw.status);
+}
+
+TEST(TreeAccelerator, StatsConsistent) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody(4, 6);
+  ik::SolveOptions options;
+  TreeIkAccelerator hw(tree, options);
+  const auto targets =
+      tree.endEffectorPositions(randomConfig(tree.dof(), 7));
+  const auto r = hw.solve(targets, randomConfig(tree.dof(), 8));
+  ASSERT_TRUE(r.converged());
+  const AccStats& s = hw.lastStats();
+  EXPECT_EQ(s.iterations, r.iterations);
+  EXPECT_EQ(s.total_cycles, s.spu_cycles + s.ssu_cycles + s.scheduler_cycles +
+                                s.selector_cycles);
+  EXPECT_GT(s.time_ms, 0.0);
+  EXPECT_GT(s.energyMj(), 0.0);
+  EXPECT_GT(s.avg_power_mw, 0.0);
+}
+
+TEST(TreeAccelerator, SingleBranchCostsMatchChainAcceleratorScale) {
+  // A 25-node single-branch tree should cost per-iteration roughly
+  // what the 25-DOF chain accelerator costs (same datapath walk).
+  const std::size_t dof = 25;
+  ik::SolveOptions options;
+
+  const kin::Tree tree = kin::makeSerpentineTree(dof);
+  TreeIkAccelerator tree_acc(tree, options);
+  const auto q = randomConfig(dof, 5);
+  const auto tree_targets = tree.endEffectorPositions(randomConfig(dof, 6));
+  const auto rt = tree_acc.solve(tree_targets, q);
+  ASSERT_GT(rt.iterations, 0);
+  const double tree_cycles_per_iter =
+      static_cast<double>(tree_acc.lastStats().total_cycles) /
+      static_cast<double>(rt.iterations + 1);
+
+  const kin::Chain chain = kin::makeSerpentine(dof);
+  IkAccelerator chain_acc(chain, options);
+  const auto rc = chain_acc.solve(tree_targets[0], q);
+  ASSERT_GT(rc.iterations, 0);
+  const double chain_cycles_per_iter =
+      static_cast<double>(chain_acc.lastStats().total_cycles) /
+      static_cast<double>(rc.iterations);
+
+  EXPECT_NEAR(tree_cycles_per_iter, chain_cycles_per_iter,
+              0.25 * chain_cycles_per_iter);
+}
+
+TEST(TreeAccelerator, MoreEndEffectorsCostMorePerIteration) {
+  // Same total DOF (18), one branch vs two; pin the budget to exactly
+  // one full iteration so the totals are structurally comparable.
+  ik::SolveOptions options;
+  options.max_iterations = 1;
+  options.accuracy = 1e-12;  // unreachable in one iteration
+  const kin::Tree one = kin::makeSerpentineTree(18, 0.08);
+  const kin::Tree two = kin::makeHumanoidUpperBody(4, 7, 0.08);
+  ASSERT_EQ(one.dof(), two.dof());
+
+  TreeIkAccelerator a(one, options);
+  TreeIkAccelerator b(two, options);
+  const auto ra = a.solve(one.endEffectorPositions(randomConfig(18, 1)),
+                          randomConfig(18, 2));
+  const auto rb = b.solve(two.endEffectorPositions(randomConfig(18, 3)),
+                          randomConfig(18, 4));
+  ASSERT_EQ(ra.iterations, 1);
+  ASSERT_EQ(rb.iterations, 1);
+  const long long ca = a.lastStats().total_cycles;
+  const long long cb = b.lastStats().total_cycles;
+  EXPECT_GT(cb, ca);  // extra error blocks and stacked epilogue
+  EXPECT_LT(static_cast<double>(cb), 1.2 * static_cast<double>(ca));
+}
+
+}  // namespace
+}  // namespace dadu::acc

@@ -1,0 +1,192 @@
+// IKAcc unit-model tests: FKU/SPU/SSU latency formulas, scheduler wave
+// construction, selector tree depth, and the energy model.
+#include <gtest/gtest.h>
+
+#include "dadu/ikacc/config.hpp"
+#include "dadu/ikacc/energy.hpp"
+#include "dadu/ikacc/fku.hpp"
+#include "dadu/ikacc/scheduler.hpp"
+#include "dadu/ikacc/selector.hpp"
+#include "dadu/ikacc/spu.hpp"
+#include "dadu/ikacc/ssu.hpp"
+
+namespace dadu::acc {
+namespace {
+
+TEST(Fku, MatmulMatches4x4OpCount) {
+  const AccConfig cfg;
+  const FkuCost c = fkuMatmul(cfg);
+  EXPECT_EQ(c.ops.mul, 64);
+  EXPECT_EQ(c.ops.add, 48);
+  EXPECT_EQ(c.cycles, cfg.mm4_cycles);
+}
+
+TEST(Fku, ForwardPassScalesLinearly) {
+  const AccConfig cfg;
+  const FkuCost c10 = fkuForwardPass(cfg, 10);
+  const FkuCost c20 = fkuForwardPass(cfg, 20);
+  // cycles = fill + (n-1)*ii -> difference of 10 joints = 10*ii.
+  const long long ii = std::max(cfg.dh_gen_cycles, cfg.mm4_cycles);
+  EXPECT_EQ(c20.cycles - c10.cycles, 10 * ii);
+  EXPECT_EQ(c20.ops.mul, 2 * c10.ops.mul);
+  EXPECT_EQ(fkuForwardPass(cfg, 0).cycles, 0);
+}
+
+TEST(Fku, PaperScaleLatencyIsMicroseconds) {
+  // "tens of cycles" per multiply, 100 joints -> a few thousand cycles
+  // = a few microseconds at 1 GHz.
+  const AccConfig cfg;
+  const FkuCost c = fkuForwardPass(cfg, 100);
+  EXPECT_GT(c.cycles, 1000);
+  EXPECT_LT(c.cycles, 10'000);
+}
+
+TEST(Spu, PipelineBeatsUnpipelined) {
+  const AccConfig cfg;
+  for (std::size_t dof : {12u, 25u, 50u, 75u, 100u}) {
+    EXPECT_LT(spuPipelinedCycles(cfg, dof), spuUnpipelinedCycles(cfg, dof))
+        << dof;
+  }
+}
+
+TEST(Spu, PipelineApproaches4xForLongChains) {
+  // 4 balanced stages: asymptotic speedup approaches sum/max of the
+  // stage latencies (plus the eliminated stores).
+  const AccConfig cfg;
+  const double speedup =
+      static_cast<double>(spuUnpipelinedCycles(cfg, 100)) /
+      static_cast<double>(spuPipelinedCycles(cfg, 100));
+  EXPECT_GT(speedup, 2.0);
+  EXPECT_LT(speedup, 8.0);
+}
+
+TEST(Spu, IterationCostUsesConfiguredFlow) {
+  AccConfig piped;
+  piped.pipelined_spu = true;
+  AccConfig orig = piped;
+  orig.pipelined_spu = false;
+  EXPECT_EQ(spuIteration(piped, 50).cycles, spuPipelinedCycles(piped, 50));
+  EXPECT_EQ(spuIteration(orig, 50).cycles, spuUnpipelinedCycles(orig, 50));
+  // Unpipelined flow pays extra register/memory traffic.
+  EXPECT_GT(spuIteration(orig, 50).ops.reg, spuIteration(piped, 50).ops.reg);
+}
+
+TEST(Spu, ZeroDofCostsNothing) {
+  const AccConfig cfg;
+  EXPECT_EQ(spuPipelinedCycles(cfg, 0), 0);
+  EXPECT_EQ(spuUnpipelinedCycles(cfg, 0), 0);
+}
+
+TEST(Ssu, SpeculationDominatedByForwardPass) {
+  const AccConfig cfg;
+  const SsuCost s = ssuSpeculation(cfg, 100);
+  const FkuCost f = fkuForwardPass(cfg, 100);
+  EXPECT_GT(s.cycles, f.cycles);
+  EXPECT_LT(s.cycles, f.cycles + 200);  // small fixed overhead on top
+}
+
+TEST(Ssu, UpdateLanesShortenThetaPhase) {
+  AccConfig narrow;
+  narrow.update_lanes = 1;
+  AccConfig wide = narrow;
+  wide.update_lanes = 8;
+  EXPECT_GT(ssuSpeculation(narrow, 64).cycles, ssuSpeculation(wide, 64).cycles);
+}
+
+TEST(Scheduler, WaveCountIsCeilDiv) {
+  EXPECT_EQ(waveCount(64, 32), 2u);
+  EXPECT_EQ(waveCount(64, 64), 1u);
+  EXPECT_EQ(waveCount(65, 32), 3u);
+  EXPECT_EQ(waveCount(1, 32), 1u);
+  EXPECT_EQ(waveCount(0, 32), 0u);
+  EXPECT_EQ(waveCount(64, 0), 0u);
+}
+
+TEST(Scheduler, WavesPartitionAllSpeculations) {
+  const auto waves = scheduleWaves(64, 32);
+  ASSERT_EQ(waves.size(), 2u);
+  EXPECT_EQ(waves[0].first, 0u);
+  EXPECT_EQ(waves[0].count, 32u);
+  EXPECT_EQ(waves[1].first, 32u);
+  EXPECT_EQ(waves[1].count, 32u);
+
+  const auto uneven = scheduleWaves(70, 32);
+  ASSERT_EQ(uneven.size(), 3u);
+  EXPECT_EQ(uneven[2].count, 6u);
+
+  std::size_t covered = 0;
+  for (const auto& w : uneven) covered += w.count;
+  EXPECT_EQ(covered, 70u);
+}
+
+TEST(Selector, TreeDepthIsLogarithmic) {
+  const AccConfig cfg;
+  EXPECT_EQ(selectorWaveCycles(cfg, 0), 0);
+  EXPECT_EQ(selectorWaveCycles(cfg, 1), 1);   // carry compare only
+  EXPECT_EQ(selectorWaveCycles(cfg, 2), 2);   // 1 level + carry
+  EXPECT_EQ(selectorWaveCycles(cfg, 32), 6);  // 5 levels + carry
+  EXPECT_EQ(selectorWaveCycles(cfg, 33), 7);  // rounds up
+}
+
+TEST(Energy, DynamicPricesOpsAgainstTable) {
+  EnergyTable table;
+  OpCounts ops;
+  ops.mul = 1000;
+  ops.add = 2000;
+  const double mj = dynamicEnergyMj(table, ops);
+  EXPECT_NEAR(mj, (1000 * table.mul_pj + 2000 * table.add_pj) * 1e-9, 1e-18);
+}
+
+TEST(Energy, LeakageScalesWithTime) {
+  AccConfig cfg;
+  cfg.leakage_mw = 20.0;
+  // 1e6 cycles at 1 GHz = 1 ms -> 20 mW * 1e-3 s = 0.02 mJ.
+  EXPECT_NEAR(leakageEnergyMj(cfg, 1'000'000), 0.02, 1e-12);
+}
+
+TEST(Energy, FinalizeComputesAveragePower) {
+  AccConfig cfg;
+  AccStats stats;
+  stats.total_cycles = 2'000'000;  // 2 ms at 1 GHz
+  stats.ops.mul = 50'000'000;
+  finalizeEnergy(cfg, stats);
+  EXPECT_NEAR(stats.time_ms, 2.0, 1e-12);
+  EXPECT_GT(stats.dynamic_energy_mj, 0.0);
+  EXPECT_GT(stats.leakage_energy_mj, 0.0);
+  EXPECT_NEAR(stats.avg_power_mw,
+              stats.energyMj() / (stats.time_ms * 1e-3), 1e-9);
+}
+
+TEST(Config, AreaModelSumsUnits) {
+  AccConfig cfg;
+  cfg.num_ssus = 32;
+  const double a32 = cfg.totalAreaMm2();
+  cfg.num_ssus = 64;
+  EXPECT_NEAR(cfg.totalAreaMm2() - a32, 32 * cfg.ssuAreaMm2(), 1e-12);
+  // Default build lands near the paper's 2.27 mm^2.
+  cfg.num_ssus = 32;
+  EXPECT_GT(cfg.totalAreaMm2(), 2.0);
+  EXPECT_LT(cfg.totalAreaMm2(), 2.6);
+}
+
+TEST(Config, FkuResourceCountTracksLatency) {
+  AccConfig cfg;
+  cfg.mm4_cycles = 64;  // fully serial: one multiplier suffices
+  EXPECT_EQ(cfg.fkuMultipliers(), 1);
+  cfg.mm4_cycles = 4;   // 4-cycle multiply: 16 multipliers
+  EXPECT_EQ(cfg.fkuMultipliers(), 16);
+  cfg.mm4_cycles = 24;  // the paper-like lean block
+  EXPECT_EQ(cfg.fkuMultipliers(), 3);
+  EXPECT_EQ(cfg.fkuAdders(), 2);
+}
+
+TEST(Config, FasterFkuCostsMoreArea) {
+  AccConfig lean;
+  lean.mm4_cycles = 24;
+  AccConfig fat = lean;
+  fat.mm4_cycles = 4;
+  EXPECT_GT(fat.ssuAreaMm2(), 2.0 * lean.ssuAreaMm2());
+}
+
+}  // namespace
+}  // namespace dadu::acc

@@ -1,0 +1,119 @@
+// Closed-form planar-2R IK tests, including cross-validation of the
+// numeric solver family against the exact oracle.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/analytic.hpp"
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::kin {
+namespace {
+
+constexpr double kL1 = 0.4, kL2 = 0.3;
+
+TEST(Planar2R, InteriorTargetHasTwoSolutionsThatCheckOut) {
+  const Chain chain = makePlanar(2, 1.0);  // geometry via explicit lengths
+  const std::vector<Joint> joints = {revolute({kL1, 0, 0, 0}),
+                                     revolute({kL2, 0, 0, 0})};
+  const Chain arm(joints, "2r");
+
+  const linalg::Vec3 target{0.5, 0.2, 0.0};
+  const auto sols = planar2RInverse(kL1, kL2, target);
+  ASSERT_EQ(sols.size(), 2u);
+  for (const auto& q : sols) {
+    const auto reached = endEffectorPosition(arm, q);
+    EXPECT_LT((reached - target).norm(), 1e-12);
+  }
+  // Distinct branches.
+  EXPECT_GT((sols[0] - sols[1]).norm(), 1e-6);
+}
+
+TEST(Planar2R, BoundaryTargetSingleSolution) {
+  const auto sols = planar2RInverse(kL1, kL2, {kL1 + kL2, 0.0, 0.0}, 1e-9);
+  ASSERT_EQ(sols.size(), 1u);
+  EXPECT_NEAR(sols[0][0], 0.0, 1e-6);
+  EXPECT_NEAR(sols[0][1], 0.0, 1e-6);
+}
+
+TEST(Planar2R, UnreachableTargetsEmpty) {
+  EXPECT_TRUE(planar2RInverse(kL1, kL2, {1.0, 0.0, 0.0}).empty());  // too far
+  EXPECT_TRUE(planar2RInverse(kL1, kL2, {0.05, 0.0, 0.0}).empty()); // too close
+}
+
+TEST(Planar2R, InnerBoundaryReachable) {
+  // |l1 - l2| ring is reachable (folded arm).
+  const auto sols = planar2RInverse(kL1, kL2, {kL1 - kL2, 0.0, 0.0}, 1e-9);
+  ASSERT_GE(sols.size(), 1u);
+  const std::vector<Joint> joints = {revolute({kL1, 0, 0, 0}),
+                                     revolute({kL2, 0, 0, 0})};
+  const Chain arm(joints, "2r");
+  EXPECT_LT((endEffectorPosition(arm, sols[0]) -
+             linalg::Vec3{kL1 - kL2, 0.0, 0.0})
+                .norm(),
+            1e-9);
+}
+
+TEST(Planar2R, RandomSweepRoundTrips) {
+  const std::vector<Joint> joints = {revolute({kL1, 0, 0, 0}),
+                                     revolute({kL2, 0, 0, 0})};
+  const Chain arm(joints, "2r");
+  workload::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    // Sample configurations, recover them from their FK.
+    const linalg::VecX q{rng.angle(), rng.angle()};
+    const auto target = endEffectorPosition(arm, q);
+    const auto sols = planar2RInverse(kL1, kL2, target);
+    ASSERT_FALSE(sols.empty()) << i;
+    bool matched = false;
+    for (const auto& s : sols)
+      matched |= (endEffectorPosition(arm, s) - target).norm() < 1e-10;
+    EXPECT_TRUE(matched) << i;
+  }
+}
+
+TEST(Planar2R, ChainOverloadValidates) {
+  const Chain planar = makePlanar(2, 0.3);
+  EXPECT_NO_THROW(planar2RInverse(planar, {0.4, 0.1, 0.0}));
+  EXPECT_THROW(planar2RInverse(makePlanar(3), {0.1, 0, 0}),
+               std::invalid_argument);
+  EXPECT_THROW(planar2RInverse(makeSerpentine(2), {0.1, 0, 0}),
+               std::invalid_argument);
+}
+
+TEST(Planar2R, NumericSolverAgreesWithOracle) {
+  // Quick-IK on the 2R arm must land on one of the two analytic
+  // branches (up to the 1e-2 accuracy gate).
+  const std::vector<Joint> joints = {revolute({kL1, 0, 0, 0}),
+                                     revolute({kL2, 0, 0, 0})};
+  const Chain arm(joints, "2r");
+  ik::SolveOptions options;
+  options.accuracy = 1e-4;
+  ik::QuickIkSolver solver(arm, options);
+
+  const linalg::Vec3 target{0.45, 0.3, 0.0};
+  const auto oracle = planar2RInverse(kL1, kL2, target);
+  ASSERT_EQ(oracle.size(), 2u);
+
+  const auto r = solver.solve(target, {0.3, 0.3});
+  ASSERT_TRUE(r.converged());
+  // Compare by end-effector position (joint angles may differ by 2*pi).
+  const auto reached = endEffectorPosition(arm, r.theta);
+  EXPECT_LT((reached - target).norm(), 1e-4);
+  double best_angle_gap = 1e9;
+  for (const auto& s : oracle) {
+    double gap = 0.0;
+    for (std::size_t i = 0; i < 2; ++i)
+      gap += std::abs(std::remainder(r.theta[i] - s[i],
+                                     2.0 * std::numbers::pi));
+    best_angle_gap = std::min(best_angle_gap, gap);
+  }
+  EXPECT_LT(best_angle_gap, 0.05);
+}
+
+}  // namespace
+}  // namespace dadu::kin

@@ -1,0 +1,150 @@
+// Forward kinematics tests: analytic planar ground truth, frame
+// consistency, long-chain numerical health, and the FK flop model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/linalg/rotation.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::kin {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Textbook closed form for the planar N-link arm.
+linalg::Vec3 planarAnalytic(std::size_t n, double link, const linalg::VecX& q) {
+  double x = 0.0, y = 0.0, acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += q[i];
+    x += link * std::cos(acc);
+    y += link * std::sin(acc);
+  }
+  return {x, y, 0.0};
+}
+
+TEST(ForwardKinematics, PlanarTwoLinkKnownPose) {
+  const Chain chain = makePlanar(2, 1.0);
+  // Both joints at 90 deg: first link up, second link back along -x.
+  const linalg::Vec3 p = endEffectorPosition(chain, {kPi / 2, kPi / 2});
+  EXPECT_NEAR(p.x, -1.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  EXPECT_NEAR(p.z, 0.0, 1e-12);
+}
+
+TEST(ForwardKinematics, PlanarZeroConfigStretchesAlongX) {
+  const Chain chain = makePlanar(5, 0.2);
+  const linalg::Vec3 p = endEffectorPosition(chain, chain.zeroConfiguration());
+  EXPECT_NEAR(p.x, 1.0, 1e-12);
+  EXPECT_NEAR(p.y, 0.0, 1e-12);
+}
+
+class PlanarAnalytic
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {};
+
+TEST_P(PlanarAnalytic, MatchesClosedForm) {
+  const auto [n, seed] = GetParam();
+  const double link = 0.13;
+  const Chain chain = makePlanar(n, link);
+  workload::Rng rng(seed);
+  linalg::VecX q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = rng.angle();
+  const linalg::Vec3 got = endEffectorPosition(chain, q);
+  const linalg::Vec3 want = planarAnalytic(n, link, q);
+  EXPECT_NEAR((got - want).norm(), 0.0, 1e-10 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanarAnalytic,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 7, 20, 100),
+                       ::testing::Values<std::uint64_t>(1, 2, 3)));
+
+TEST(ForwardKinematics, SerpentineZeroConfigReach) {
+  // With alternating +-90 deg twists and all joints zero, every link
+  // still advances `link` along its local x, so the end effector ends
+  // at distance dof*link from the base only if the xs stay aligned.
+  // What must hold unconditionally: position norm <= max reach.
+  for (std::size_t dof : {12u, 25u, 50u}) {
+    const Chain chain = makeSerpentine(dof, 0.1);
+    const linalg::Vec3 p =
+        endEffectorPosition(chain, chain.zeroConfiguration());
+    EXPECT_LE(p.norm(), chain.maxReach() + 1e-9);
+  }
+}
+
+TEST(ForwardKinematics, ReachBoundHoldsForRandomConfigs) {
+  const Chain chain = makeSerpentine(25);
+  workload::Rng rng(99);
+  linalg::VecX q(chain.dof());
+  for (int s = 0; s < 50; ++s) {
+    for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.angle();
+    EXPECT_LE(endEffectorPosition(chain, q).norm(), chain.maxReach() + 1e-9);
+  }
+}
+
+TEST(ForwardKinematics, LinkFramesLastEqualsEndEffector) {
+  const Chain chain = makeSerpentine(12);
+  workload::Rng rng(5);
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.angle();
+  const auto frames = linkFrames(chain, q);
+  ASSERT_EQ(frames.size(), chain.dof());
+  const linalg::Mat4 full = forwardKinematics(chain, q);
+  EXPECT_LT((frames.back().position() - full.position()).norm(), 1e-12);
+}
+
+TEST(ForwardKinematics, FramesComposeIncrementally) {
+  const Chain chain = makeSerpentine(8);
+  const linalg::VecX q{0.1, -0.2, 0.3, -0.4, 0.5, -0.6, 0.7, -0.8};
+  const auto frames = linkFrames(chain, q);
+  // frames[i] == frames[i-1] * T_i
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    const linalg::Mat4 expect = frames[i - 1] * chain.joint(i).transform(q[i]);
+    EXPECT_LT((expect.position() - frames[i].position()).norm(), 1e-12);
+  }
+}
+
+TEST(ForwardKinematics, RotationStaysOrthonormalOver100Joints) {
+  const Chain chain = makeSerpentine(100);
+  workload::Rng rng(7);
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.angle();
+  const linalg::Mat4 t = forwardKinematics(chain, q);
+  EXPECT_LT(linalg::orthonormalityError(t.rotation()), 1e-12);
+}
+
+TEST(ForwardKinematics, BaseFrameOffsetsEndEffector) {
+  std::vector<Joint> joints = {revolute({1.0, 0, 0, 0})};
+  const Chain offset(std::move(joints), "offset",
+                     linalg::Mat4::translation({0, 0, 5}));
+  const linalg::Vec3 p = endEffectorPosition(offset, linalg::VecX(1));
+  EXPECT_NEAR((p - linalg::Vec3(1, 0, 5)).norm(), 0.0, 1e-12);
+}
+
+TEST(ForwardKinematics, SizeMismatchThrows) {
+  const Chain chain = makePlanar(3);
+  EXPECT_THROW(endEffectorPosition(chain, linalg::VecX(2)),
+               std::invalid_argument);
+}
+
+TEST(ForwardKinematics, ScratchReuseGivesSameResult) {
+  const Chain chain = makeSerpentine(10);
+  std::vector<linalg::Mat4> frames;
+  linalg::VecX q(chain.dof(), 0.2);
+  linkFrames(chain, q, frames);
+  const linalg::Vec3 first = frames.back().position();
+  linkFrames(chain, q, frames);  // reuse
+  EXPECT_EQ(frames.back().position(), first);
+}
+
+TEST(FkFlops, MonotoneInDof) {
+  EXPECT_EQ(fkFlops(0), 0);
+  EXPECT_GT(fkFlops(10), fkFlops(5));
+  EXPECT_EQ(fkFlops(100), 10 * fkFlops(10));
+}
+
+}  // namespace
+}  // namespace dadu::kin

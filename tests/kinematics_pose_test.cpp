@@ -1,0 +1,145 @@
+// Full (6 x N) Jacobian and pose-error tests.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/kinematics/jacobian_full.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/linalg/rotation.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::kin {
+namespace {
+
+linalg::VecX randomConfig(const Chain& chain, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = rng.angle();
+  return q;
+}
+
+TEST(FullJacobian, LinearRowsMatchPositionJacobian) {
+  const Chain chain = makeSerpentine(20);
+  const linalg::VecX q = randomConfig(chain, 5);
+  const linalg::MatX full = fullJacobian(chain, q);
+  const linalg::MatX pos = positionJacobian(chain, q);
+  ASSERT_EQ(full.rows(), 6u);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < chain.dof(); ++c)
+      EXPECT_NEAR(full(r, c), pos(r, c), 1e-14);
+}
+
+TEST(FullJacobian, AngularColumnsAreJointAxes) {
+  const Chain chain = makeSerpentine(10);
+  const linalg::VecX q = randomConfig(chain, 9);
+  const linalg::MatX full = fullJacobian(chain, q);
+  const auto frames = linkFrames(chain, q);
+  for (std::size_t i = 0; i < chain.dof(); ++i) {
+    const linalg::Mat4& prev = i == 0 ? chain.base() : frames[i - 1];
+    const linalg::Vec3 z = prev.rotation().col(2);
+    EXPECT_NEAR(full(3, i), z.x, 1e-14);
+    EXPECT_NEAR(full(4, i), z.y, 1e-14);
+    EXPECT_NEAR(full(5, i), z.z, 1e-14);
+    // Unit axes for revolute joints.
+    EXPECT_NEAR(linalg::Vec3(full(3, i), full(4, i), full(5, i)).norm(), 1.0,
+                1e-12);
+  }
+}
+
+TEST(FullJacobian, PrismaticAngularColumnIsZero) {
+  std::vector<Joint> joints = {prismatic({0, 0, 0.1, 0}, -1, 1),
+                               revolute({0.2, 0, 0, 0})};
+  const Chain chain(std::move(joints), "mixed");
+  const linalg::MatX full = fullJacobian(chain, {0.3, 0.4});
+  EXPECT_DOUBLE_EQ(full(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(full(4, 0), 0.0);
+  EXPECT_DOUBLE_EQ(full(5, 0), 0.0);
+}
+
+TEST(FullJacobian, AngularPartPredictsOrientationChange) {
+  // First-order check: rotating joint i by h rotates the end effector
+  // by approximately h about the joint axis.
+  const Chain chain = makeSerpentine(8);
+  const linalg::VecX q = randomConfig(chain, 3);
+  const linalg::MatX full = fullJacobian(chain, q);
+  const double h = 1e-6;
+
+  for (std::size_t i : {std::size_t{0}, std::size_t{4}, std::size_t{7}}) {
+    linalg::VecX qp = q;
+    qp[i] += h;
+    const Pose before = endEffectorPose(chain, q);
+    const Pose after = endEffectorPose(chain, qp);
+    const linalg::Vec3 dw =
+        orientationError(before.orientation, after.orientation) / h;
+    EXPECT_NEAR(dw.x, full(3, i), 1e-5);
+    EXPECT_NEAR(dw.y, full(4, i), 1e-5);
+    EXPECT_NEAR(dw.z, full(5, i), 1e-5);
+  }
+}
+
+TEST(OrientationError, IdentityIsZero) {
+  const linalg::Mat3 r = linalg::axisAngle({1, 2, 3}, 0.7);
+  EXPECT_LT(orientationError(r, r).norm(), 1e-12);
+}
+
+TEST(OrientationError, RecoversAxisAngle) {
+  const linalg::Vec3 axis = linalg::Vec3{0.3, -0.5, 0.81}.normalized();
+  for (double angle : {0.01, 0.5, 1.5, 3.0}) {
+    const linalg::Mat3 target = linalg::axisAngle(axis, angle);
+    const linalg::Vec3 err =
+        orientationError(linalg::Mat3::identity(), target);
+    EXPECT_NEAR(err.norm(), angle, 1e-9) << angle;
+    EXPECT_NEAR((err.normalized() - axis).norm(), 0.0, 1e-9) << angle;
+  }
+}
+
+TEST(OrientationError, HalfTurnHandled) {
+  // angle = pi exactly: the skew part vanishes; the symmetric-part
+  // branch must recover the axis.
+  const linalg::Vec3 axis = linalg::Vec3{1, 1, 0}.normalized();
+  const linalg::Mat3 target = linalg::axisAngle(axis, std::numbers::pi);
+  const linalg::Vec3 err = orientationError(linalg::Mat3::identity(), target);
+  EXPECT_NEAR(err.norm(), std::numbers::pi, 1e-9);
+  // Axis up to sign.
+  EXPECT_NEAR(std::abs(err.normalized().dot(axis)), 1.0, 1e-9);
+}
+
+TEST(OrientationError, MagnitudeMatchesGeodesic) {
+  workload::Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const linalg::Mat3 a = linalg::axisAngle(
+        {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+        rng.uniform(0, 3));
+    const linalg::Mat3 b = linalg::axisAngle(
+        {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+        rng.uniform(0, 3));
+    EXPECT_NEAR(orientationError(a, b).norm(),
+                linalg::rotationAngleBetween(a, b), 1e-9);
+  }
+}
+
+TEST(PoseError, StacksAndWeights) {
+  Pose current{{1, 0, 0}, linalg::Mat3::identity()};
+  Pose target{{1, 0, 2}, linalg::axisAngle(linalg::Vec3::unitZ(), 0.5)};
+  const linalg::VecX e = poseError(current, target, 2.0);
+  ASSERT_EQ(e.size(), 6u);
+  EXPECT_NEAR(e[2], 2.0, 1e-12);               // position z
+  EXPECT_NEAR(e[5], 2.0 * 0.5, 1e-12);         // weighted yaw error
+  EXPECT_NEAR(e[0], 0.0, 1e-12);
+  EXPECT_NEAR(e[3], 0.0, 1e-12);
+}
+
+TEST(EndEffectorPose, ConsistentWithForwardKinematics) {
+  const Chain chain = makeSerpentine(15);
+  const linalg::VecX q = randomConfig(chain, 21);
+  const Pose pose = endEffectorPose(chain, q);
+  const linalg::Mat4 t = forwardKinematics(chain, q);
+  EXPECT_LT((pose.position - t.position()).norm(), 1e-14);
+  EXPECT_LT((pose.orientation - t.rotation()).frobeniusNorm(), 1e-14);
+}
+
+}  // namespace
+}  // namespace dadu::kin

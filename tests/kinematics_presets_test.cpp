@@ -1,0 +1,99 @@
+// Preset-robot and workspace tests.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/workspace.hpp"
+
+namespace dadu::kin {
+namespace {
+
+class SerpentinePreset : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SerpentinePreset, StructureMatchesSpec) {
+  const std::size_t dof = GetParam();
+  const Chain chain = makeSerpentine(dof, 0.1);
+  EXPECT_EQ(chain.dof(), dof);
+  EXPECT_NEAR(chain.maxReach(), 0.1 * static_cast<double>(dof), 1e-12);
+  // Alternating twists, all revolute, no limits.
+  for (std::size_t i = 0; i < dof; ++i) {
+    EXPECT_EQ(chain.joint(i).type, JointType::kRevolute);
+    EXPECT_FALSE(chain.joint(i).hasLimits());
+    const double expected = (i % 2 == 0) ? 1.0 : -1.0;
+    EXPECT_NEAR(chain.joint(i).dh.alpha, expected * 1.5707963267948966,
+                1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperLadder, SerpentinePreset,
+                         ::testing::ValuesIn(kPaperDofLadder));
+
+TEST(PlanarPreset, AllTwistsZero) {
+  const Chain chain = makePlanar(7, 0.2);
+  for (const Joint& j : chain.joints()) {
+    EXPECT_DOUBLE_EQ(j.dh.alpha, 0.0);
+    EXPECT_DOUBLE_EQ(j.dh.d, 0.0);
+  }
+  EXPECT_NEAR(chain.maxReach(), 1.4, 1e-12);
+}
+
+TEST(Puma560Preset, SixDofWithLimits) {
+  const Chain puma = makePuma560();
+  EXPECT_EQ(puma.dof(), 6u);
+  for (const Joint& j : puma.joints()) EXPECT_TRUE(j.hasLimits());
+  // Reach of a PUMA 560 is under a metre and above 0.5 m.
+  EXPECT_GT(puma.maxReach(), 0.5);
+  EXPECT_LT(puma.maxReach(), 1.5);
+}
+
+TEST(RandomChainPreset, DeterministicPerSeed) {
+  const Chain a = makeRandomChain(15, 42);
+  const Chain b = makeRandomChain(15, 42);
+  const Chain c = makeRandomChain(15, 43);
+  ASSERT_EQ(a.dof(), b.dof());
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (std::size_t i = 0; i < a.dof(); ++i) {
+    all_equal_ab &= a.joint(i).dh.a == b.joint(i).dh.a &&
+                    a.joint(i).dh.alpha == b.joint(i).dh.alpha;
+    all_equal_ac &= a.joint(i).dh.a == c.joint(i).dh.a &&
+                    a.joint(i).dh.alpha == c.joint(i).dh.alpha;
+  }
+  EXPECT_TRUE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(RandomChainPreset, LinkLengthsInRange) {
+  const Chain chain = makeRandomChain(40, 7);
+  for (const Joint& j : chain.joints()) {
+    EXPECT_GE(j.dh.a, 0.05);
+    EXPECT_LE(j.dh.a, 0.15);
+  }
+}
+
+TEST(Workspace, ReachBallContainsAttainedPositions) {
+  const Chain chain = makeSerpentine(12);
+  const ReachBall ball = reachBall(chain);
+  EXPECT_DOUBLE_EQ(ball.radius, chain.maxReach());
+  const linalg::Vec3 stretched =
+      endEffectorPosition(chain, chain.zeroConfiguration());
+  EXPECT_TRUE(ball.contains(stretched));
+}
+
+TEST(Workspace, PlausiblyReachableRejectsFarTargets) {
+  const Chain chain = makeSerpentine(12, 0.1);  // reach 1.2
+  EXPECT_TRUE(plausiblyReachable(chain, {0.5, 0.0, 0.0}));
+  EXPECT_FALSE(plausiblyReachable(chain, {2.0, 0.0, 0.0}));
+  EXPECT_FALSE(plausiblyReachable(chain, {1.15, 0.0, 0.0}, /*margin=*/0.1));
+}
+
+TEST(Workspace, SerpentineCoversMoreVolumeThanPlanar) {
+  // A 3-D dexterous chain should occupy far more of its reach ball
+  // than a planar chain (which lives on a slice).
+  const double serp = workspaceCoverage(makeSerpentine(12), 1500, 1);
+  const double plan = workspaceCoverage(makePlanar(12), 1500, 1);
+  EXPECT_GT(serp, plan * 2.0);
+  EXPECT_GT(serp, 0.05);
+}
+
+}  // namespace
+}  // namespace dadu::kin

@@ -1,0 +1,160 @@
+// Robot description I/O tests: parsing, validation errors, round
+// trips, and the new presets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/robot_io.hpp"
+
+namespace dadu::kin {
+namespace {
+
+TEST(RobotIo, ParsesMinimalDescription) {
+  std::istringstream in(
+      "name test-arm\n"
+      "joint revolute a=0.1 alpha=1.5 d=0.02 theta=0.3\n"
+      "joint prismatic a=0 alpha=0 d=0.05 min=0 max=0.3\n");
+  const Chain chain = loadChain(in);
+  EXPECT_EQ(chain.name(), "test-arm");
+  ASSERT_EQ(chain.dof(), 2u);
+  EXPECT_EQ(chain.joint(0).type, JointType::kRevolute);
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.a, 0.1);
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.alpha, 1.5);
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.d, 0.02);
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.theta, 0.3);
+  EXPECT_FALSE(chain.joint(0).hasLimits());
+  EXPECT_EQ(chain.joint(1).type, JointType::kPrismatic);
+  EXPECT_DOUBLE_EQ(chain.joint(1).min, 0.0);
+  EXPECT_DOUBLE_EQ(chain.joint(1).max, 0.3);
+}
+
+TEST(RobotIo, CommentsAndBlankLinesIgnored) {
+  std::istringstream in(
+      "# a robot\n"
+      "\n"
+      "name commented   # trailing comment\n"
+      "joint revolute a=0.2  # the only joint\n");
+  const Chain chain = loadChain(in);
+  EXPECT_EQ(chain.name(), "commented");
+  EXPECT_EQ(chain.dof(), 1u);
+}
+
+TEST(RobotIo, DefaultsApplied) {
+  std::istringstream in("joint revolute a=0.5\n");
+  const Chain chain = loadChain(in);
+  EXPECT_EQ(chain.name(), "robot");
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.alpha, 0.0);
+  EXPECT_DOUBLE_EQ(chain.joint(0).dh.d, 0.0);
+}
+
+TEST(RobotIo, RejectsUnknownDirective) {
+  std::istringstream in("link a=0.5\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, RejectsUnknownKey) {
+  std::istringstream in("joint revolute length=0.5\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, RejectsBadNumber) {
+  std::istringstream in("joint revolute a=abc\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, RejectsUnknownJointType) {
+  std::istringstream in("joint spherical a=0.1\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, RejectsPrismaticWithoutLimits) {
+  std::istringstream in("joint prismatic d=0.1\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, RejectsEmptyDescription) {
+  std::istringstream in("# nothing here\n");
+  EXPECT_THROW(loadChain(in), std::runtime_error);
+}
+
+TEST(RobotIo, ErrorMessagesCarryLineNumbers) {
+  std::istringstream in(
+      "name ok\n"
+      "joint revolute a=0.1\n"
+      "joint revolute a=oops\n");
+  try {
+    loadChain(in);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RobotIo, MissingFileThrows) {
+  EXPECT_THROW(loadChainFile("/nonexistent/robot.dh"), std::runtime_error);
+}
+
+class RobotIoRoundTrip : public ::testing::TestWithParam<const char*> {
+ protected:
+  Chain make() const {
+    const std::string which = GetParam();
+    if (which == "puma") return makePuma560();
+    if (which == "iiwa") return makeKukaIiwa();
+    if (which == "serpentine") return makeSerpentine(25);
+    if (which == "tentacle") return makeTentacle(10);
+    return makeRandomChain(15, 3);
+  }
+};
+
+TEST_P(RobotIoRoundTrip, SaveLoadPreservesKinematics) {
+  const Chain original = make();
+  std::stringstream buffer;
+  saveChain(original, buffer);
+  const Chain loaded = loadChain(buffer);
+
+  ASSERT_EQ(loaded.dof(), original.dof());
+  EXPECT_EQ(loaded.name(), original.name());
+  for (std::size_t i = 0; i < original.dof(); ++i) {
+    EXPECT_EQ(loaded.joint(i).type, original.joint(i).type);
+    EXPECT_DOUBLE_EQ(loaded.joint(i).dh.a, original.joint(i).dh.a);
+    EXPECT_DOUBLE_EQ(loaded.joint(i).dh.alpha, original.joint(i).dh.alpha);
+    EXPECT_DOUBLE_EQ(loaded.joint(i).min, original.joint(i).min);
+    EXPECT_DOUBLE_EQ(loaded.joint(i).max, original.joint(i).max);
+  }
+  // Same forward kinematics at a probe configuration.
+  linalg::VecX q(original.dof());
+  for (std::size_t i = 0; i < q.size(); ++i)
+    q[i] = original.joint(i).clamp(0.1 * static_cast<double>(i % 7) - 0.3);
+  EXPECT_LT((endEffectorPosition(loaded, q) -
+             endEffectorPosition(original, q))
+                .norm(),
+            1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, RobotIoRoundTrip,
+                         ::testing::Values("puma", "iiwa", "serpentine",
+                                           "tentacle", "random"));
+
+TEST(Presets, KukaIiwaStructure) {
+  const Chain iiwa = makeKukaIiwa();
+  EXPECT_EQ(iiwa.dof(), 7u);
+  for (const Joint& j : iiwa.joints()) EXPECT_TRUE(j.hasLimits());
+  // Stretch: d1 + d3 + d5 + d7 = 1.266 m.
+  EXPECT_NEAR(iiwa.maxReach(), 1.266, 1e-9);
+}
+
+TEST(Presets, TentacleStructure) {
+  const Chain t = makeTentacle(22);  // 44 DOF, the Valkyrie count
+  EXPECT_EQ(t.dof(), 44u);
+  EXPECT_NEAR(t.maxReach(), 22 * 0.08, 1e-12);
+  // Universal-joint pairs: even joints have zero link length.
+  for (std::size_t i = 0; i < t.dof(); i += 2)
+    EXPECT_DOUBLE_EQ(t.joint(i).dh.a, 0.0);
+}
+
+}  // namespace
+}  // namespace dadu::kin

@@ -1,0 +1,133 @@
+// Kinematic-tree tests: topology validation, FK equivalence with
+// chains on the degenerate single branch, ancestor logic, stacked
+// Jacobian vs finite differences, humanoid preset structure.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/tree.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::kin {
+namespace {
+
+linalg::VecX randomConfig(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  linalg::VecX q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = rng.angle();
+  return q;
+}
+
+TEST(Tree, ValidatesTopology) {
+  // Forward parent reference (node 0 pointing at node 1) is rejected.
+  std::vector<Tree::Node> bad = {{revolute({0.1, 0, 0, 0}), 0}};
+  EXPECT_THROW(Tree(std::move(bad), {0}), std::invalid_argument);
+
+  std::vector<Tree::Node> self_ref = {{revolute({0.1, 0, 0, 0}), -1},
+                                      {revolute({0.1, 0, 0, 0}), 1}};
+  EXPECT_THROW(Tree(std::move(self_ref), {1}), std::invalid_argument);
+
+  EXPECT_THROW(Tree({}, {0}), std::invalid_argument);
+
+  std::vector<Tree::Node> ok = {{revolute({0.1, 0, 0, 0}), -1}};
+  EXPECT_THROW(Tree(std::move(ok), {}), std::invalid_argument);  // no EEs
+
+  std::vector<Tree::Node> ok2 = {{revolute({0.1, 0, 0, 0}), -1}};
+  EXPECT_THROW(Tree(std::move(ok2), {5}), std::invalid_argument);  // bad EE
+}
+
+TEST(Tree, SingleBranchMatchesChainFk) {
+  for (std::size_t dof : {5u, 12u, 25u}) {
+    const Tree tree = makeSerpentineTree(dof);
+    const Chain chain = makeSerpentine(dof);
+    const linalg::VecX q = randomConfig(dof, dof * 31);
+    const auto tree_pos = tree.endEffectorPositions(q);
+    ASSERT_EQ(tree_pos.size(), 1u);
+    EXPECT_LT((tree_pos[0] - endEffectorPosition(chain, q)).norm(), 1e-12)
+        << dof;
+    EXPECT_DOUBLE_EQ(tree.maxReach(), chain.maxReach());
+  }
+}
+
+TEST(Tree, AncestorLogic) {
+  const Tree tree = makeHumanoidUpperBody(3, 4);  // 3 + 8 = 11 nodes
+  // Torso joints are ancestors of both wrists.
+  const auto& ees = tree.endEffectors();
+  ASSERT_EQ(ees.size(), 2u);
+  for (std::size_t t = 0; t < 3; ++t) {
+    EXPECT_TRUE(tree.isAncestor(t, ees[0]));
+    EXPECT_TRUE(tree.isAncestor(t, ees[1]));
+  }
+  // Left-arm joints (3..6) are NOT ancestors of the right wrist.
+  for (std::size_t j = 3; j < 7; ++j) {
+    EXPECT_TRUE(tree.isAncestor(j, ees[0]));
+    EXPECT_FALSE(tree.isAncestor(j, ees[1]));
+  }
+  // A node is its own ancestor (moving that joint moves its frame).
+  EXPECT_TRUE(tree.isAncestor(ees[0], ees[0]));
+}
+
+TEST(Tree, MovingOneArmLeavesOtherWristFixed) {
+  const Tree tree = makeHumanoidUpperBody(3, 4);
+  linalg::VecX q = randomConfig(tree.dof(), 17);
+  const auto before = tree.endEffectorPositions(q);
+  q[4] += 0.5;  // a left-arm joint
+  const auto after = tree.endEffectorPositions(q);
+  EXPECT_GT((after[0] - before[0]).norm(), 1e-6);   // left wrist moved
+  EXPECT_LT((after[1] - before[1]).norm(), 1e-12);  // right wrist fixed
+}
+
+TEST(Tree, StackedJacobianMatchesFiniteDifference) {
+  const Tree tree = makeHumanoidUpperBody(4, 5);
+  const linalg::VecX q = randomConfig(tree.dof(), 3);
+  const linalg::MatX j = tree.stackedJacobian(q);
+  ASSERT_EQ(j.rows(), 6u);  // 2 EEs x 3
+  ASSERT_EQ(j.cols(), tree.dof());
+
+  const double h = 1e-6;
+  for (std::size_t col = 0; col < tree.dof(); ++col) {
+    linalg::VecX qp = q, qm = q;
+    qp[col] += h;
+    qm[col] -= h;
+    const auto pp = tree.endEffectorPositions(qp);
+    const auto pm = tree.endEffectorPositions(qm);
+    for (std::size_t ee = 0; ee < 2; ++ee) {
+      const linalg::Vec3 d = (pp[ee] - pm[ee]) / (2.0 * h);
+      EXPECT_NEAR(j(3 * ee + 0, col), d.x, 1e-6) << ee << "," << col;
+      EXPECT_NEAR(j(3 * ee + 1, col), d.y, 1e-6);
+      EXPECT_NEAR(j(3 * ee + 2, col), d.z, 1e-6);
+    }
+  }
+}
+
+TEST(Tree, JacobianZeroOutsideAncestorPath) {
+  const Tree tree = makeHumanoidUpperBody(3, 4);
+  const linalg::MatX j = tree.stackedJacobian(randomConfig(tree.dof(), 9));
+  const auto& ees = tree.endEffectors();
+  // Right-arm joints contribute nothing to the left wrist's block.
+  for (std::size_t col = 7; col < 11; ++col) {
+    ASSERT_FALSE(tree.isAncestor(col, ees[0]));
+    for (std::size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(j(r, col), 0.0);
+  }
+}
+
+TEST(Tree, HumanoidPresetStructure) {
+  const Tree tree = makeHumanoidUpperBody();  // 4 + 2*7
+  EXPECT_EQ(tree.dof(), 18u);
+  EXPECT_EQ(tree.endEffectorCount(), 2u);
+  EXPECT_GT(tree.maxReach(), 0.0);
+  // Both wrists are leaves at distinct positions at zero config.
+  const auto pos = tree.endEffectorPositions(linalg::VecX(18));
+  EXPECT_GT((pos[0] - pos[1]).norm(), 0.05);
+}
+
+TEST(Tree, RequireSizeThrows) {
+  const Tree tree = makeSerpentineTree(5);
+  EXPECT_THROW(tree.endEffectorPositions(linalg::VecX(4)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dadu::kin

@@ -1,0 +1,139 @@
+// Unit and property tests for Cholesky and LU factorisations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dadu/linalg/cholesky.hpp"
+#include "dadu/linalg/lu.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+// Random SPD matrix A = B B^T + n*I.
+MatX randomSpd(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  MatX b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1.0, 1.0);
+  MatX a = b * b.transposed();
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+MatX randomSquare(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  MatX a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+  return a;
+}
+
+VecX randomVec(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed ^ 0xabcdef);
+  VecX v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.uniform(-3.0, 3.0);
+  return v;
+}
+
+TEST(Cholesky, SolvesHandComputedSystem) {
+  // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+  const MatX a{{4, 2}, {2, 3}};
+  const VecX b{10, 9};
+  const auto x = choleskySolve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 1.5, 1e-12);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  const MatX a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, RejectsNaN) {
+  MatX a{{1, 0}, {0, 1}};
+  a(0, 0) = std::nan("");
+  EXPECT_FALSE(Cholesky::factor(a).has_value());
+}
+
+TEST(Cholesky, DeterminantMatchesLu) {
+  const MatX a = randomSpd(5, 11);
+  const auto chol = Cholesky::factor(a);
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(chol && lu);
+  EXPECT_NEAR(chol->determinant(), lu->determinant(),
+              1e-9 * std::abs(lu->determinant()));
+}
+
+class CholeskyRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CholeskyRoundTrip, SolveResidualSmall) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const MatX a = randomSpd(n, seed);
+    const VecX b = randomVec(n, seed);
+    const auto x = choleskySolve(a, b);
+    ASSERT_TRUE(x.has_value());
+    const VecX r = a * (*x) - b;
+    EXPECT_LT(r.norm(), 1e-9 * (1.0 + b.norm())) << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+TEST(Cholesky, FactorReconstructs) {
+  const MatX a = randomSpd(6, 3);
+  const auto chol = Cholesky::factor(a);
+  ASSERT_TRUE(chol);
+  const MatX l = chol->factorMatrix();
+  const MatX rebuilt = l * l.transposed();
+  EXPECT_LT((rebuilt - a).frobeniusNorm(), 1e-9 * a.frobeniusNorm());
+}
+
+TEST(Lu, SolvesHandComputedSystem) {
+  const MatX a{{0, 1}, {2, 0}};  // needs pivoting
+  const VecX b{3, 4};
+  const auto x = luSolve(a, b);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_NEAR((*x)[0], 2.0, 1e-12);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+  const MatX a{{1, 2}, {2, 4}};
+  EXPECT_FALSE(Lu::factor(a).has_value());
+}
+
+TEST(Lu, DeterminantSignWithPivoting) {
+  const MatX a{{0, 1}, {1, 0}};  // permutation, det = -1
+  const auto lu = Lu::factor(a);
+  ASSERT_TRUE(lu);
+  EXPECT_NEAR(lu->determinant(), -1.0, 1e-12);
+}
+
+class LuRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRoundTrip, SolveAndInverse) {
+  const std::size_t n = GetParam();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const MatX a = randomSquare(n, seed);
+    const auto lu = Lu::factor(a);
+    ASSERT_TRUE(lu) << "random square matrix unexpectedly singular";
+    const VecX b = randomVec(n, seed);
+    const VecX x = lu->solve(b);
+    EXPECT_LT((a * x - b).norm(), 1e-8 * (1.0 + b.norm()));
+
+    const MatX inv = lu->inverse();
+    const MatX eye = a * inv;
+    EXPECT_LT((eye - MatX::identity(n)).frobeniusNorm(), 1e-8)
+        << "n=" << n << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 6, 10, 20));
+
+}  // namespace
+}  // namespace dadu::linalg

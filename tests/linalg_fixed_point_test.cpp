@@ -1,0 +1,134 @@
+// Fixed-point arithmetic and CORDIC tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/kinematics/forward_fixed.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/linalg/fixed_point.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(FixedFormat, RoundTripWithinResolution) {
+  const FixedFormat fmt{20};
+  for (double v : {0.0, 1.0, -1.0, 0.1234567, -987.654321, 3.0e3}) {
+    const double back = fmt.toDouble(fmt.fromDouble(v));
+    EXPECT_NEAR(back, v, fmt.resolution());
+  }
+}
+
+TEST(FixedFormat, OneIsExact) {
+  const FixedFormat fmt{16};
+  EXPECT_EQ(fmt.fromDouble(1.0), fmt.one());
+  EXPECT_DOUBLE_EQ(fmt.toDouble(fmt.one()), 1.0);
+}
+
+TEST(FixedFormat, MultiplyMatchesDoubleWithinLsb) {
+  const FixedFormat fmt{24};
+  for (double a : {0.5, -1.75, 3.14159, 100.0}) {
+    for (double b : {0.25, -2.5, 0.001, 7.7}) {
+      const double got =
+          fmt.toDouble(fmt.mul(fmt.fromDouble(a), fmt.fromDouble(b)));
+      EXPECT_NEAR(got, a * b, 200.0 * std::abs(a * b + 1.0) * fmt.resolution())
+          << a << " * " << b;
+    }
+  }
+}
+
+TEST(FixedFormat, MultiplyRoundsToNearest) {
+  const FixedFormat fmt{8};  // coarse: 1/256
+  // 0.5 * (3/256) = 1.5/256 -> rounds to 2/256.
+  const std::int64_t half = fmt.fromDouble(0.5);
+  EXPECT_EQ(fmt.mul(half, 3), 2);
+}
+
+TEST(FixedFormat, ResolutionHalvesPerBit) {
+  EXPECT_DOUBLE_EQ(FixedFormat{10}.resolution(),
+                   2.0 * FixedFormat{11}.resolution());
+}
+
+class CordicAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(CordicAccuracy, MatchesStdTrig) {
+  const int frac = GetParam();
+  const FixedFormat fmt{frac};
+  // Error floor: CORDIC converges ~1 bit/iteration; with iterations =
+  // frac bits, expect accuracy within a few hundred LSBs (rounding
+  // accumulates across iterations).
+  const double tol = 300.0 * fmt.resolution() + 1e-9;
+  for (double angle = -7.0; angle <= 7.0; angle += 0.137) {
+    double s, c;
+    cordicSinCos(fmt, angle, s, c);
+    EXPECT_NEAR(s, std::sin(angle), tol) << "frac=" << frac << " a=" << angle;
+    EXPECT_NEAR(c, std::cos(angle), tol) << "frac=" << frac << " a=" << angle;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FracBits, CordicAccuracy,
+                         ::testing::Values(12, 16, 20, 24, 28));
+
+TEST(Cordic, CardinalAngles) {
+  const FixedFormat fmt{24};
+  double s, c;
+  cordicSinCos(fmt, 0.0, s, c);
+  EXPECT_NEAR(s, 0.0, 1e-5);
+  EXPECT_NEAR(c, 1.0, 1e-5);
+  cordicSinCos(fmt, kPi / 2.0, s, c);
+  EXPECT_NEAR(s, 1.0, 1e-5);
+  EXPECT_NEAR(c, 0.0, 1e-5);
+  cordicSinCos(fmt, kPi, s, c);
+  EXPECT_NEAR(s, 0.0, 1e-5);
+  EXPECT_NEAR(c, -1.0, 1e-5);
+  cordicSinCos(fmt, -kPi / 2.0, s, c);
+  EXPECT_NEAR(s, -1.0, 1e-5);
+  EXPECT_NEAR(c, 0.0, 1e-5);
+}
+
+TEST(Cordic, PythagoreanIdentityHolds) {
+  const FixedFormat fmt{24};
+  for (double angle = -3.0; angle <= 3.0; angle += 0.251) {
+    double s, c;
+    cordicSinCos(fmt, angle, s, c);
+    EXPECT_NEAR(s * s + c * c, 1.0, 1e-4);
+  }
+}
+
+TEST(Cordic, MoreIterationsMoreAccuracy) {
+  const FixedFormat fmt{30};
+  const double angle = 1.0;
+  double s4, c4, s24, c24;
+  cordicSinCos(fmt, angle, s4, c4, 6);
+  cordicSinCos(fmt, angle, s24, c24, 24);
+  EXPECT_LT(std::abs(s24 - std::sin(angle)), std::abs(s4 - std::sin(angle)));
+  EXPECT_LT(std::abs(c24 - std::cos(angle)), std::abs(c4 - std::cos(angle)));
+}
+
+TEST(FixedFk, DeviationShrinksWithWordLength) {
+  const auto chain = kin::makeSerpentine(25);
+  const double coarse = kin::fkFixedMaxDeviation(chain, FixedFormat{12}, 30);
+  const double fine = kin::fkFixedMaxDeviation(chain, FixedFormat{24}, 30);
+  EXPECT_LT(fine, coarse);
+  EXPECT_LT(fine, 1e-3);
+}
+
+TEST(FixedFk, Q24SafeAtPaperAccuracyFor100Dof) {
+  const auto chain = kin::makeSerpentine(100);
+  const double dev = kin::fkFixedMaxDeviation(chain, FixedFormat{24}, 30);
+  EXPECT_LT(dev, 1e-3);  // an order below the 1e-2 m target
+}
+
+TEST(FixedFk, MatchesDoubleAtStretchedPose) {
+  const auto chain = kin::makePlanar(8, 0.125);
+  const auto q = chain.zeroConfiguration();
+  const auto fixed_pos =
+      kin::endEffectorPositionFixed(chain, q, FixedFormat{20});
+  EXPECT_NEAR(fixed_pos.x, 1.0, 1e-4);
+  EXPECT_NEAR(fixed_pos.y, 0.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace dadu::linalg

@@ -1,0 +1,215 @@
+// Unit tests for Mat3 / Mat4 / MatX and the rotation helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/linalg/mat3.hpp"
+#include "dadu/linalg/mat4.hpp"
+#include "dadu/linalg/matx.hpp"
+#include "dadu/linalg/rotation.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Mat3, IdentityActsAsNeutral) {
+  const Mat3 i = Mat3::identity();
+  const Vec3 v{1, 2, 3};
+  EXPECT_EQ(i * v, v);
+  const Mat3 r = axisAngle({0.2, 0.5, -0.8}, 1.1);
+  EXPECT_EQ(i * r, r);
+  EXPECT_EQ(r * i, r);
+}
+
+TEST(Mat3, RowColAccess) {
+  const Mat3 m = Mat3::fromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  EXPECT_EQ(m.row(1), Vec3(4, 5, 6));
+  EXPECT_EQ(m.col(2), Vec3(3, 6, 9));
+  EXPECT_DOUBLE_EQ(m(2, 0), 7);
+  EXPECT_EQ(Mat3::fromCols({1, 4, 7}, {2, 5, 8}, {3, 6, 9}), m);
+}
+
+TEST(Mat3, TransposeAndTrace) {
+  const Mat3 m = Mat3::fromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 10});
+  EXPECT_EQ(m.transposed().transposed(), m);
+  EXPECT_DOUBLE_EQ(m.trace(), 16.0);
+  EXPECT_DOUBLE_EQ(m.transposed()(0, 1), 4.0);
+}
+
+TEST(Mat3, Determinant) {
+  EXPECT_DOUBLE_EQ(Mat3::identity().determinant(), 1.0);
+  const Mat3 m = Mat3::fromRows({2, 0, 0}, {0, 3, 0}, {0, 0, 4});
+  EXPECT_DOUBLE_EQ(m.determinant(), 24.0);
+  // Singular matrix.
+  const Mat3 s = Mat3::fromRows({1, 2, 3}, {2, 4, 6}, {7, 8, 9});
+  EXPECT_NEAR(s.determinant(), 0.0, 1e-12);
+}
+
+TEST(Mat3, OuterProduct) {
+  const Mat3 o = Mat3::outer({1, 2, 3}, {4, 5, 6});
+  EXPECT_DOUBLE_EQ(o(0, 0), 4);
+  EXPECT_DOUBLE_EQ(o(1, 2), 12);
+  EXPECT_DOUBLE_EQ(o(2, 1), 15);
+}
+
+TEST(Mat3, MatrixMultiplyAssociatesWithVector) {
+  const Mat3 a = axisAngle({1, 1, 0}, 0.4);
+  const Mat3 b = axisAngle({0, 1, 1}, -0.9);
+  const Vec3 v{0.3, -1.2, 2.0};
+  const Vec3 lhs = (a * b) * v;
+  const Vec3 rhs = a * (b * v);
+  EXPECT_NEAR((lhs - rhs).norm(), 0.0, 1e-12);
+}
+
+TEST(Rotation, AxisAngleIsRotation) {
+  const Mat3 r = axisAngle({0.3, -0.7, 0.64}, 2.2);
+  EXPECT_TRUE(isRotation(r, 1e-12));
+}
+
+TEST(Rotation, AxisAngleZeroAxisIsIdentity) {
+  EXPECT_EQ(axisAngle({0, 0, 0}, 1.0), Mat3::identity());
+}
+
+TEST(Rotation, QuarterTurnAboutZ) {
+  const Mat3 r = axisAngle(Vec3::unitZ(), kPi / 2);
+  const Vec3 rx = r * Vec3::unitX();
+  EXPECT_NEAR((rx - Vec3::unitY()).norm(), 0.0, 1e-14);
+}
+
+TEST(Rotation, RpyComposition) {
+  // Pure yaw equals rotation about z.
+  const Mat3 yaw = rpy(0, 0, 0.7);
+  const Mat3 rz = axisAngle(Vec3::unitZ(), 0.7);
+  EXPECT_NEAR((yaw - rz).frobeniusNorm(), 0.0, 1e-14);
+}
+
+TEST(Rotation, AngleBetween) {
+  const Mat3 a = Mat3::identity();
+  const Mat3 b = axisAngle(Vec3::unitY(), 0.9);
+  EXPECT_NEAR(rotationAngleBetween(a, b), 0.9, 1e-12);
+  EXPECT_NEAR(rotationAngleBetween(b, b), 0.0, 1e-7);
+}
+
+TEST(Mat4, IdentityAndTranslation) {
+  const Mat4 t = Mat4::translation({1, 2, 3});
+  EXPECT_EQ(t.position(), Vec3(1, 2, 3));
+  EXPECT_EQ(t.rotation(), Mat3::identity());
+  EXPECT_EQ(t.transformPoint({0, 0, 0}), Vec3(1, 2, 3));
+  EXPECT_EQ(t.transformDirection({1, 0, 0}), Vec3(1, 0, 0));
+}
+
+TEST(Mat4, RotationConstructors) {
+  const Vec3 p = Mat4::rotationZ(kPi / 2).transformPoint({1, 0, 0});
+  EXPECT_NEAR((p - Vec3(0, 1, 0)).norm(), 0.0, 1e-14);
+  const Vec3 q = Mat4::rotationX(kPi / 2).transformPoint({0, 1, 0});
+  EXPECT_NEAR((q - Vec3(0, 0, 1)).norm(), 0.0, 1e-14);
+  const Vec3 r = Mat4::rotationY(kPi / 2).transformPoint({0, 0, 1});
+  EXPECT_NEAR((r - Vec3(1, 0, 0)).norm(), 0.0, 1e-14);
+}
+
+TEST(Mat4, CompositionOrder) {
+  // Translate then rotate vs rotate then translate differ.
+  const Mat4 t = Mat4::translation({1, 0, 0});
+  const Mat4 r = Mat4::rotationZ(kPi / 2);
+  const Vec3 a = (r * t).transformPoint({0, 0, 0});  // rotate the offset
+  const Vec3 b = (t * r).transformPoint({0, 0, 0});  // offset unrotated
+  EXPECT_NEAR((a - Vec3(0, 1, 0)).norm(), 0.0, 1e-14);
+  EXPECT_NEAR((b - Vec3(1, 0, 0)).norm(), 0.0, 1e-14);
+}
+
+TEST(Mat4, RigidInverse) {
+  const Mat4 m = Mat4::rotationZ(0.8) * Mat4::translation({1, -2, 3}) *
+                 Mat4::rotationX(-0.3);
+  const Mat4 inv = m.rigidInverse();
+  const Mat4 prod = m * inv;
+  EXPECT_NEAR((prod.position() - Vec3::zero()).norm(), 0.0, 1e-12);
+  EXPECT_NEAR(orthonormalityError(prod.rotation()), 0.0, 1e-12);
+  EXPECT_NEAR((prod.rotation() - Mat3::identity()).frobeniusNorm(), 0.0,
+              1e-12);
+}
+
+TEST(Mat4, HomogeneousLastRowPreserved) {
+  const Mat4 m = Mat4::rotationY(0.5) * Mat4::translation({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(m(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m(3, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m(3, 2), 0.0);
+  EXPECT_DOUBLE_EQ(m(3, 3), 1.0);
+}
+
+TEST(MatX, ConstructionAndIdentity) {
+  const MatX i = MatX::identity(4);
+  EXPECT_EQ(i.rows(), 4u);
+  EXPECT_EQ(i.cols(), 4u);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(i(2, 3), 0.0);
+}
+
+TEST(MatX, RaggedInitializerThrows) {
+  EXPECT_THROW((MatX{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(MatX, MultiplyAgainstHandComputed) {
+  const MatX a{{1, 2}, {3, 4}};
+  const MatX b{{5, 6}, {7, 8}};
+  const MatX c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatX, MatrixVector) {
+  const MatX a{{1, 0, 2}, {0, 3, 0}};
+  const VecX x{1, 2, 3};
+  EXPECT_EQ(a * x, VecX({7, 6}));
+}
+
+TEST(MatX, ApplyTransposedMatchesExplicitTranspose) {
+  const MatX a{{1, 2, 3}, {4, 5, 6}};
+  const VecX v{10, 20};
+  EXPECT_EQ(a.applyTransposed(v), a.transposed() * v);
+}
+
+TEST(MatX, GramIsSymmetricPsd) {
+  const MatX a{{1, 2, 3, 4}, {0, 1, -1, 2}, {3, 0, 0, 1}};
+  const MatX g = a.gram();
+  EXPECT_EQ(g.rows(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_GE(g(i, i), 0.0);
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+  }
+}
+
+TEST(MatX, ThreeRowHelpers) {
+  MatX j(3, 4);
+  j.setCol3(0, {1, 2, 3});
+  j.setCol3(3, {-1, 0, 1});
+  EXPECT_EQ(j.col3(0), Vec3(1, 2, 3));
+  EXPECT_EQ(j.col3(3), Vec3(-1, 0, 1));
+
+  VecX theta{1, 0, 0, 2};
+  const Vec3 jv = mul3(j, theta);
+  EXPECT_EQ(jv, Vec3(-1, 2, 5));
+
+  VecX out;
+  mulTransposed3(j, {1, 1, 1}, out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_DOUBLE_EQ(out[0], 6.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+
+  const Mat3 g = gram3(j);
+  const MatX gx = j.gram();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(g(r, c), gx(r, c));
+}
+
+TEST(MatX, FrobeniusAndMaxAbs) {
+  const MatX a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(a.frobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+}
+
+}  // namespace
+}  // namespace dadu::linalg

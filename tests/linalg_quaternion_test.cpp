@@ -1,0 +1,134 @@
+// Quaternion tests: conversions, algebra, slerp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dadu/linalg/quaternion.hpp"
+#include "dadu/linalg/rotation.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+Quaternion randomQuat(workload::Rng& rng) {
+  return Quaternion::fromAxisAngle(
+      {rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-1, 1)},
+      rng.uniform(-3, 3));
+}
+
+TEST(Quaternion, IdentityBehaviour) {
+  const Quaternion q = Quaternion::identity();
+  EXPECT_DOUBLE_EQ(q.norm(), 1.0);
+  EXPECT_EQ(q.toMatrix(), Mat3::identity());
+  EXPECT_EQ(q.rotate({1, 2, 3}), Vec3(1, 2, 3));
+  EXPECT_EQ(Quaternion::fromAxisAngle({0, 0, 0}, 1.0), q);
+}
+
+TEST(Quaternion, AxisAngleMatchesRotationMatrix) {
+  const Vec3 axis = Vec3{0.2, -0.7, 0.4}.normalized();
+  for (double angle : {0.1, 1.2, -2.4, 3.0}) {
+    const Quaternion q = Quaternion::fromAxisAngle(axis, angle);
+    const Mat3 expect = axisAngle(axis, angle);
+    EXPECT_LT((q.toMatrix() - expect).frobeniusNorm(), 1e-12) << angle;
+  }
+}
+
+TEST(Quaternion, MatrixRoundTrip) {
+  workload::Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const Quaternion q = randomQuat(rng);
+    const Quaternion back = Quaternion::fromMatrix(q.toMatrix());
+    // Equal up to the double cover sign.
+    const double dot = std::abs(q.w * back.w + q.x * back.x + q.y * back.y +
+                                q.z * back.z);
+    EXPECT_NEAR(dot, 1.0, 1e-12) << i;
+  }
+}
+
+TEST(Quaternion, FromMatrixCoversAllPivotBranches) {
+  // Half turns about each axis force the trace <= -1 branches.
+  for (const Vec3& axis : {Vec3::unitX(), Vec3::unitY(), Vec3::unitZ()}) {
+    const Mat3 r = axisAngle(axis, kPi);
+    const Quaternion q = Quaternion::fromMatrix(r);
+    EXPECT_LT((q.toMatrix() - r).frobeniusNorm(), 1e-9);
+  }
+}
+
+TEST(Quaternion, ProductMatchesMatrixProduct) {
+  workload::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const Quaternion a = randomQuat(rng);
+    const Quaternion b = randomQuat(rng);
+    const Mat3 via_q = (a * b).toMatrix();
+    const Mat3 via_m = a.toMatrix() * b.toMatrix();
+    EXPECT_LT((via_q - via_m).frobeniusNorm(), 1e-12) << i;
+  }
+}
+
+TEST(Quaternion, RotateMatchesMatrix) {
+  workload::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const Quaternion q = randomQuat(rng);
+    const Vec3 v{rng.uniform(-2, 2), rng.uniform(-2, 2), rng.uniform(-2, 2)};
+    EXPECT_LT((q.rotate(v) - q.toMatrix() * v).norm(), 1e-12) << i;
+  }
+}
+
+TEST(Quaternion, ConjugateInverts) {
+  const Quaternion q = Quaternion::fromAxisAngle({1, 2, -1}, 0.9);
+  const Vec3 v{0.3, -0.4, 1.1};
+  EXPECT_LT((q.conjugate().rotate(q.rotate(v)) - v).norm(), 1e-12);
+}
+
+TEST(Quaternion, AngleToMatchesGeodesic) {
+  const Quaternion a = Quaternion::fromAxisAngle({0, 0, 1}, 0.3);
+  const Quaternion b = Quaternion::fromAxisAngle({0, 0, 1}, 1.5);
+  EXPECT_NEAR(a.angleTo(b), 1.2, 1e-9);
+  EXPECT_NEAR(a.angleTo(a), 0.0, 1e-6);
+  // Double cover: -q is the same rotation.
+  const Quaternion neg{-a.w, -a.x, -a.y, -a.z};
+  EXPECT_NEAR(a.angleTo(neg), 0.0, 1e-6);
+}
+
+TEST(Quaternion, SlerpEndpointsAndMidpoint) {
+  const Quaternion a = Quaternion::fromAxisAngle({0, 1, 0}, 0.0);
+  const Quaternion b = Quaternion::fromAxisAngle({0, 1, 0}, 1.0);
+  EXPECT_NEAR(slerp(a, b, 0.0).angleTo(a), 0.0, 1e-9);
+  EXPECT_NEAR(slerp(a, b, 1.0).angleTo(b), 0.0, 1e-9);
+  const Quaternion mid = slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.angleTo(a), 0.5, 1e-9);
+  EXPECT_NEAR(mid.angleTo(b), 0.5, 1e-9);
+}
+
+TEST(Quaternion, SlerpConstantAngularVelocity) {
+  const Quaternion a = Quaternion::identity();
+  const Quaternion b = Quaternion::fromAxisAngle({1, 1, 0}, 2.0);
+  double prev = 0.0;
+  for (double t : {0.25, 0.5, 0.75, 1.0}) {
+    const double angle = slerp(a, b, t).angleTo(a);
+    EXPECT_NEAR(angle - prev, 0.5, 1e-9) << t;
+    prev = angle;
+  }
+}
+
+TEST(Quaternion, SlerpTakesShortestArc) {
+  const Quaternion a = Quaternion::fromAxisAngle({0, 0, 1}, 0.1);
+  // b represented on the far side of the double cover.
+  Quaternion b = Quaternion::fromAxisAngle({0, 0, 1}, 0.4);
+  b = {-b.w, -b.x, -b.y, -b.z};
+  const Quaternion mid = slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.angleTo(a), 0.15, 1e-9);
+}
+
+TEST(Quaternion, SlerpNearlyParallelStable) {
+  const Quaternion a = Quaternion::fromAxisAngle({1, 0, 0}, 1e-12);
+  const Quaternion b = Quaternion::fromAxisAngle({1, 0, 0}, 2e-12);
+  const Quaternion mid = slerp(a, b, 0.5);
+  EXPECT_NEAR(mid.norm(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dadu::linalg

@@ -1,0 +1,171 @@
+// SVD and pseudoinverse property tests: reconstruction, orthogonality,
+// ordering, rank behaviour and the four Moore-Penrose axioms.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "dadu/linalg/pseudoinverse.hpp"
+#include "dadu/linalg/svd.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+MatX randomMatrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  MatX a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-2.0, 2.0);
+  return a;
+}
+
+double orthoError(const MatX& u) {
+  // ||U^T U - I||_F over the columns.
+  const MatX g = u.transposed() * u;
+  return (g - MatX::identity(g.rows())).frobeniusNorm();
+}
+
+TEST(Svd, DiagonalMatrixExact) {
+  const MatX a{{3, 0}, {0, 2}};
+  const Svd svd = svdJacobi(a);
+  ASSERT_EQ(svd.s.size(), 2u);
+  EXPECT_NEAR(svd.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd.s[1], 2.0, 1e-12);
+}
+
+TEST(Svd, SingularValuesOfKnownMatrix) {
+  // A = [[1,0],[0,0]]: sigma = {1, 0}, rank 1.
+  const MatX a{{1, 0}, {0, 0}};
+  const Svd svd = svdJacobi(a);
+  EXPECT_NEAR(svd.s[0], 1.0, 1e-12);
+  EXPECT_NEAR(svd.s[1], 0.0, 1e-12);
+  EXPECT_EQ(svd.rank(), 1u);
+}
+
+TEST(Svd, ConditionNumber) {
+  const MatX a{{10, 0}, {0, 0.1}};
+  const Svd svd = svdJacobi(a);
+  EXPECT_NEAR(svd.conditionNumber(), 100.0, 1e-9);
+}
+
+TEST(Svd, RankDeficientConditionIsInfinite) {
+  const MatX a{{1, 1}, {1, 1}};
+  const Svd svd = svdJacobi(a);
+  EXPECT_TRUE(std::isinf(svd.conditionNumber()));
+}
+
+using Shape = std::tuple<std::size_t, std::size_t>;
+
+class SvdProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(SvdProperty, ReconstructionOrthogonalityOrdering) {
+  const auto [m, n] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const MatX a = randomMatrix(m, n, seed * 7919);
+    const Svd svd = svdJacobi(a);
+
+    // Reconstruction.
+    const MatX rebuilt = svd.reconstruct();
+    EXPECT_LT((rebuilt - a).frobeniusNorm(), 1e-9 * (1.0 + a.frobeniusNorm()))
+        << m << "x" << n << " seed " << seed;
+
+    // Orthonormal columns (full rank is generic for random inputs).
+    EXPECT_LT(orthoError(svd.u), 1e-9);
+    EXPECT_LT(orthoError(svd.v), 1e-9);
+
+    // Descending non-negative singular values.
+    for (std::size_t i = 0; i < svd.s.size(); ++i) {
+      EXPECT_GE(svd.s[i], 0.0);
+      if (i > 0) {
+        EXPECT_LE(svd.s[i], svd.s[i - 1] + 1e-15);
+      }
+    }
+
+    // Frobenius identity: ||A||_F^2 = sum sigma_i^2.
+    double sq = 0.0;
+    for (std::size_t i = 0; i < svd.s.size(); ++i) sq += svd.s[i] * svd.s[i];
+    EXPECT_NEAR(std::sqrt(sq), a.frobeniusNorm(),
+                1e-9 * (1.0 + a.frobeniusNorm()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdProperty,
+    ::testing::Values(Shape{1, 1}, Shape{2, 2}, Shape{3, 3}, Shape{5, 5},
+                      Shape{3, 12},   // the Jacobian shape, wide
+                      Shape{3, 100},  // 100-DOF Jacobian
+                      Shape{12, 3},   // tall
+                      Shape{7, 4}, Shape{4, 7}));
+
+class PinvProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(PinvProperty, MoorePenroseAxioms) {
+  const auto [m, n] = GetParam();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const MatX a = randomMatrix(m, n, seed * 104729);
+    const MatX p = pseudoinverse(a);
+    ASSERT_EQ(p.rows(), n);
+    ASSERT_EQ(p.cols(), m);
+
+    const double scale = 1.0 + a.frobeniusNorm() + p.frobeniusNorm();
+    // 1. A A+ A = A
+    EXPECT_LT((a * p * a - a).frobeniusNorm(), 1e-8 * scale);
+    // 2. A+ A A+ = A+
+    EXPECT_LT((p * a * p - p).frobeniusNorm(), 1e-8 * scale);
+    // 3. (A A+)^T = A A+
+    const MatX ap = a * p;
+    EXPECT_LT((ap - ap.transposed()).frobeniusNorm(), 1e-8 * scale);
+    // 4. (A+ A)^T = A+ A
+    const MatX pa = p * a;
+    EXPECT_LT((pa - pa.transposed()).frobeniusNorm(), 1e-8 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, PinvProperty,
+                         ::testing::Values(Shape{2, 2}, Shape{3, 3},
+                                           Shape{3, 8}, Shape{3, 50},
+                                           Shape{8, 3}, Shape{5, 5}));
+
+TEST(Pinv, RankDeficientZeroesNullDirections) {
+  // Rank-1 matrix: pinv maps the null space to zero.
+  const MatX a{{1, 1}, {1, 1}};
+  const MatX p = pseudoinverse(a);
+  // A+ of [[1,1],[1,1]] is [[0.25,0.25],[0.25,0.25]].
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 2; ++j) EXPECT_NEAR(p(i, j), 0.25, 1e-10);
+}
+
+TEST(Pinv, SolveMatchesAssembled) {
+  const MatX a = randomMatrix(3, 20, 42);
+  const Svd svd = svdJacobi(a);
+  const VecX b{0.4, -1.0, 2.0};
+  const VecX via_solve = pseudoinverseSolve(svd, b);
+  const VecX via_matrix = pseudoinverse(a) * b;
+  EXPECT_LT((via_solve - via_matrix).norm(), 1e-10);
+}
+
+TEST(Pinv, DampedIsBoundedNearSingularity) {
+  // Nearly singular: plain pinv explodes, damped stays bounded.
+  const MatX a{{1, 0}, {0, 1e-9}};
+  const MatX damped = dampedPseudoinverse(a, 0.1);
+  EXPECT_LT(damped.maxAbs(), 11.0);  // max weight is 1/(2*lambda) = 5
+  const Svd svd = svdJacobi(a);
+  const VecX x = dampedSolve(svd, {1.0, 1.0}, 0.1);
+  EXPECT_LT(x.maxAbs(), 11.0);
+}
+
+TEST(Pinv, DampedConvergesToPinvAsLambdaVanishes) {
+  const MatX a = randomMatrix(3, 6, 5);
+  const MatX exact = pseudoinverse(a);
+  const MatX nearly = dampedPseudoinverse(a, 1e-9);
+  EXPECT_LT((exact - nearly).frobeniusNorm(), 1e-6);
+}
+
+TEST(Svd, FlopsPerSweepSymmetricInShape) {
+  EXPECT_EQ(svdFlopsPerSweep(3, 100), svdFlopsPerSweep(100, 3));
+  EXPECT_GT(svdFlopsPerSweep(3, 100), svdFlopsPerSweep(3, 10));
+}
+
+}  // namespace
+}  // namespace dadu::linalg

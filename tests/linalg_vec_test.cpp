@@ -1,0 +1,158 @@
+// Unit tests for the fixed and dynamic vector types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::linalg {
+namespace {
+
+TEST(Vec3, DefaultIsZero) {
+  const Vec3 v;
+  EXPECT_EQ(v, Vec3::zero());
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(a.dot(b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(a.squaredNorm(), 14.0);
+  EXPECT_DOUBLE_EQ(a.norm(), std::sqrt(14.0));
+}
+
+TEST(Vec3, CrossProductFollowsRightHandRule) {
+  EXPECT_EQ(Vec3::unitX().cross(Vec3::unitY()), Vec3::unitZ());
+  EXPECT_EQ(Vec3::unitY().cross(Vec3::unitZ()), Vec3::unitX());
+  EXPECT_EQ(Vec3::unitZ().cross(Vec3::unitX()), Vec3::unitY());
+}
+
+TEST(Vec3, CrossIsAntisymmetricAndOrthogonal) {
+  const Vec3 a{1.3, -0.2, 2.1};
+  const Vec3 b{0.4, 0.9, -1.7};
+  const Vec3 c = a.cross(b);
+  EXPECT_EQ(b.cross(a), -c);
+  EXPECT_NEAR(c.dot(a), 0.0, 1e-12);
+  EXPECT_NEAR(c.dot(b), 0.0, 1e-12);
+}
+
+TEST(Vec3, NormalizedHasUnitLength) {
+  const Vec3 v{3, 4, 0};
+  EXPECT_NEAR(v.normalized().norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec3::zero().normalized(), Vec3::zero());
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_DOUBLE_EQ(v[0], 7);
+  EXPECT_DOUBLE_EQ(v[1], 8);
+  EXPECT_DOUBLE_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_DOUBLE_EQ(v.y, 42);
+}
+
+TEST(Vec4, PointAndDirection) {
+  const Vec3 p{1, 2, 3};
+  EXPECT_DOUBLE_EQ(Vec4::point(p).w, 1.0);
+  EXPECT_DOUBLE_EQ(Vec4::direction(p).w, 0.0);
+  EXPECT_EQ(Vec4::point(p).xyz(), p);
+}
+
+TEST(Vec4, DotAndNorm) {
+  const Vec4 a{1, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(a.dot(a), 2.0);
+  EXPECT_DOUBLE_EQ(a.norm(), std::sqrt(2.0));
+}
+
+TEST(VecX, ConstructionAndFill) {
+  const VecX z(5);
+  EXPECT_EQ(z.size(), 5u);
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+  const VecX c = VecX::constant(3, 2.5);
+  EXPECT_DOUBLE_EQ(c[0], 2.5);
+  EXPECT_DOUBLE_EQ(c[2], 2.5);
+}
+
+TEST(VecX, InitializerListAndEquality) {
+  const VecX v{1.0, 2.0, 3.0};
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v, VecX({1.0, 2.0, 3.0}));
+  EXPECT_NE(v, VecX({1.0, 2.0, 3.1}));
+}
+
+TEST(VecX, Arithmetic) {
+  const VecX a{1, 2, 3};
+  const VecX b{10, 20, 30};
+  EXPECT_EQ(a + b, VecX({11, 22, 33}));
+  EXPECT_EQ(b - a, VecX({9, 18, 27}));
+  EXPECT_EQ(a * 2.0, VecX({2, 4, 6}));
+  EXPECT_EQ(2.0 * a, VecX({2, 4, 6}));
+  EXPECT_EQ(-a, VecX({-1, -2, -3}));
+}
+
+TEST(VecX, DotNormMaxAbs) {
+  const VecX a{3, -4, 0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.maxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(VecX().maxAbs(), 0.0);
+}
+
+TEST(VecX, Axpy) {
+  const VecX x{1, 2, 3};
+  VecX y{10, 10, 10};
+  axpy(0.5, x, y);
+  EXPECT_EQ(y, VecX({10.5, 11, 11.5}));
+}
+
+TEST(VecX, AxpyInto) {
+  const VecX x{1, 2, 3};
+  const VecX y{1, 1, 1};
+  VecX out(3);
+  axpyInto(2.0, x, y, out);
+  EXPECT_EQ(out, VecX({3, 5, 7}));
+  // y untouched.
+  EXPECT_EQ(y, VecX({1, 1, 1}));
+}
+
+TEST(VecX, SetZeroAndResize) {
+  VecX v{1, 2, 3};
+  v.setZero();
+  EXPECT_EQ(v, VecX(3));
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v[4], 0.0);
+}
+
+TEST(VecX, StreamOutput) {
+  std::ostringstream os;
+  os << VecX{1, 2};
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+}  // namespace
+}  // namespace dadu::linalg

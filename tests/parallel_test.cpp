@@ -1,0 +1,109 @@
+// Thread-pool tests: correctness of parallelFor partitioning, submit/
+// wait semantics, reuse across batches, and determinism of results.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "dadu/parallel/thread_pool.hpp"
+
+namespace dadu::par {
+namespace {
+
+TEST(ThreadPool, ConstructsRequestedThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPool, DefaultUsesAtLeastOneThread) {
+  ThreadPool pool;
+  EXPECT_GE(pool.threadCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallelFor(0, hits.size(),
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallelFor(5, 5, [&](std::size_t) { calls.fetch_add(1); });
+  pool.parallelFor(7, 3, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPool, ParallelForNonZeroBegin) {
+  ThreadPool pool(4);
+  std::atomic<long long> sum{0};
+  pool.parallelFor(10, 20, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i));
+  });
+  EXPECT_EQ(sum.load(), 145);  // 10+...+19
+}
+
+TEST(ThreadPool, SingleIndexRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  pool.parallelFor(3, 4, [&](std::size_t i) {
+    EXPECT_EQ(i, 3u);
+    hits.fetch_add(1);
+  });
+  EXPECT_EQ(hits.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(2);
+  std::atomic<long long> total{0};
+  for (int batch = 0; batch < 50; ++batch)
+    pool.parallelFor(0, 16, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 800);
+}
+
+TEST(ThreadPool, SubmitAndWait) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) pool.submit([&] { done.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ParallelResultsMatchSerial) {
+  // The speculation pattern: each index writes its own slot; the
+  // parallel result must equal the serial loop bit for bit.
+  const std::size_t n = 64;
+  std::vector<double> serial(n), parallel(n);
+  const auto work = [](std::size_t i) {
+    double acc = static_cast<double>(i) + 1.0;
+    for (int r = 0; r < 100; ++r) acc = acc * 1.000001 + 0.5;
+    return acc;
+  };
+  for (std::size_t i = 0; i < n; ++i) serial[i] = work(i);
+  ThreadPool pool(4);
+  pool.parallelFor(0, n, [&](std::size_t i) { parallel[i] = work(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPool, LargeFanOutCompletes) {
+  ThreadPool pool(8);
+  std::atomic<long long> sum{0};
+  pool.parallelFor(0, 10'000, [&](std::size_t i) {
+    sum.fetch_add(static_cast<long long>(i % 7));
+  });
+  long long expect = 0;
+  for (std::size_t i = 0; i < 10'000; ++i) expect += static_cast<long long>(i % 7);
+  EXPECT_EQ(sum.load(), expect);
+}
+
+}  // namespace
+}  // namespace dadu::par

@@ -1,0 +1,136 @@
+// RRT-Connect planner tests.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/planning/rrt.hpp"
+
+namespace dadu::plan {
+namespace {
+
+/// Planar arm with a ball obstacle blocking the straight-line sweep.
+struct PlanarRig {
+  kin::Chain chain = kin::makePlanar(3, 0.4);
+  geom::RobotGeometry body{chain, 0.03};
+  // Obstacle above the x axis at mid reach: the arm must dip below to
+  // swing from pointing +x to pointing +y.
+  geom::Obstacles obstacles = {{{0.55, 0.55, 0.0}, 0.22}};
+  linalg::VecX start{0.0, 0.0, 0.0};                 // stretched along +x
+  linalg::VecX goal{std::numbers::pi / 2, 0.0, 0.0}; // stretched along +y
+};
+
+TEST(Rrt, PathLengthHelper) {
+  EXPECT_DOUBLE_EQ(pathLength({}), 0.0);
+  EXPECT_DOUBLE_EQ(pathLength({linalg::VecX{0.0, 0.0}}), 0.0);
+  EXPECT_DOUBLE_EQ(
+      pathLength({linalg::VecX{0.0, 0.0}, linalg::VecX{3.0, 4.0}}), 5.0);
+}
+
+TEST(Rrt, StateAndEdgeChecks) {
+  PlanarRig rig;
+  RrtPlanner planner(rig.body, rig.obstacles, {});
+  EXPECT_TRUE(planner.stateFree(rig.start));
+  EXPECT_TRUE(planner.stateFree(rig.goal));
+  // A configuration reaching into the obstacle.
+  const linalg::VecX blocked{std::numbers::pi / 4, 0.0, 0.0};
+  EXPECT_FALSE(planner.stateFree(blocked));
+  // The direct edge sweeps through the blocked region.
+  EXPECT_FALSE(planner.edgeFree(rig.start, rig.goal));
+  // A short free edge.
+  EXPECT_TRUE(planner.edgeFree(rig.start, {0.05, 0.05, 0.0}));
+}
+
+TEST(Rrt, TrivialPlanWithoutObstacles) {
+  PlanarRig rig;
+  RrtPlanner planner(rig.body, {}, {});
+  const auto r = planner.plan(rig.start, rig.goal);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.path.size(), 2u);  // straight-line connect
+  EXPECT_EQ(r.path.front(), rig.start);
+  EXPECT_EQ(r.path.back(), rig.goal);
+}
+
+TEST(Rrt, PlansAroundObstacle) {
+  PlanarRig rig;
+  RrtOptions options;
+  options.seed = 7;
+  RrtPlanner planner(rig.body, rig.obstacles, options);
+  const auto r = planner.plan(rig.start, rig.goal);
+  ASSERT_TRUE(r.success) << "iterations " << r.iterations;
+  ASSERT_GE(r.path.size(), 2u);
+  EXPECT_EQ(r.path.front(), rig.start);
+  EXPECT_EQ(r.path.back(), rig.goal);
+  // Every edge of the returned path is collision-free.
+  for (std::size_t i = 1; i < r.path.size(); ++i)
+    EXPECT_TRUE(planner.edgeFree(r.path[i - 1], r.path[i])) << i;
+  // And it is genuinely a detour (longer than the blocked straight line).
+  EXPECT_GT(r.path_length, (rig.goal - rig.start).norm());
+}
+
+TEST(Rrt, DeterministicPerSeed) {
+  PlanarRig rig;
+  RrtOptions options;
+  options.seed = 11;
+  RrtPlanner a(rig.body, rig.obstacles, options);
+  RrtPlanner b(rig.body, rig.obstacles, options);
+  const auto ra = a.plan(rig.start, rig.goal);
+  const auto rb = b.plan(rig.start, rig.goal);
+  ASSERT_EQ(ra.success, rb.success);
+  ASSERT_EQ(ra.path.size(), rb.path.size());
+  for (std::size_t i = 0; i < ra.path.size(); ++i)
+    EXPECT_EQ(ra.path[i], rb.path[i]);
+}
+
+TEST(Rrt, FailsCleanlyFromBlockedStart) {
+  PlanarRig rig;
+  RrtPlanner planner(rig.body, rig.obstacles, {});
+  const linalg::VecX blocked{std::numbers::pi / 4, 0.0, 0.0};
+  const auto r = planner.plan(blocked, rig.goal);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Rrt, BudgetExhaustionReportsFailure) {
+  PlanarRig rig;
+  RrtOptions options;
+  options.max_iterations = 2;  // far too few to cross the obstacle
+  RrtPlanner planner(rig.body, rig.obstacles, options);
+  const auto r = planner.plan(rig.start, rig.goal);
+  EXPECT_FALSE(r.success);
+  EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Rrt, SmoothingShortensPaths) {
+  PlanarRig rig;
+  RrtOptions rough;
+  rough.seed = 3;
+  rough.smoothing_passes = 0;
+  RrtOptions smooth = rough;
+  smooth.smoothing_passes = 120;
+  const auto r_rough = RrtPlanner(rig.body, rig.obstacles, rough)
+                           .plan(rig.start, rig.goal);
+  const auto r_smooth = RrtPlanner(rig.body, rig.obstacles, smooth)
+                            .plan(rig.start, rig.goal);
+  ASSERT_TRUE(r_rough.success);
+  ASSERT_TRUE(r_smooth.success);
+  EXPECT_LE(r_smooth.path_length, r_rough.path_length + 1e-9);
+}
+
+TEST(Rrt, WorksOnSpatialSerpentine) {
+  const auto chain = kin::makeSerpentine(8);
+  geom::RobotGeometry body(chain, 0.02);
+  geom::Obstacles obstacles = {{{0.4, 0.0, 0.0}, 0.12}};
+  RrtOptions options;
+  options.seed = 5;
+  RrtPlanner planner(body, obstacles, options);
+  const linalg::VecX start(chain.dof(), 0.3);
+  const linalg::VecX goal(chain.dof(), -0.3);
+  const auto r = planner.plan(start, goal);
+  ASSERT_TRUE(r.success);
+  for (std::size_t i = 1; i < r.path.size(); ++i)
+    EXPECT_TRUE(planner.edgeFree(r.path[i - 1], r.path[i]));
+}
+
+}  // namespace
+}  // namespace dadu::plan

@@ -1,0 +1,104 @@
+// ASCII plotting tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dadu/report/ascii_plot.hpp"
+
+namespace dadu::report {
+namespace {
+
+int lineCount(const std::string& s) {
+  return static_cast<int>(std::count(s.begin(), s.end(), '\n'));
+}
+
+TEST(PlotSeries, ProducesRequestedGeometry) {
+  PlotOptions o;
+  o.width = 40;
+  o.height = 10;
+  o.label = "error";
+  const std::string plot =
+      plotSeries({1.0, 0.1, 0.01, 0.001, 0.0001}, o);
+  // label + top axis + height rows + bottom axis.
+  EXPECT_EQ(lineCount(plot), 1 + 1 + 10 + 1);
+  EXPECT_NE(plot.find("error"), std::string::npos);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+}
+
+TEST(PlotSeries, MonotoneDecayDescendsOnCanvas) {
+  PlotOptions o;
+  o.width = 20;
+  o.height = 8;
+  o.label.clear();
+  const std::string plot = plotSeries({1.0, 0.1, 0.01, 0.001}, o);
+  // First glyph should appear on an earlier (higher) line than the
+  // last one.
+  std::istringstream in(plot);
+  std::string line;
+  int first_row = -1, last_row = -1, row = 0;
+  while (std::getline(in, line)) {
+    const auto pos = line.find('*');
+    if (pos != std::string::npos) {
+      if (first_row < 0) first_row = row;
+      last_row = row;
+    }
+    ++row;
+  }
+  ASSERT_GE(first_row, 0);
+  EXPECT_LT(first_row, last_row);
+}
+
+TEST(PlotSeries, HandlesNonPositiveWithLogScale) {
+  PlotOptions o;
+  o.log_y = true;
+  const std::string plot = plotSeries({1.0, 0.0, -2.0, 0.5}, o);
+  EXPECT_FALSE(plot.empty());  // clamped, no crash/NaN
+  EXPECT_EQ(plot.find("nan"), std::string::npos);
+}
+
+TEST(PlotSeries, LinearScaleSupported) {
+  PlotOptions o;
+  o.log_y = false;
+  const std::string plot = plotSeries({0.0, 1.0, 2.0, 3.0}, o);
+  EXPECT_FALSE(plot.empty());
+}
+
+TEST(PlotSeries, ConstantSeriesDoesNotDivideByZero) {
+  const std::string plot = plotSeries({2.0, 2.0, 2.0});
+  EXPECT_FALSE(plot.empty());
+}
+
+TEST(PlotMultiSeries, LegendListsAllSeries) {
+  const std::string plot = plotMultiSeries(
+      {{"alpha", {1.0, 0.1}}, {"beta", {2.0, 0.2}}, {"gamma", {3.0, 0.3}}});
+  EXPECT_NE(plot.find("* = alpha"), std::string::npos);
+  EXPECT_NE(plot.find("o = beta"), std::string::npos);
+  EXPECT_NE(plot.find("+ = gamma"), std::string::npos);
+}
+
+TEST(BarChart, BarsScaleWithValues) {
+  const std::string chart =
+      barChart({{"fast", 1.0}, {"slow", 4.0}}, 40, "ms");
+  std::istringstream in(chart);
+  std::string fast_line, slow_line;
+  std::getline(in, fast_line);
+  std::getline(in, slow_line);
+  const auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_EQ(hashes(slow_line), 40);
+  EXPECT_EQ(hashes(fast_line), 10);
+  EXPECT_NE(fast_line.find("ms"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesRenderEmptyBars) {
+  const std::string chart = barChart({{"none", 0.0}, {"one", 1.0}});
+  EXPECT_FALSE(chart.empty());
+  std::istringstream in(chart);
+  std::string none_line;
+  std::getline(in, none_line);
+  EXPECT_EQ(std::count(none_line.begin(), none_line.end(), '#'), 0);
+}
+
+}  // namespace
+}  // namespace dadu::report

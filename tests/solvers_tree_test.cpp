@@ -1,0 +1,122 @@
+// Multi-end-effector Quick-IK tests.
+#include <gtest/gtest.h>
+
+#include "dadu/kinematics/tree.hpp"
+#include "dadu/solvers/quick_ik_tree.hpp"
+#include "dadu/workload/rng.hpp"
+
+namespace dadu::ik {
+namespace {
+
+linalg::VecX randomConfig(std::size_t n, std::uint64_t seed) {
+  workload::Rng rng(seed);
+  linalg::VecX q(n);
+  for (std::size_t i = 0; i < n; ++i) q[i] = rng.angle();
+  return q;
+}
+
+/// Reachable-by-construction dual targets.
+std::vector<linalg::Vec3> reachableTargets(const kin::Tree& tree,
+                                           std::uint64_t seed) {
+  return tree.endEffectorPositions(randomConfig(tree.dof(), seed));
+}
+
+TEST(QuickIkTree, RejectsBadInputs) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody();
+  SolveOptions zero_spec;
+  zero_spec.speculations = 0;
+  EXPECT_THROW(QuickIkTreeSolver(tree, zero_spec), std::invalid_argument);
+
+  QuickIkTreeSolver solver(tree, {});
+  // One target for two end effectors.
+  EXPECT_THROW(solver.solve({{0.1, 0, 0}}, linalg::VecX(tree.dof())),
+               std::invalid_argument);
+  // NaN target.
+  EXPECT_THROW(
+      solver.solve({{std::nan(""), 0, 0}, {0.1, 0, 0}},
+                   linalg::VecX(tree.dof())),
+      std::invalid_argument);
+  // Bad seed size.
+  EXPECT_THROW(solver.solve({{0.1, 0, 0}, {0.1, 0.1, 0}}, linalg::VecX(3)),
+               std::invalid_argument);
+}
+
+TEST(QuickIkTree, BothHandsReachTheirTargets) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody(4, 7);
+  SolveOptions options;
+  QuickIkTreeSolver solver(tree, options);
+  int converged = 0;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    const auto targets = reachableTargets(tree, s * 37);
+    const auto r = solver.solve(targets, randomConfig(tree.dof(), s));
+    if (!r.converged()) continue;
+    ++converged;
+    ASSERT_EQ(r.errors.size(), 2u);
+    EXPECT_LT(r.errors[0], options.accuracy);
+    EXPECT_LT(r.errors[1], options.accuracy);
+    // Independent verification.
+    const auto reached = tree.endEffectorPositions(r.theta);
+    EXPECT_LT((reached[0] - targets[0]).norm(), options.accuracy);
+    EXPECT_LT((reached[1] - targets[1]).norm(), options.accuracy);
+  }
+  EXPECT_GE(converged, 3);
+}
+
+TEST(QuickIkTree, SingleBranchBehavesLikeChainQuickIk) {
+  const kin::Tree tree = kin::makeSerpentineTree(25);
+  QuickIkTreeSolver solver(tree, {});
+  const auto targets = reachableTargets(tree, 5);
+  const auto r = solver.solve(targets, randomConfig(25, 6));
+  EXPECT_TRUE(r.converged());
+  EXPECT_LT(r.maxError(), 1e-2);
+}
+
+TEST(QuickIkTree, ConvergenceRequiresEveryEndEffector) {
+  // Target pair where one hand's target sits outside its reachable
+  // set (far beyond the whole tree's reach): must not converge even
+  // though the other hand could reach its target.
+  const kin::Tree tree = kin::makeHumanoidUpperBody(3, 5);
+  SolveOptions options;
+  options.max_iterations = 200;
+  QuickIkTreeSolver solver(tree, options);
+  auto targets = reachableTargets(tree, 9);
+  targets[1] = {100.0, 0.0, 0.0};
+  const auto r = solver.solve(targets, linalg::VecX(tree.dof(), 0.1));
+  EXPECT_FALSE(r.converged());
+  EXPECT_GT(r.errors[1], 1.0);
+}
+
+TEST(QuickIkTree, SeedSolutionConvergesInstantly) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody();
+  const auto q = randomConfig(tree.dof(), 12);
+  QuickIkTreeSolver solver(tree, {});
+  const auto r = solver.solve(tree.endEffectorPositions(q), q);
+  EXPECT_TRUE(r.converged());
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(QuickIkTree, Valkyrie44DofScale) {
+  // The paper's Valkyrie reference: a 44-DOF tree (8-torso + two
+  // 18-joint arms) solving dual targets within budget.
+  const kin::Tree tree = kin::makeHumanoidUpperBody(8, 18, 0.05);
+  ASSERT_EQ(tree.dof(), 44u);
+  QuickIkTreeSolver solver(tree, {});
+  const auto targets = reachableTargets(tree, 3);
+  const auto r = solver.solve(targets, randomConfig(tree.dof(), 4));
+  EXPECT_TRUE(r.converged());
+}
+
+TEST(QuickIkTree, DeterministicAcrossRuns) {
+  const kin::Tree tree = kin::makeHumanoidUpperBody(3, 5);
+  QuickIkTreeSolver a(tree, {});
+  QuickIkTreeSolver b(tree, {});
+  const auto targets = reachableTargets(tree, 21);
+  const auto seed = randomConfig(tree.dof(), 22);
+  const auto ra = a.solve(targets, seed);
+  const auto rb = b.solve(targets, seed);
+  EXPECT_EQ(ra.theta, rb.theta);
+  EXPECT_EQ(ra.iterations, rb.iterations);
+}
+
+}  // namespace
+}  // namespace dadu::ik

@@ -1,0 +1,210 @@
+// Workload generation tests: determinism, reachability-by-construction,
+// stream independence and trajectory generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/workspace.hpp"
+#include "dadu/workload/rng.hpp"
+#include "dadu/workload/targets.hpp"
+#include "dadu/linalg/rotation.hpp"
+#include "dadu/workload/trajectory.hpp"
+
+namespace dadu::workload {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 10; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());  // astronomically unlikely to collide
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, AngleInPlusMinusPi) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = rng.angle();
+    EXPECT_GE(a, -3.14159266);
+    EXPECT_LT(a, 3.14159266);
+  }
+}
+
+TEST(Rng, UniformMeanRoughlyCentred) {
+  Rng rng(9);
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a = Rng::forStream(1, 0);
+  Rng b = Rng::forStream(1, 1);
+  int same = 0;
+  for (int i = 0; i < 20; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Targets, ReachableByConstruction) {
+  const auto chain = kin::makeSerpentine(25);
+  const auto tasks = generateTasks(chain, 20);
+  for (const auto& task : tasks) {
+    // The generating configuration reproduces the target exactly.
+    const auto p = kin::endEffectorPosition(chain, task.generator);
+    EXPECT_LT((p - task.target).norm(), 1e-12);
+    EXPECT_TRUE(kin::plausiblyReachable(chain, task.target));
+  }
+}
+
+TEST(Targets, DeterministicAcrossCalls) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto a = generateTasks(chain, 5);
+  const auto b = generateTasks(chain, 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Targets, IndexedGenerationMatchesBatch) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto batch = generateTasks(chain, 8);
+  for (int i = 0; i < 8; ++i) {
+    const auto single = generateTask(chain, i);
+    EXPECT_EQ(batch[i].target, single.target);
+    EXPECT_EQ(batch[i].seed, single.seed);
+  }
+}
+
+TEST(Targets, DistinctAcrossIndices) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto tasks = generateTasks(chain, 10);
+  std::set<double> xs;
+  for (const auto& t : tasks) xs.insert(t.target.x);
+  EXPECT_EQ(xs.size(), 10u);
+}
+
+TEST(Targets, SeedsAreSmall) {
+  const auto chain = kin::makeSerpentine(12);
+  TargetGenOptions opts;
+  opts.seed_joint_range = 0.1;
+  const auto tasks = generateTasks(chain, 10, opts);
+  for (const auto& t : tasks) EXPECT_LE(t.seed.maxAbs(), 0.1);
+}
+
+TEST(Targets, MinRadiusRespectedWhenPossible) {
+  const auto chain = kin::makeSerpentine(25);
+  TargetGenOptions opts;
+  opts.min_radius_fraction = 0.15;
+  const auto tasks = generateTasks(chain, 30, opts);
+  int ok = 0;
+  for (const auto& t : tasks)
+    if (t.target.norm() >= 0.15 * chain.maxReach()) ++ok;
+  // Redraw budget makes violations rare, not impossible.
+  EXPECT_GE(ok, 28);
+}
+
+TEST(Trajectory, LineEndpointsAndCount) {
+  const auto path = lineTrajectory({0, 0, 0}, {1, 2, 3}, 5);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_EQ(path.front(), linalg::Vec3(0, 0, 0));
+  EXPECT_EQ(path.back(), linalg::Vec3(1, 2, 3));
+  // Even spacing.
+  const double step = (path[1] - path[0]).norm();
+  for (std::size_t i = 1; i < path.size(); ++i)
+    EXPECT_NEAR((path[i] - path[i - 1]).norm(), step, 1e-12);
+}
+
+TEST(Trajectory, CircleRadiusConstant) {
+  const linalg::Vec3 c{1, 2, 3};
+  const auto path = circleTrajectory(c, 0.5, {1, 0, 0}, {0, 1, 0}, 16);
+  ASSERT_EQ(path.size(), 16u);
+  for (const auto& p : path) EXPECT_NEAR((p - c).norm(), 0.5, 1e-12);
+}
+
+TEST(Trajectory, CircleHandlesNonOrthogonalBasis) {
+  const auto path = circleTrajectory({0, 0, 0}, 1.0, {1, 0, 0}, {1, 1, 0}, 8);
+  for (const auto& p : path) EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+}
+
+TEST(Trajectory, LissajousBounded) {
+  const auto path = lissajousTrajectory({0, 0, 0}, 0.3, 3, 2, 1, 0.5, 50);
+  for (const auto& p : path) {
+    EXPECT_LE(std::abs(p.x), 0.3 + 1e-12);
+    EXPECT_LE(std::abs(p.y), 0.3 + 1e-12);
+    EXPECT_LE(std::abs(p.z), 0.3 + 1e-12);
+  }
+}
+
+TEST(Trajectory, FitToWorkspaceScalesIntoBall) {
+  const auto chain = kin::makeSerpentine(12, 0.1);  // reach 1.2
+  auto path = lineTrajectory({0, 0, 0}, {10, 0, 0}, 10);
+  path = fitToWorkspace(chain, std::move(path), 0.2);
+  for (const auto& p : path)
+    EXPECT_LE(p.norm(), 1.2 * 0.8 + 1e-9);
+}
+
+TEST(Trajectory, FitToWorkspaceKeepsAlreadyFittingPath) {
+  const auto chain = kin::makeSerpentine(12, 0.1);
+  const auto orig = lineTrajectory({0.1, 0, 0}, {0.2, 0, 0}, 4);
+  const auto fitted = fitToWorkspace(chain, orig, 0.2);
+  for (std::size_t i = 0; i < orig.size(); ++i) EXPECT_EQ(orig[i], fitted[i]);
+}
+
+
+TEST(Trajectory, PoseTrajectoryEndpointsAndInterpolation) {
+  kin::Pose a;
+  a.position = {0, 0, 0};
+  a.orientation = linalg::axisAngle(linalg::Vec3::unitZ(), 0.0);
+  kin::Pose b;
+  b.position = {1, 0, 0};
+  b.orientation = linalg::axisAngle(linalg::Vec3::unitZ(), 1.0);
+
+  const auto path = poseTrajectory(a, b, 5);
+  ASSERT_EQ(path.size(), 5u);
+  EXPECT_LT((path.front().position - a.position).norm(), 1e-12);
+  EXPECT_LT((path.back().position - b.position).norm(), 1e-12);
+  EXPECT_LT(linalg::rotationAngleBetween(path.back().orientation,
+                                         b.orientation),
+            1e-9);
+  // Midpoint: half the translation, half the rotation.
+  EXPECT_NEAR(path[2].position.x, 0.5, 1e-12);
+  EXPECT_NEAR(linalg::rotationAngleBetween(a.orientation,
+                                           path[2].orientation),
+              0.5, 1e-9);
+  // Orientation steps are uniform (slerp, not lerp).
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_NEAR(linalg::rotationAngleBetween(path[i - 1].orientation,
+                                             path[i].orientation),
+                0.25, 1e-9);
+  }
+}
+
+TEST(Trajectory, PoseTrajectorySinglePoint) {
+  kin::Pose a;
+  a.position = {1, 2, 3};
+  const auto path = poseTrajectory(a, a, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].position, a.position);
+}
+
+}  // namespace
+}  // namespace dadu::workload

@@ -1,0 +1,14 @@
+// Entry point of the `dadu` command-line tool; all logic lives in
+// dadu::cli::run so it is unit-testable.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dadu/cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 0 ? static_cast<std::size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return dadu::cli::run(args, std::cout, std::cerr);
+}
