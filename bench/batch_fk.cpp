@@ -1,0 +1,127 @@
+// Per-iteration speculation cost: scalar per-candidate FK sweep vs the
+// batched SoA kernel, in isolation (Jacobian head excluded).
+//
+// This is the workload of Algorithm 1 lines 6-15 — K forward-kinematics
+// candidates per Quick-IK iteration — measured per sweep.  The scalar
+// baseline reproduces the pre-batching solver loop exactly (axpyInto
+// into a reused candidate vector, one Mat4-chain FK pass per
+// candidate); the batched path is one kin::BatchedForward call.  The
+// acceptance bar for the batching PR is >= 3x at 100 DOF / K = 64.
+//
+// Usage: batch_fk [--quick] [--json PATH]
+//   --quick   fewer repetitions (CI smoke)
+//   --json P  also write results to P as BENCH_kernels.json records
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dadu/dadu.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double g_sink = 0.0;  // defeat dead-code elimination
+
+/// ns per call of `fn`, measured over enough repetitions to exceed
+/// `min_seconds` of wall time.
+template <typename Fn>
+double nsPerOp(Fn&& fn, double min_seconds) {
+  fn();  // warm-up
+  long long reps = 1;
+  for (;;) {
+    const auto start = Clock::now();
+    for (long long r = 0; r < reps; ++r) fn();
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed >= min_seconds || reps > (1LL << 30))
+      return elapsed * 1e9 / static_cast<double>(reps);
+    reps = elapsed <= 0.0 ? reps * 16 : reps * 4;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: batch_fk [--quick] [--json PATH]\n";
+      return 1;
+    }
+  }
+  const double min_seconds = quick ? 0.01 : 0.25;
+
+  std::vector<bench::KernelRecord> records;
+  std::cout << "Per-iteration speculation cost (lines 6-15 of Algorithm 1)\n"
+            << "dof   K    scalar ns/sweep   batched ns/sweep   speedup\n";
+
+  for (const std::size_t dof : {std::size_t{12}, std::size_t{50},
+                                std::size_t{100}}) {
+    for (const int k_count : {16, 64}) {
+      const auto chain = dadu::kin::makeSerpentine(dof);
+      const auto task = dadu::workload::generateTask(chain, 0);
+
+      // One real serial head supplies representative theta/dtheta/alpha.
+      dadu::ik::JtWorkspace ws;
+      const auto head =
+          dadu::ik::jtIterationHead(chain, task.seed, task.target, ws);
+      std::vector<double> alphas(static_cast<std::size_t>(k_count));
+      for (int k = 1; k <= k_count; ++k)
+        alphas[k - 1] =
+            (static_cast<double>(k) / k_count) * head.alpha_base;
+
+      // Scalar baseline: the pre-batching per-candidate loop.
+      dadu::linalg::VecX cand(chain.dof());
+      const auto scalar_sweep = [&] {
+        double acc = 0.0;
+        for (int k = 0; k < k_count; ++k) {
+          dadu::linalg::axpyInto(alphas[static_cast<std::size_t>(k)],
+                                 ws.dtheta_base, task.seed, cand);
+          const dadu::linalg::Vec3 x =
+              dadu::kin::endEffectorPosition(chain, cand);
+          acc += (task.target - x).norm();
+        }
+        g_sink += acc;
+      };
+
+      // Batched kernel: one chain walk for all K lanes.
+      dadu::kin::BatchedForward batch;
+      batch.reset(chain, alphas.size());
+      const auto batched_sweep = [&] {
+        batch.evaluateLanes(chain, task.seed, ws.dtheta_base, alphas.data(),
+                            task.target, false, 0, alphas.size());
+        g_sink += batch.errors()[0];
+      };
+
+      const double scalar_ns = nsPerOp(scalar_sweep, min_seconds);
+      const double batched_ns = nsPerOp(batched_sweep, min_seconds);
+
+      std::printf("%3zu  %3d   %15.0f   %16.0f   %6.2fx\n", dof, k_count,
+                  scalar_ns, batched_ns, scalar_ns / batched_ns);
+      records.push_back({"speculation_scalar", static_cast<int>(dof), k_count,
+                         scalar_ns});
+      records.push_back({"speculation_batched", static_cast<int>(dof),
+                         k_count, batched_ns});
+    }
+  }
+
+  if (!json_path.empty()) {
+    if (!bench::writeKernelJson(json_path, records)) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << json_path << "\n";
+  }
+  if (g_sink == 42.0) std::cout << "";  // keep g_sink observable
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Machine-readable bench output: a tiny writer for BENCH_kernels.json,
+// the per-kernel performance trajectory file future PRs diff against.
+// Schema: a JSON array of {"kernel", "dof", "k", "ns_per_op"} objects.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bench {
+
+/// One measured kernel configuration.
+struct KernelRecord {
+  std::string kernel;   ///< kernel name, e.g. "speculation_batched"
+  int dof = 0;          ///< chain degrees of freedom (0 = n/a)
+  int k = 0;            ///< speculation/batch count (0 = n/a)
+  double ns_per_op = 0.0;  ///< nanoseconds per operation
+};
+
+/// Write `records` to `path` as pretty-printed JSON.  Returns false if
+/// the file cannot be written.
+bool writeKernelJson(const std::string& path,
+                     const std::vector<KernelRecord>& records);
+
+}  // namespace bench

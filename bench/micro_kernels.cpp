@@ -59,6 +59,57 @@ void BM_SvdJacobian(benchmark::State& state) {
 }
 BENCHMARK(BM_SvdJacobian)->Arg(12)->Arg(50)->Arg(100);
 
+void BM_SpeculationScalar(benchmark::State& state) {
+  // The pre-batching speculation sweep: K independent per-candidate FK
+  // passes (axpy + Mat4-chain walk + error norm), args = {DOF, K}.
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const int k_count = static_cast<int>(state.range(1));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::JtWorkspace ws;
+  const auto head =
+      dadu::ik::jtIterationHead(chain, task.seed, task.target, ws);
+  dadu::linalg::VecX cand(chain.dof());
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int k = 1; k <= k_count; ++k) {
+      const double alpha =
+          (static_cast<double>(k) / k_count) * head.alpha_base;
+      dadu::linalg::axpyInto(alpha, ws.dtheta_base, task.seed, cand);
+      acc += (task.target - dadu::kin::endEffectorPosition(chain, cand)).norm();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * k_count);
+}
+BENCHMARK(BM_SpeculationScalar)
+    ->Args({12, 64})->Args({50, 64})->Args({100, 16})->Args({100, 64});
+
+void BM_SpeculationBatched(benchmark::State& state) {
+  // Same sweep through the SoA kernel: one chain walk advances all K
+  // candidate transforms, args = {DOF, K}.
+  const auto chain =
+      dadu::kin::makeSerpentine(static_cast<std::size_t>(state.range(0)));
+  const int k_count = static_cast<int>(state.range(1));
+  const auto task = dadu::workload::generateTask(chain, 0);
+  dadu::ik::JtWorkspace ws;
+  const auto head =
+      dadu::ik::jtIterationHead(chain, task.seed, task.target, ws);
+  std::vector<double> alphas(static_cast<std::size_t>(k_count));
+  for (int k = 1; k <= k_count; ++k)
+    alphas[k - 1] = (static_cast<double>(k) / k_count) * head.alpha_base;
+  dadu::kin::BatchedForward batch;
+  batch.reset(chain, alphas.size());
+  for (auto _ : state) {
+    batch.evaluateLanes(chain, task.seed, ws.dtheta_base, alphas.data(),
+                        task.target, false, 0, alphas.size());
+    benchmark::DoNotOptimize(batch.errors().data());
+  }
+  state.SetItemsProcessed(state.iterations() * k_count);
+}
+BENCHMARK(BM_SpeculationBatched)
+    ->Args({12, 64})->Args({50, 64})->Args({100, 16})->Args({100, 64});
+
 void BM_QuickIkIteration(benchmark::State& state) {
   // One Quick-IK iteration = head + 64 speculative FK passes; measured
   // as a 1-iteration solve budget.

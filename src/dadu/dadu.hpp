@@ -16,6 +16,7 @@
 #include "dadu/linalg/lu.hpp"
 #include "dadu/linalg/mat3.hpp"
 #include "dadu/linalg/mat4.hpp"
+#include "dadu/linalg/mat34_batch.hpp"
 #include "dadu/linalg/matx.hpp"
 #include "dadu/linalg/pseudoinverse.hpp"
 #include "dadu/linalg/quaternion.hpp"
@@ -29,6 +30,7 @@
 #include "dadu/kinematics/chain_utils.hpp"
 #include "dadu/kinematics/dh.hpp"
 #include "dadu/kinematics/forward.hpp"
+#include "dadu/kinematics/forward_batch.hpp"
 #include "dadu/kinematics/forward_f32.hpp"
 #include "dadu/kinematics/forward_fixed.hpp"
 #include "dadu/kinematics/jacobian.hpp"

@@ -1,0 +1,95 @@
+// Batched speculative forward kinematics — the software FKU array.
+//
+// Quick-IK's inner loop (Algorithm 1, lines 6-15) evaluates K
+// candidates theta + alpha_k * dtheta_base, one FK pass each.  The
+// scalar path walks the chain once *per candidate*; this kernel walks
+// it once *total*: at each joint it forms the K candidate joint values,
+// takes their K sin/cos, and advances K accumulator transforms held in
+// structure-of-arrays layout (linalg::Mat34Batch, batch index
+// innermost).  Besides turning the 4x4 chain product into unit-stride
+// lane arithmetic the compiler can vectorize, hoisting the chain walk
+// shares everything that is per-joint rather than per-candidate:
+// cos/sin of the fixed link twist alpha happen once per joint instead
+// of once per joint per candidate, and no candidate VecX or Mat4
+// temporaries exist at all.
+//
+// The kernel evaluates an arbitrary contiguous lane range so a thread
+// pool can split the batch into per-worker chunks that write disjoint
+// slices of the shared workspace — lane chunks, not per-candidate
+// closures.  Results are identical regardless of the split: each lane
+// is written exactly once, by whichever caller owns its range.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/mat34_batch.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// Batched FK over K speculative candidates.  Owns its workspace:
+/// reset() sizes it (idempotent, allocation-free once warm) and
+/// evaluateLanes() fills it with zero allocations, so a solver can
+/// hold one instance and reuse it every iteration.
+class BatchedForward {
+ public:
+  /// Arithmetic of the accumulator datapath.  kF64 reproduces
+  /// endEffectorPosition() bit-for-bit (modulo signed zeros); kF32
+  /// reproduces endEffectorPositionF32() — every intermediate held in
+  /// float, candidates and errors still formed in double.
+  enum class Precision { kF64, kF32 };
+
+  explicit BatchedForward(Precision precision = Precision::kF64)
+      : precision_(precision) {}
+
+  Precision precision() const { return precision_; }
+  std::size_t lanes() const { return lanes_; }
+  std::size_t dof() const { return dof_; }
+
+  /// Size the workspace for `lanes` candidates over `chain`.  Call
+  /// once before evaluateLanes (and again whenever the lane count or
+  /// chain changes); repeated calls at or below the high-water mark do
+  /// not allocate.
+  void reset(const Chain& chain, std::size_t lanes);
+
+  /// Evaluate candidates k in [lane_begin, lane_end):
+  ///
+  ///   theta_k = theta + alpha[k] * dtheta   (clamped to the chain's
+  ///             joint limits when clamp_to_limits is set)
+  ///   x_k     = f(theta_k)                  (one shared chain walk)
+  ///   e_k     = ||target - x_k||
+  ///
+  /// filling the candidate matrix, positions and errors for exactly
+  /// those lanes.  Distinct lane ranges touch disjoint memory, so
+  /// concurrent calls over a partition of [0, lanes) are race-free.
+  void evaluateLanes(const Chain& chain, const linalg::VecX& theta,
+                     const linalg::VecX& dtheta, const double* alpha,
+                     const linalg::Vec3& target, bool clamp_to_limits,
+                     std::size_t lane_begin, std::size_t lane_end);
+
+  /// Per-candidate errors e_k; valid after evaluateLanes covered lane k.
+  const std::vector<double>& errors() const { return errors_; }
+
+  /// End-effector position of candidate k (widened to double for kF32).
+  linalg::Vec3 position(std::size_t k) const;
+
+  /// Copy candidate k's joint vector into `out` (resized if needed —
+  /// allocation-free when the caller passes a dof-sized vector).
+  void candidateInto(std::size_t k, linalg::VecX& out) const;
+
+ private:
+  Precision precision_;
+  std::size_t lanes_ = 0;
+  std::size_t dof_ = 0;
+  linalg::Mat34Batch acc_;     ///< f64 accumulator lanes
+  linalg::Mat34BatchF acc_f_;  ///< f32 accumulator lanes
+  std::vector<double> cand_;   ///< dof x lanes candidate matrix (SoA)
+  std::vector<double> ct_, st_;  ///< per-lane cos/sin scratch (f64)
+  std::vector<float> ctf_, stf_;  ///< per-lane cos/sin scratch (f32)
+  std::vector<double> errors_;
+};
+
+}  // namespace dadu::kin

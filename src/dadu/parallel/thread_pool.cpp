@@ -7,6 +7,7 @@ namespace dadu::par {
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(threads);
+  bulk_chunks_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
     workers_.emplace_back([this] { workerLoop(); });
 }
@@ -21,22 +22,32 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::workerLoop() {
+  std::unique_lock lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
-      ++in_flight_;
+    cv_task_.wait(lock, [this] {
+      return stopping_ || !tasks_.empty() || bulk_next_ < bulk_chunks_.size();
+    });
+    if (bulk_next_ < bulk_chunks_.size()) {
+      // Claim the next lane chunk of the in-flight bulk loop.  The
+      // loop body is invoked through a caller-owned function pointer:
+      // nothing was queued or allocated to get here.
+      const auto [lo, hi] = bulk_chunks_[bulk_next_++];
+      const auto* fn = bulk_fn_;
+      lock.unlock();
+      (*fn)(lo, hi);
+      lock.lock();
+      if (--bulk_pending_ == 0) cv_done_.notify_all();
+      continue;
     }
+    if (stopping_ && tasks_.empty()) return;
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop();
+    ++in_flight_;
+    lock.unlock();
     task();
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) cv_done_.notify_all();
-    }
+    lock.lock();
+    --in_flight_;
+    if (tasks_.empty() && in_flight_ == 0) cv_done_.notify_all();
   }
 }
 
@@ -56,23 +67,48 @@ void ThreadPool::wait() {
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
-  const std::size_t n = end - begin;
-  const std::size_t workers = std::max<std::size_t>(1, threadCount());
-  if (workers == 1 || n == 1) {
+  // Fast path: nothing to fan out — run inline with no queue or lock.
+  if (end - begin <= 1 || threadCount() <= 1) {
     for (std::size_t i = begin; i < end; ++i) fn(i);
     return;
   }
-  const std::size_t blocks = std::min(workers, n);
-  const std::size_t chunk = (n + blocks - 1) / blocks;
-  for (std::size_t b = 0; b < blocks; ++b) {
-    const std::size_t lo = begin + b * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    submit([&fn, lo, hi] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    });
+  const auto body = [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  };
+  parallelForChunked(begin, end, 1, body);
+}
+
+void ThreadPool::parallelForChunked(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n = end - begin;
+  const std::size_t chunks =
+      std::min(std::max<std::size_t>(1, threadCount()), (n + grain - 1) / grain);
+  if (chunks <= 1 || threadCount() <= 1) {
+    fn(begin, end);
+    return;
   }
-  wait();
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  {
+    std::lock_guard lock(mutex_);
+    bulk_chunks_.clear();
+    bulk_chunks_.reserve(chunks);  // no-op after the reserve in the ctor
+    for (std::size_t lo = begin; lo < end; lo += chunk)
+      bulk_chunks_.emplace_back(lo, std::min(end, lo + chunk));
+    bulk_fn_ = &fn;
+    bulk_next_ = 0;
+    bulk_pending_ = bulk_chunks_.size();
+  }
+  cv_task_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    cv_done_.wait(lock, [this] { return bulk_pending_ == 0; });
+    bulk_chunks_.clear();
+    bulk_next_ = 0;
+    bulk_fn_ = nullptr;
+  }
 }
 
 }  // namespace dadu::par

@@ -1,4 +1,4 @@
-// Fixed-size thread pool with a blocking parallel-for.
+// Fixed-size thread pool with blocking parallel-for loops.
 //
 // This is the "multithreads architecture" of the paper's Section 4:
 // Quick-IK's speculative searches are independent within an iteration
@@ -7,6 +7,16 @@
 // and reused across iterations (thread creation would dominate
 // otherwise, the software analogue of the paper's kernel-launch
 // overhead observation).
+//
+// Two dispatch mechanisms coexist:
+//  - submit()/wait(): a queue of std::function tasks for irregular
+//    workloads (one heap-backed closure per task).
+//  - parallelForChunked(): a bulk loop descriptor shared by all
+//    workers.  The caller's function is referenced by pointer and the
+//    chunk table lives in a pre-reserved member vector, so a steady-
+//    state solver iteration enqueues no std::function objects and
+//    performs no allocations — one notify wakes every worker and each
+//    claims whole chunks under a single short critical section.
 #pragma once
 
 #include <condition_variable>
@@ -15,6 +25,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dadu::par {
@@ -33,14 +44,26 @@ class ThreadPool {
   /// Run fn(i) for i in [begin, end) across the pool and block until
   /// all complete.  Work is split into contiguous blocks, one per
   /// worker (speculation counts are small, 16..128, so static
-  /// partitioning is both sufficient and deterministic).  With an
-  /// empty pool (threads == 1 at construction with inline mode) the
-  /// loop runs inline on the caller.
+  /// partitioning is both sufficient and deterministic).  Runs inline
+  /// on the caller — no queue, no lock — when the range has a single
+  /// index or the pool a single worker.
   void parallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 
-  /// Submit one task; returns immediately.  parallelFor is built on
-  /// this; exposed for tests and irregular workloads.
+  /// Run fn(lo, hi) over a partition of [begin, end) into at most
+  /// threadCount() contiguous chunks of at least `grain` indices each,
+  /// and block until all complete.  This is the lane-chunk dispatch
+  /// Quick-IK's batched speculation kernel wants: one call per worker
+  /// instead of one closure per index, zero allocations in steady
+  /// state.  Runs inline when a single chunk results (range smaller
+  /// than 2*grain, or a single-worker pool).  Blocking and
+  /// non-reentrant: at most one bulk loop may be in flight per pool.
+  void parallelForChunked(std::size_t begin, std::size_t end,
+                          std::size_t grain,
+                          const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Submit one task; returns immediately.  Exposed for tests and
+  /// irregular workloads.
   void submit(std::function<void()> task);
 
   /// Block until the queue is empty and all workers are idle.
@@ -56,6 +79,14 @@ class ThreadPool {
   std::condition_variable cv_done_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
+
+  // Bulk (chunked parallel-for) state, guarded by mutex_: the caller's
+  // loop body by pointer, the chunk table (pre-reserved to the worker
+  // count), the next unclaimed chunk and the count still running.
+  const std::function<void(std::size_t, std::size_t)>* bulk_fn_ = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> bulk_chunks_;
+  std::size_t bulk_next_ = 0;
+  std::size_t bulk_pending_ = 0;
 };
 
 }  // namespace dadu::par

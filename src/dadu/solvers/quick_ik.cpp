@@ -1,11 +1,19 @@
 #include "dadu/solvers/quick_ik.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 
-#include "dadu/kinematics/forward.hpp"
-
 namespace dadu::ik {
+namespace {
+
+// Minimum lanes per worker chunk: below this the per-wake cost exceeds
+// the arithmetic and a chunk should stay on the caller (also keeps a
+// vector register's worth of contiguous lanes per worker).
+constexpr std::size_t kLaneGrain = 8;
+
+}  // namespace
 
 QuickIkSolver::QuickIkSolver(kin::Chain chain, SolveOptions options,
                              Execution execution, std::size_t threads)
@@ -14,8 +22,9 @@ QuickIkSolver::QuickIkSolver(kin::Chain chain, SolveOptions options,
     throw std::invalid_argument("Quick-IK requires at least 1 speculation");
   if (execution_ == Execution::kThreadPool)
     pool_ = std::make_unique<par::ThreadPool>(threads);
-  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
-  error_k_.assign(options_.speculations, 0.0);
+  const auto max_spec = static_cast<std::size_t>(options_.speculations);
+  batch_.reset(chain_, max_spec);
+  alphas_.resize(max_spec);
 }
 
 SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
@@ -23,8 +32,12 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
   validateInputs(chain_, target, seed);
 
   const int max_spec = options_.speculations;
+  const auto lanes = static_cast<std::size_t>(max_spec);
   SolveResult result;
   result.theta = seed;
+  if (options_.record_history)
+    result.error_history.reserve(
+        static_cast<std::size_t>(std::max(options_.max_iterations, 0)) + 1);
 
   if (options_.max_iterations <= 0) {
     // Zero budget: report the seed's error honestly.
@@ -36,6 +49,17 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
                                                    : Status::kMaxIterations;
     return result;
   }
+
+  // One sweep closure per solve (not per iteration): every capture is
+  // stable across iterations — result.theta is updated in place — so
+  // the pool dispatch allocates nothing inside the iteration loop.
+  std::function<void(std::size_t, std::size_t)> pooled_sweep;
+  if (execution_ == Execution::kThreadPool)
+    pooled_sweep = [this, &target, &result](std::size_t lo, std::size_t hi) {
+      batch_.evaluateLanes(chain_, result.theta, ws_.dtheta_base,
+                           alphas_.data(), target, options_.clamp_to_limits,
+                           lo, hi);
+    };
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     const JtIterationHead head =
@@ -53,25 +77,20 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
       return result;
     }
 
-    // Speculative search (Algorithm 1, lines 6-15).  Each k is fully
-    // independent: own candidate vector, own FK pass.
-    const auto speculate = [&](std::size_t idx) {
-      const int k = static_cast<int>(idx) + 1;
-      const double alpha_k =
-          (static_cast<double>(k) / max_spec) * head.alpha_base;  // Eq. 9
-      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta, theta_k_[idx]);
-      if (options_.clamp_to_limits)
-        theta_k_[idx] = chain_.clampToLimits(theta_k_[idx]);
-      const linalg::Vec3 x_k = kin::endEffectorPosition(chain_, theta_k_[idx]);
-      error_k_[idx] = (target - x_k).norm();
-    };
-
+    // Speculative search (Algorithm 1, lines 6-15): all Max candidates
+    // advance through one batched chain walk.  Serial execution is a
+    // single kernel call; the thread pool splits the batch into
+    // contiguous lane chunks, one per worker, each writing its own
+    // disjoint slice of the shared SoA workspace.
+    for (std::size_t idx = 0; idx < lanes; ++idx)
+      alphas_[idx] = (static_cast<double>(idx + 1) / max_spec) *
+                     head.alpha_base;  // Eq. 9
     if (execution_ == Execution::kThreadPool) {
-      pool_->parallelFor(0, static_cast<std::size_t>(max_spec), speculate);
+      pool_->parallelForChunked(0, lanes, kLaneGrain, pooled_sweep);
     } else {
-      for (std::size_t idx = 0; idx < static_cast<std::size_t>(max_spec);
-           ++idx)
-        speculate(idx);
+      batch_.evaluateLanes(chain_, result.theta, ws_.dtheta_base,
+                           alphas_.data(), target, options_.clamp_to_limits,
+                           0, lanes);
     }
     result.fk_evaluations += max_spec;
     result.speculation_load += max_spec;
@@ -79,14 +98,15 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
 
     // Parameter selection (line 16): argmin error, smallest k on ties,
     // deterministic regardless of execution strategy.
+    const std::vector<double>& error_k = batch_.errors();
     std::size_t best = 0;
-    for (std::size_t idx = 1; idx < static_cast<std::size_t>(max_spec); ++idx)
-      if (error_k_[idx] < error_k_[best]) best = idx;
+    for (std::size_t idx = 1; idx < lanes; ++idx)
+      if (error_k[idx] < error_k[best]) best = idx;
 
-    result.theta = theta_k_[best];
-    result.error = error_k_[best];
+    batch_.candidateInto(best, result.theta);
+    result.error = error_k[best];
 
-    if (error_k_[best] < options_.accuracy) {  // line 12-13 early exit
+    if (error_k[best] < options_.accuracy) {  // line 12-13 early exit
       result.status = Status::kConverged;
       if (options_.record_history) result.error_history.push_back(result.error);
       return result;

@@ -6,25 +6,30 @@
 //
 //     alpha_k = (k / Max) * alpha_base,   k = 1..Max        (Eq. 9)
 //
-// in parallel, each requiring one forward-kinematics pass f(theta +
-// alpha_k dtheta_base).  The candidate with the smallest remaining
-// error becomes the next iterate; any candidate already under the
-// accuracy threshold ends the solve.  The speculation set spans
-// (0, alpha_base] because the error is guaranteed to decrease for
-// sufficiently small positive alpha while alpha_base is the
-// near-optimal linearised step — searching between the two captures
-// the best of both (Section 4, "Speculation strategy").
+// each requiring one forward-kinematics pass f(theta + alpha_k
+// dtheta_base).  The candidate with the smallest remaining error
+// becomes the next iterate; any candidate already under the accuracy
+// threshold ends the solve.  The speculation set spans (0, alpha_base]
+// because the error is guaranteed to decrease for sufficiently small
+// positive alpha while alpha_base is the near-optimal linearised step —
+// searching between the two captures the best of both (Section 4,
+// "Speculation strategy").
 //
-// Execution of the speculation loop is pluggable: inline (the paper's
-// "Atom" single-thread row) or fanned out over a thread pool (the
-// multithreaded architecture the paper maps to GPU threads / SSUs).
-// Both produce bit-identical results — selection is a deterministic
-// argmin with smallest-k tie-break — which is also what lets the
-// IKAcc simulator's functional output be validated against this class.
+// The sweep itself runs through kin::BatchedForward: one chain walk
+// advances all Max candidate transforms in SoA lanes (the software
+// mirror of the paper's FKU array).  Execution is pluggable: inline
+// (the paper's "Atom" single-thread row) evaluates the whole batch in
+// one kernel call; the thread pool splits it into contiguous lane
+// chunks, one per worker.  Both produce bit-identical results —
+// selection is a deterministic argmin with smallest-k tie-break —
+// which is also what lets the IKAcc simulator's functional output be
+// validated against this class.
 #pragma once
 
 #include <memory>
+#include <vector>
 
+#include "dadu/kinematics/forward_batch.hpp"
 #include "dadu/parallel/thread_pool.hpp"
 #include "dadu/solvers/ik_solver.hpp"
 #include "dadu/solvers/jt_common.hpp"
@@ -35,7 +40,7 @@ class QuickIkSolver final : public IkSolver {
  public:
   enum class Execution {
     kSerial,      ///< speculations evaluated inline on the caller
-    kThreadPool,  ///< speculations fanned out over worker threads
+    kThreadPool,  ///< speculation lanes chunked over worker threads
   };
 
   /// `threads` is only used with kThreadPool (0 = hardware concurrency).
@@ -59,10 +64,11 @@ class QuickIkSolver final : public IkSolver {
   std::unique_ptr<par::ThreadPool> pool_;  // only for kThreadPool
 
   JtWorkspace ws_;
-  // Per-speculation scratch, sized once: candidate joint vectors and
-  // errors.  Indexed by k-1.
-  std::vector<linalg::VecX> theta_k_;
-  std::vector<double> error_k_;
+  // Batched speculation workspace, sized once in the constructor and
+  // reused every iteration: the SoA FK kernel (owns candidates,
+  // accumulators and errors) and the alpha ladder.
+  kin::BatchedForward batch_;
+  std::vector<double> alphas_;
 };
 
 }  // namespace dadu::ik

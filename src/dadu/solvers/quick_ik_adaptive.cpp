@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "dadu/kinematics/forward.hpp"
-
 namespace dadu::ik {
 
 QuickIkAdaptiveSolver::QuickIkAdaptiveSolver(kin::Chain chain,
@@ -19,8 +17,10 @@ QuickIkAdaptiveSolver::QuickIkAdaptiveSolver(kin::Chain chain,
   if (min_spec_ < 1 || min_spec_ > options_.speculations)
     throw std::invalid_argument(
         "Quick-IK (adaptive): min speculations out of range");
-  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
-  error_k_.assign(options_.speculations, 0.0);
+  // Warm the kernel workspace at the widest speculation count so later
+  // reshapes never allocate.
+  batch_.reset(chain_, static_cast<std::size_t>(options_.speculations));
+  alphas_.resize(static_cast<std::size_t>(options_.speculations));
 }
 
 SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
@@ -29,6 +29,9 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
 
   SolveResult result;
   result.theta = seed;
+  if (options_.record_history)
+    result.error_history.reserve(
+        static_cast<std::size_t>(std::max(options_.max_iterations, 0)) + 1);
   int spec = options_.speculations;  // start wide, adapt down
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
@@ -47,27 +50,28 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
       return result;
     }
 
-    for (int k = 1; k <= spec; ++k) {
-      const double alpha_k =
-          (static_cast<double>(k) / spec) * head.alpha_base;  // Eq. 9
-      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta,
-                       theta_k_[k - 1]);
-      if (options_.clamp_to_limits)
-        theta_k_[k - 1] = chain_.clampToLimits(theta_k_[k - 1]);
-      const linalg::Vec3 x_k =
-          kin::endEffectorPosition(chain_, theta_k_[k - 1]);
-      error_k_[k - 1] = (target - x_k).norm();
-    }
+    // Batched sweep over the iteration's speculation count: the kernel
+    // is reshaped to `spec` lanes (allocation-free below the maximum)
+    // and walks the chain once for all candidates.
+    const auto lanes = static_cast<std::size_t>(spec);
+    for (std::size_t idx = 0; idx < lanes; ++idx)
+      alphas_[idx] = (static_cast<double>(idx + 1) / spec) *
+                     head.alpha_base;  // Eq. 9
+    if (batch_.lanes() != lanes) batch_.reset(chain_, lanes);
+    batch_.evaluateLanes(chain_, result.theta, ws_.dtheta_base,
+                         alphas_.data(), target, options_.clamp_to_limits, 0,
+                         lanes);
     result.fk_evaluations += spec;
     result.speculation_load += spec;
     ++result.iterations;
 
+    const std::vector<double>& error_k = batch_.errors();
     std::size_t best = 0;
-    for (std::size_t idx = 1; idx < static_cast<std::size_t>(spec); ++idx)
-      if (error_k_[idx] < error_k_[best]) best = idx;
+    for (std::size_t idx = 1; idx < lanes; ++idx)
+      if (error_k[idx] < error_k[best]) best = idx;
 
-    result.theta = theta_k_[best];
-    result.error = error_k_[best];
+    batch_.candidateInto(best, result.theta);
+    result.error = error_k[best];
     if (result.error < options_.accuracy) {
       result.status = Status::kConverged;
       if (options_.record_history) result.error_history.push_back(result.error);

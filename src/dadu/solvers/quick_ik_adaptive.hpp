@@ -12,6 +12,9 @@
 // On IKAcc this translates directly to skipped waves.
 #pragma once
 
+#include <vector>
+
+#include "dadu/kinematics/forward_batch.hpp"
 #include "dadu/solvers/ik_solver.hpp"
 #include "dadu/solvers/jt_common.hpp"
 
@@ -35,8 +38,11 @@ class QuickIkAdaptiveSolver final : public IkSolver {
   SolveOptions options_;
   int min_spec_;
   JtWorkspace ws_;
-  std::vector<linalg::VecX> theta_k_;
-  std::vector<double> error_k_;
+  // Batched speculation workspace: the kernel is re-shaped to the
+  // iteration's speculation count (allocation-free below the maximum,
+  // which the constructor warms up).
+  kin::BatchedForward batch_;
+  std::vector<double> alphas_;
 };
 
 }  // namespace dadu::ik

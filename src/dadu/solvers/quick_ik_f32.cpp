@@ -1,9 +1,9 @@
 #include "dadu/solvers/quick_ik_f32.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "dadu/kinematics/forward.hpp"
-#include "dadu/kinematics/forward_f32.hpp"
 
 namespace dadu::ik {
 
@@ -12,8 +12,8 @@ QuickIkF32Solver::QuickIkF32Solver(kin::Chain chain, SolveOptions options)
   if (options_.speculations < 1)
     throw std::invalid_argument(
         "Quick-IK (f32) requires at least 1 speculation");
-  theta_k_.assign(options_.speculations, linalg::VecX(chain_.dof()));
-  error_k_.assign(options_.speculations, 0.0);
+  batch_.reset(chain_, static_cast<std::size_t>(options_.speculations));
+  alphas_.resize(static_cast<std::size_t>(options_.speculations));
 }
 
 SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
@@ -21,8 +21,12 @@ SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
   validateInputs(chain_, target, seed);
 
   const int max_spec = options_.speculations;
+  const auto lanes = static_cast<std::size_t>(max_spec);
   SolveResult result;
   result.theta = seed;
+  if (options_.record_history)
+    result.error_history.reserve(
+        static_cast<std::size_t>(std::max(options_.max_iterations, 0)) + 1);
 
   for (int iter = 0; iter < options_.max_iterations; ++iter) {
     // Serial head in double (SPU datapath).
@@ -41,25 +45,26 @@ SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
       return result;
     }
 
-    // Speculative searches on the float datapath (SSU/FKU array).
-    for (int k = 1; k <= max_spec; ++k) {
-      const double alpha_k =
-          (static_cast<double>(k) / max_spec) * head.alpha_base;
-      linalg::axpyInto(alpha_k, ws_.dtheta_base, result.theta,
-                       theta_k_[k - 1]);
-      const linalg::Vec3 x_k =
-          kin::endEffectorPositionF32(chain_, theta_k_[k - 1]);
-      error_k_[k - 1] = (target - x_k).norm();
-    }
+    // Speculative searches on the float datapath (SSU/FKU array): one
+    // batched chain walk with every FK intermediate held in float.
+    // Candidates are formed in double and never clamped, exactly like
+    // the scalar f32 path.
+    for (std::size_t idx = 0; idx < lanes; ++idx)
+      alphas_[idx] =
+          (static_cast<double>(idx + 1) / max_spec) * head.alpha_base;
+    batch_.evaluateLanes(chain_, result.theta, ws_.dtheta_base,
+                         alphas_.data(), target, /*clamp_to_limits=*/false, 0,
+                         lanes);
     result.fk_evaluations += max_spec;
     result.speculation_load += max_spec;
     ++result.iterations;
 
+    const std::vector<double>& error_k = batch_.errors();
     std::size_t best = 0;
-    for (std::size_t idx = 1; idx < static_cast<std::size_t>(max_spec); ++idx)
-      if (error_k_[idx] < error_k_[best]) best = idx;
+    for (std::size_t idx = 1; idx < lanes; ++idx)
+      if (error_k[idx] < error_k[best]) best = idx;
 
-    result.theta = theta_k_[best];
+    batch_.candidateInto(best, result.theta);
     // Honest accuracy: re-measure the winner in double before claiming
     // convergence (a hardware build would do the final check on the
     // host controller anyway).

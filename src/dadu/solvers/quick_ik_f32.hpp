@@ -10,6 +10,9 @@
 // is honest.
 #pragma once
 
+#include <vector>
+
+#include "dadu/kinematics/forward_batch.hpp"
 #include "dadu/solvers/ik_solver.hpp"
 #include "dadu/solvers/jt_common.hpp"
 
@@ -29,8 +32,10 @@ class QuickIkF32Solver final : public IkSolver {
   kin::Chain chain_;
   SolveOptions options_;
   JtWorkspace ws_;
-  std::vector<linalg::VecX> theta_k_;
-  std::vector<double> error_k_;
+  // Batched speculation workspace on the float datapath (candidates
+  // and errors stay double, matching the scalar f32 path).
+  kin::BatchedForward batch_{kin::BatchedForward::Precision::kF32};
+  std::vector<double> alphas_;
 };
 
 }  // namespace dadu::ik

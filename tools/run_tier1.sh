@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full unit-test
+# suite.  This is the exact line CI (and the roadmap) treat as the
+# gate for every PR.
+#
+#   tools/run_tier1.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to `build` at the repo root.  Extra CMake cache
+# arguments can be passed via the DADU_CMAKE_ARGS environment variable.
+#
+# Sanitizer runs use the DADU_SANITIZE cache option added alongside the
+# batched speculation kernel.  The batch-FK kernel test was verified
+# under UBSan with:
+#
+#   cmake -B build-ubsan -S . -DDADU_SANITIZE=undefined -DDADU_BUILD_BENCH=OFF
+#   cmake --build build-ubsan -j --target kinematics_batch_fk_test
+#   ./build-ubsan/tests/kinematics_batch_fk_test
+#
+# (ASan is the same with -DDADU_SANITIZE=address.)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+
+# shellcheck disable=SC2086  # DADU_CMAKE_ARGS is intentionally word-split
+cmake -B "${build_dir}" -S "${repo_root}" ${DADU_CMAKE_ARGS:-}
+cmake --build "${build_dir}" -j
+ctest --test-dir "${build_dir}" --output-on-failure -j
