@@ -21,4 +21,19 @@ bool writeKernelJson(const std::string& path,
   return out.good();
 }
 
+bool writeMetricsJson(const std::string& path,
+                      const std::vector<MetricRecord>& records) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const MetricRecord& r = records[i];
+    out << "  {\"metric\": \"" << r.metric << "\", \"value\": "
+        << std::setprecision(6) << std::fixed << r.value << ", \"unit\": \""
+        << r.unit << "\"}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.good();
+}
+
 }  // namespace bench

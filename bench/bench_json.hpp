@@ -1,6 +1,7 @@
-// Machine-readable bench output: a tiny writer for BENCH_kernels.json,
-// the per-kernel performance trajectory file future PRs diff against.
-// Schema: a JSON array of {"kernel", "dof", "k", "ns_per_op"} objects.
+// Machine-readable bench output: tiny writers for the BENCH_*.json
+// performance trajectory files future PRs diff against.
+//   BENCH_kernels.json — array of {"kernel", "dof", "k", "ns_per_op"}
+//   BENCH_service.json — array of {"metric", "value", "unit"}
 #pragma once
 
 #include <string>
@@ -20,5 +21,18 @@ struct KernelRecord {
 /// the file cannot be written.
 bool writeKernelJson(const std::string& path,
                      const std::vector<KernelRecord>& records);
+
+/// One named scalar (system-level benches: throughput, latency
+/// percentiles, hit rates — things that are not per-kernel ns/op).
+struct MetricRecord {
+  std::string metric;  ///< e.g. "service_solves_per_sec_cache_on"
+  double value = 0.0;
+  std::string unit;    ///< "solves/s", "ms", "ratio", "iters", ...
+};
+
+/// Write `records` to `path` as pretty-printed JSON.  Returns false if
+/// the file cannot be written.
+bool writeMetricsJson(const std::string& path,
+                      const std::vector<MetricRecord>& records);
 
 }  // namespace bench

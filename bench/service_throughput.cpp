@@ -1,0 +1,172 @@
+// Serving-layer throughput benchmark: an open-loop arrival workload
+// against a live IkService, with the warm-start seed cache on vs off.
+//
+// Three measurements on the same clustered-target workload (the
+// traffic shape real IK services see — pick points, shelves, tool
+// poses — and the one a seed cache exists for):
+//
+//   1. baseline: dadu::solveBatchParallel on the identical tasks (the
+//      pre-service dispatch path; the service must sustain >= this),
+//   2. service, cache off: queueing overhead in isolation,
+//   3. service, cache on: adds warm starting; reports hit rate and the
+//      drop in mean iterations.
+//
+// Usage: service_throughput [--quick] [--requests N] [--workers W]
+//                           [--clusters C] [--json PATH]
+//   --json P  write the results to P as BENCH_service.json records
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dadu/dadu.hpp"
+
+namespace {
+
+struct RunResult {
+  double solves_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_iterations = 0.0;
+  double hit_rate = 0.0;
+};
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+RunResult runService(const dadu::kin::Chain& chain,
+                     const std::vector<dadu::workload::IkTask>& tasks,
+                     std::size_t workers, bool cache_on) {
+  namespace service = dadu::service;
+  service::ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = tasks.size();
+  config.enable_seed_cache = cache_on;
+
+  dadu::ik::SolveOptions options;  // paper defaults
+  service::IkService svc(
+      [&] { return dadu::ik::makeSolver("quick-ik", chain, options); }, config);
+
+  dadu::platform::WallTimer timer;
+  std::vector<std::future<service::Response>> futures;
+  futures.reserve(tasks.size());
+  for (const auto& task : tasks)
+    futures.push_back(svc.submit({.target = task.target, .seed = task.seed}));
+
+  std::vector<double> latencies;
+  latencies.reserve(futures.size());
+  long long iterations = 0;
+  for (auto& f : futures) {
+    const service::Response r = f.get();
+    latencies.push_back(r.queue_ms + r.solve_ms);
+    iterations += r.result.iterations;
+  }
+  const double wall_ms = timer.elapsedMs();
+  svc.stop();
+
+  RunResult out;
+  out.solves_per_sec =
+      wall_ms > 0.0 ? static_cast<double>(tasks.size()) / (wall_ms * 1e-3)
+                    : 0.0;
+  std::sort(latencies.begin(), latencies.end());
+  out.p50_ms = percentile(latencies, 50);
+  out.p99_ms = percentile(latencies, 99);
+  out.mean_iterations = tasks.empty()
+                            ? 0.0
+                            : static_cast<double>(iterations) /
+                                  static_cast<double>(tasks.size());
+  out.hit_rate = svc.stats().cacheHitRate();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  int requests = 2000;
+  int clusters = 32;
+  std::size_t workers = 0;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      requests = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clusters") == 0 && i + 1 < argc) {
+      clusters = std::stoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc) {
+      workers = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: service_throughput [--quick] [--requests N]\n"
+                   "       [--clusters C] [--workers W] [--json PATH]\n";
+      return 1;
+    }
+  }
+  if (quick) {
+    requests = std::min(requests, 100);
+    clusters = std::min(clusters, 8);
+  }
+
+  const auto chain = dadu::kin::makeSerpentine(24);
+  const auto tasks =
+      dadu::workload::generateClusteredTasks(chain, requests, clusters);
+
+  // 1. Pre-service dispatch baseline on the identical workload.
+  const auto baseline = dadu::solveBatchParallel(
+      [&] {
+        return dadu::ik::makeSolver("quick-ik", chain,
+                                    dadu::ik::SolveOptions{});
+      },
+      tasks, workers);
+
+  // 2./3. Service without and with the warm-start cache.
+  const RunResult off = runService(chain, tasks, workers, false);
+  const RunResult on = runService(chain, tasks, workers, true);
+
+  std::cout << "Serving-layer throughput — " << requests << " requests, "
+            << clusters << " clusters, 24-DOF serpentine\n\n";
+  std::cout << "config           solves/s   p50 ms   p99 ms   mean iters   hit rate\n";
+  std::cout << "batch baseline   " << baseline.solves_per_second << "\n";
+  const auto row = [](const char* name, const RunResult& r) {
+    std::cout << name << "   " << r.solves_per_sec << "   " << r.p50_ms
+              << "   " << r.p99_ms << "   " << r.mean_iterations << "   "
+              << r.hit_rate << "\n";
+  };
+  row("service (cache off)", off);
+  row("service (cache on) ", on);
+  std::cout << "\ncache speedup: " << (on.solves_per_sec / off.solves_per_sec)
+            << "x throughput, " << (off.mean_iterations / on.mean_iterations)
+            << "x fewer iterations\n";
+
+  if (!json_path.empty()) {
+    const std::vector<bench::MetricRecord> records = {
+        {"service_batch_baseline_solves_per_sec", baseline.solves_per_second,
+         "solves/s"},
+        {"service_solves_per_sec_cache_off", off.solves_per_sec, "solves/s"},
+        {"service_solves_per_sec_cache_on", on.solves_per_sec, "solves/s"},
+        {"service_p50_ms_cache_off", off.p50_ms, "ms"},
+        {"service_p99_ms_cache_off", off.p99_ms, "ms"},
+        {"service_p50_ms_cache_on", on.p50_ms, "ms"},
+        {"service_p99_ms_cache_on", on.p99_ms, "ms"},
+        {"service_mean_iterations_cache_off", off.mean_iterations, "iters"},
+        {"service_mean_iterations_cache_on", on.mean_iterations, "iters"},
+        {"service_cache_hit_rate", on.hit_rate, "ratio"},
+    };
+    if (!bench::writeMetricsJson(json_path, records)) {
+      std::cerr << "error: cannot write " << json_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << records.size() << " records to " << json_path
+              << "\n";
+  }
+  return 0;
+}

@@ -1,9 +1,14 @@
 #include "dadu/cli/cli.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "dadu/ikacc/accelerator.hpp"
 #include "dadu/kinematics/forward.hpp"
@@ -12,8 +17,11 @@
 #include "dadu/kinematics/jacobian_full.hpp"
 #include "dadu/kinematics/workspace.hpp"
 #include "dadu/linalg/rotation.hpp"
+#include "dadu/platform/timer.hpp"
+#include "dadu/service/ik_service.hpp"
 #include "dadu/solvers/factory.hpp"
 #include "dadu/solvers/pose_solvers.hpp"
+#include "dadu/workload/targets.hpp"
 
 namespace dadu::cli {
 namespace {
@@ -27,6 +35,9 @@ constexpr const char* kUsage =
     "  accel --robot <spec> --target x,y,z [--ssus n] [--speculations k]\n"
     "  pose  --robot <spec> --target x,y,z --rpy r,p,y [--accuracy a]\n"
     "        [--angular-accuracy a]\n"
+    "  serve-bench --robot <spec> [--requests n] [--clusters c] [--workers w]\n"
+    "        [--queue-capacity n] [--rate req-per-s] [--deadline ms]\n"
+    "        [--cache on|off] [--solver name] [--max-iter n]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n";
 
@@ -172,6 +183,99 @@ int cmdAccel(const kin::Chain& chain,
   return r.converged() ? 0 : 1;
 }
 
+/// Open-loop arrival benchmark against a live IkService: submit
+/// `requests` clustered targets at a fixed arrival rate (0 = all at
+/// once), then report throughput, latency percentiles and the seed
+/// cache's effect.  Open loop means arrivals do not wait for
+/// completions — exactly the regime where admission control matters.
+int cmdServeBench(const kin::Chain& chain,
+                  const std::map<std::string, std::string>& opts,
+                  std::ostream& out) {
+  const int requests = std::stoi(optional(opts, "requests", "200"));
+  const int clusters = std::stoi(optional(opts, "clusters", "8"));
+  const double rate = std::stod(optional(opts, "rate", "0"));
+  const double deadline_ms = std::stod(optional(opts, "deadline", "0"));
+  const std::string cache_flag = optional(opts, "cache", "on");
+  if (cache_flag != "on" && cache_flag != "off")
+    throw std::invalid_argument("--cache must be 'on' or 'off'");
+
+  ik::SolveOptions solve_options;
+  solve_options.max_iterations = std::stoi(optional(opts, "max-iter", "10000"));
+  const std::string solver_name = optional(opts, "solver", "quick-ik");
+
+  service::ServiceConfig config;
+  config.workers =
+      static_cast<std::size_t>(std::stoul(optional(opts, "workers", "0")));
+  config.queue_capacity = static_cast<std::size_t>(
+      std::stoul(optional(opts, "queue-capacity", "1024")));
+  config.enable_seed_cache = cache_flag == "on";
+
+  const auto tasks = workload::generateClusteredTasks(chain, requests, clusters);
+
+  service::IkService svc(
+      [&] { return ik::makeSolver(solver_name, chain, solve_options); },
+      config);
+
+  platform::WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<service::Response>> futures;
+  futures.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (rate > 0.0) {
+      // Open-loop pacing: arrival i is due at i/rate seconds; sleep
+      // only if we are early (submission itself never blocks).
+      const auto due =
+          start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(static_cast<double>(i) / rate));
+      std::this_thread::sleep_until(due);
+    }
+    futures.push_back(svc.submit({.target = tasks[i].target,
+                                  .seed = tasks[i].seed,
+                                  .deadline_ms = deadline_ms}));
+  }
+
+  std::vector<double> latencies_ms;  // queue + solve, solved requests only
+  latencies_ms.reserve(futures.size());
+  for (auto& f : futures) {
+    const service::Response r = f.get();
+    if (r.status == service::ResponseStatus::kSolved)
+      latencies_ms.push_back(r.queue_ms + r.solve_ms);
+  }
+  const double wall_ms = timer.elapsedMs();
+  svc.stop();
+
+  const auto stats = svc.stats();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const auto percentile = [&](double p) {
+    if (latencies_ms.empty()) return 0.0;
+    const auto rank = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(latencies_ms.size() - 1) + 0.5);
+    return latencies_ms[std::min(rank, latencies_ms.size() - 1)];
+  };
+
+  out << "solver:            " << solver_name << '\n';
+  out << "workers:           " << svc.workerCount() << '\n';
+  out << "requests:          " << stats.submitted << " (" << clusters
+      << " clusters)\n";
+  out << "solved:            " << stats.solved << " (" << stats.converged
+      << " converged)\n";
+  out << "rejected:          " << stats.rejected_queue_full << " queue-full, "
+      << stats.rejected_shutdown << " shutdown\n";
+  out << "deadline expired:  " << stats.deadline_expired << '\n';
+  out << "wall:              " << wall_ms << " ms\n";
+  out << "throughput:        "
+      << (wall_ms > 0.0 ? static_cast<double>(stats.solved) / (wall_ms * 1e-3)
+                        : 0.0)
+      << " solves/s\n";
+  out << "latency p50/p99:   " << percentile(50) << " / " << percentile(99)
+      << " ms\n";
+  out << "mean iterations:   " << stats.meanIterations() << '\n';
+  out << "cache:             " << cache_flag << ", hit rate "
+      << stats.cacheHitRate() << " (" << stats.cache_hits << "/"
+      << (stats.cache_hits + stats.cache_misses) << ")\n";
+  return stats.solved == stats.submitted ? 0 : 1;
+}
+
 }  // namespace
 
 std::vector<double> parseNumberList(const std::string& csv) {
@@ -231,6 +335,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "solve") return cmdSolve(chain, opts, out);
     if (command == "accel") return cmdAccel(chain, opts, out);
     if (command == "pose") return cmdPose(chain, opts, out);
+    if (command == "serve-bench") return cmdServeBench(chain, opts, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

@@ -10,6 +10,9 @@
 //   dadu solve --robot <spec> --target x,y,z [--solver name]
 //              [--accuracy a] [--max-iter n] [--speculations k] [--seed-config q1,q2,...]
 //   dadu accel --robot <spec> --target x,y,z [--ssus n] [--speculations k]
+//   dadu serve-bench --robot <spec> [--requests n] [--clusters c]
+//              [--workers w] [--queue-capacity n] [--rate r] [--deadline ms]
+//              [--cache on|off] [--solver name] [--max-iter n]
 //
 // Robot specs: "serpentine:<dof>", "planar:<dof>", "puma", "iiwa",
 // "tentacle:<segments>", "random:<dof>:<seed>", or a path to a robot

@@ -1,13 +1,22 @@
 #include "dadu/core/batch_runner.hpp"
 
-#include <atomic>
+#include <algorithm>
+#include <future>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "dadu/platform/timer.hpp"
+#include "dadu/service/ik_service.hpp"
 
 namespace dadu {
 
+// Thin wrapper over a transient IkService so there is exactly one
+// worker-dispatch implementation in the tree.  The service is
+// configured to reproduce the old inline thread loop bit for bit:
+// seed cache off (results must equal a serial run from the given
+// seeds), queue sized to the whole batch (admission can never reject),
+// per-worker solver instances from the same factory.
 BatchRunReport solveBatchParallel(const SolverFactory& factory,
                                   const std::vector<workload::IkTask>& tasks,
                                   std::size_t threads) {
@@ -20,27 +29,22 @@ BatchRunReport solveBatchParallel(const SolverFactory& factory,
   report.results.resize(tasks.size());
   platform::WallTimer timer;
 
-  // Dynamic work stealing over a shared atomic index: task costs vary
-  // wildly (restarts, near-singular targets), so static partitioning
-  // would leave workers idle.
-  std::atomic<std::size_t> next{0};
-  const auto worker = [&] {
-    const auto solver = factory();
-    for (;;) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= tasks.size()) return;
-      report.results[i] = solver->solve(tasks[i].target, tasks[i].seed);
-    }
-  };
+  {
+    service::ServiceConfig config;
+    config.workers = threads;
+    config.queue_capacity = std::max<std::size_t>(tasks.size(), 1);
+    config.enable_seed_cache = false;
+    service::IkService svc(factory, config);
 
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+    std::vector<std::future<service::Response>> futures;
+    futures.reserve(tasks.size());
+    for (const workload::IkTask& task : tasks)
+      futures.push_back(svc.submit({.target = task.target,
+                                    .seed = task.seed,
+                                    .use_seed_cache = false}));
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      report.results[i] = std::move(futures[i].get().result);
+  }  // ~IkService joins the workers before the clock stops
 
   report.wall_ms = timer.elapsedMs();
   for (const auto& r : report.results)

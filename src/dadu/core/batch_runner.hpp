@@ -6,6 +6,12 @@
 // Parallelism here is across *problems*; each worker owns a private
 // solver instance (solvers carry per-solve workspaces and are not
 // thread-safe by design).
+//
+// Since the serving-layer PR this is a thin synchronous wrapper over a
+// transient service::IkService (seed cache off, queue sized to the
+// batch) — one worker-dispatch implementation for the whole tree.
+// Long-lived callers that want admission control, deadlines or the
+// warm-start cache should hold an IkService directly.
 #pragma once
 
 #include <functional>

@@ -97,6 +97,13 @@
 #include "dadu/solvers/restart.hpp"
 #include "dadu/solvers/nullspace.hpp"
 
+// Asynchronous serving layer.
+#include "dadu/service/ik_service.hpp"
+#include "dadu/service/queue.hpp"
+#include "dadu/service/request.hpp"
+#include "dadu/service/seed_cache.hpp"
+#include "dadu/service/service_stats.hpp"
+
 // Top-level engine.
 #include "dadu/core/batch_runner.hpp"
 #include "dadu/core/engine.hpp"

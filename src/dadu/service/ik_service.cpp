@@ -1,0 +1,184 @@
+#include "dadu/service/ik_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "dadu/platform/timer.hpp"
+
+namespace dadu::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+IkService::IkService(SolverFactory factory, ServiceConfig config)
+    : config_(config),
+      factory_(std::move(factory)),
+      queue_(config.queue_capacity),
+      cache_(config.cache) {
+  if (!factory_) throw std::invalid_argument("IkService: null factory");
+  std::size_t workers = config_.workers;
+  if (workers == 0)
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+IkService::~IkService() { stop(Drain::kDrainPending); }
+
+std::future<Response> IkService::submit(Request request) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++counters_.submitted;
+  }
+
+  Job job;
+  job.enqueued = Clock::now();
+  if (request.deadline_ms > 0.0) {
+    job.deadline =
+        job.enqueued + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               request.deadline_ms));
+    job.has_deadline = true;
+  }
+  job.request = std::move(request);
+  std::future<Response> future = job.promise.get_future();
+
+  switch (queue_.tryPush(std::move(job))) {
+    case PushResult::kAccepted:
+      break;
+    case PushResult::kFull:
+      // tryPush did not move from `job` — fail its promise here.
+      rejectNow(job.promise, RejectReason::kQueueFull);
+      break;
+    case PushResult::kClosed:
+      rejectNow(job.promise, RejectReason::kShutdown);
+      break;
+  }
+  return future;
+}
+
+void IkService::rejectNow(std::promise<Response>& promise,
+                          RejectReason reason) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (reason == RejectReason::kQueueFull)
+      ++counters_.rejected_queue_full;
+    else
+      ++counters_.rejected_shutdown;
+  }
+  Response response;
+  response.status = ResponseStatus::kRejected;
+  response.reject_reason = reason;
+  promise.set_value(std::move(response));
+}
+
+void IkService::workerLoop() {
+  const std::unique_ptr<ik::IkSolver> solver = factory_();
+  Job job;
+  while (queue_.pop(job)) process(*solver, std::move(job));
+}
+
+void IkService::process(ik::IkSolver& solver, Job job) {
+  const Clock::time_point picked_up = Clock::now();
+  const double queue_ms = msBetween(job.enqueued, picked_up);
+
+  if (job.has_deadline && picked_up > job.deadline) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.deadline_expired;
+    }
+    Response response;
+    response.status = ResponseStatus::kDeadlineExceeded;
+    response.queue_ms = queue_ms;
+    job.promise.set_value(std::move(response));
+    return;
+  }
+
+  // Seed selection: explicit seed, cache hit (preferred when allowed),
+  // or the chain's zero configuration as the empty-seed default.
+  const bool cache_allowed =
+      config_.enable_seed_cache && job.request.use_seed_cache;
+  linalg::VecX seed;
+  bool from_cache = false;
+  if (cache_allowed && cache_.lookup(job.request.target, seed)) {
+    from_cache = true;
+  } else if (!job.request.seed.empty()) {
+    seed = std::move(job.request.seed);
+  } else {
+    seed = solver.chain().zeroConfiguration();
+  }
+
+  try {
+    platform::WallTimer timer;
+    ik::SolveResult result = solver.solve(job.request.target, seed);
+    const double solve_ms = timer.elapsedMs();
+
+    if (result.converged() && cache_allowed)
+      cache_.insert(job.request.target, result.theta);
+
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.solved;
+      if (result.converged()) ++counters_.converged;
+      counters_.total_iterations += result.iterations;
+      counters_.total_queue_ms += queue_ms;
+      counters_.total_solve_ms += solve_ms;
+    }
+
+    Response response;
+    response.status = ResponseStatus::kSolved;
+    response.result = std::move(result);
+    response.queue_ms = queue_ms;
+    response.solve_ms = solve_ms;
+    response.seeded_from_cache = from_cache;
+    job.promise.set_value(std::move(response));
+  } catch (...) {
+    // Solver precondition failures (seed-size mismatch, non-finite
+    // target) surface through the future, not the worker thread.
+    job.promise.set_exception(std::current_exception());
+  }
+}
+
+void IkService::stop(Drain mode) {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  stopped_.store(true);
+  queue_.close();
+  if (mode == Drain::kDiscardPending) {
+    for (Job& job : queue_.drain()) {
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+        ++counters_.rejected_shutdown;
+      }
+      Response response;
+      response.status = ResponseStatus::kRejected;
+      response.reject_reason = RejectReason::kShutdown;
+      job.promise.set_value(std::move(response));
+    }
+  }
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+ServiceStats IkService::stats() const {
+  ServiceStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = counters_;
+  }
+  const SeedCacheStats cache = cache_.stats();
+  snapshot.cache_hits = cache.hits;
+  snapshot.cache_misses = cache.misses;
+  snapshot.cache_inserts = cache.inserts;
+  return snapshot;
+}
+
+}  // namespace dadu::service

@@ -1,0 +1,111 @@
+// IkService: a long-lived, asynchronous IK serving layer.
+//
+// Every pre-existing entry point (IkEngine::solveBatch,
+// dadu::solveBatchParallel) is a synchronous one-shot call that spins
+// up threads per invocation and forgets everything between calls.  The
+// service is the opposite: construct once, submit() any number of
+// requests from any number of threads, get a future per request.
+//
+//   - worker pool: `workers` threads, each owning a private solver
+//     built by the caller's factory (solvers carry per-solve
+//     workspaces and are not thread-safe by design — same contract as
+//     the batch runner);
+//   - admission control: a bounded MPMC queue; a full queue rejects at
+//     submit() with Rejected{QueueFull} instead of blocking forever;
+//   - per-request deadlines: a request still queued past its deadline
+//     is dropped unexecuted and reported as DeadlineExceeded;
+//   - warm-start seed cache: converged solutions are indexed by
+//     workspace target; a request whose target lands near a cached
+//     solution is seeded from it (typically collapsing the iteration
+//     count) and converged results are inserted back.
+//
+// Thread-safety contract: submit(), stats(), queueDepth() are safe
+// from any thread.  stop() may be called from any one thread (and is
+// idempotent); the destructor stops with drain semantics.  Futures may
+// be waited on from anywhere; each resolves exactly once.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dadu/service/queue.hpp"
+#include "dadu/service/request.hpp"
+#include "dadu/service/seed_cache.hpp"
+#include "dadu/service/service_stats.hpp"
+#include "dadu/solvers/ik_solver.hpp"
+
+namespace dadu::service {
+
+/// Factory producing one solver instance per worker.  Called once from
+/// each worker thread at startup — it must be safe to invoke
+/// concurrently (same contract as the batch runner's factory).
+using SolverFactory = std::function<std::unique_ptr<ik::IkSolver>()>;
+
+struct ServiceConfig {
+  std::size_t workers = 0;          ///< 0 = hardware concurrency
+  std::size_t queue_capacity = 1024;
+  bool enable_seed_cache = true;
+  SeedCacheConfig cache;
+};
+
+class IkService {
+ public:
+  /// Starts the worker pool immediately.  Throws std::invalid_argument
+  /// on a null factory.
+  explicit IkService(SolverFactory factory, ServiceConfig config = {});
+  ~IkService();  ///< stop(Drain::kDrainPending)
+
+  IkService(const IkService&) = delete;
+  IkService& operator=(const IkService&) = delete;
+
+  /// Submit one request; never blocks.  The future resolves to a
+  /// Response: kSolved once a worker ran the solver, or an immediate
+  /// Rejected{QueueFull}/Rejected{Shutdown} when admission fails, or
+  /// kDeadlineExceeded if the deadline passed while queued.
+  std::future<Response> submit(Request request);
+
+  /// What happens to still-queued requests at stop().
+  enum class Drain {
+    kDrainPending,    ///< workers finish every queued request first
+    kDiscardPending,  ///< queued requests resolve Rejected{Shutdown} now
+  };
+
+  /// Close admission, handle queued requests per `mode`, join workers.
+  /// Idempotent; concurrent callers serialize, later modes are no-ops.
+  /// In-flight solves always run to completion.
+  void stop(Drain mode = Drain::kDrainPending);
+  bool stopped() const { return stopped_.load(); }
+
+  ServiceStats stats() const;
+  const SeedCache& seedCache() const { return cache_; }
+  std::size_t workerCount() const { return workers_.size(); }
+  std::size_t queueDepth() const { return queue_.size(); }
+  const ServiceConfig& config() const { return config_; }
+
+ private:
+  void workerLoop();
+  void process(ik::IkSolver& solver, Job job);
+  void rejectNow(std::promise<Response>& promise, RejectReason reason);
+
+  ServiceConfig config_;
+  SolverFactory factory_;
+  BoundedQueue queue_;
+  SeedCache cache_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mutex_;  ///< serializes stop() / joins
+
+  // Live counters behind one mutex: touched once per submit / solve,
+  // negligible against the solve itself, trivially race-free.
+  mutable std::mutex stats_mutex_;
+  ServiceStats counters_;
+};
+
+}  // namespace dadu::service

@@ -1,0 +1,29 @@
+#include "dadu/service/request.hpp"
+
+namespace dadu::service {
+
+std::string toString(ResponseStatus s) {
+  switch (s) {
+    case ResponseStatus::kSolved:
+      return "solved";
+    case ResponseStatus::kRejected:
+      return "rejected";
+    case ResponseStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+  }
+  return "unknown";
+}
+
+std::string toString(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone:
+      return "none";
+    case RejectReason::kQueueFull:
+      return "queue-full";
+    case RejectReason::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace dadu::service

@@ -1,0 +1,66 @@
+// Request/response types of the IK serving layer.
+//
+// A Request is what a caller hands to IkService::submit; a Response is
+// what the returned future resolves to.  The Response wraps
+// ik::SolveResult with a typed outcome so callers can distinguish
+// Solved / Rejected / DeadlineExceeded without sentinel values (an
+// unconverged SolveResult is still *Solved* at the service level — the
+// solver ran and reported; Rejected means the solver never ran).
+#pragma once
+
+#include <string>
+
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+#include "dadu/solvers/types.hpp"
+
+namespace dadu::service {
+
+/// One IK request.  `seed` may be left empty to start from the chain's
+/// zero configuration (or a seed-cache hit, when enabled).
+struct Request {
+  linalg::Vec3 target;
+  linalg::VecX seed;
+  /// Per-request deadline relative to submission (0 = none).  A request
+  /// still queued when its deadline passes is dropped before solving
+  /// and reported as kDeadlineExceeded; an in-flight solve is never
+  /// interrupted.
+  double deadline_ms = 0.0;
+  /// Allow warm-starting from (and inserting into) the service's seed
+  /// cache.  Off = solve exactly from `seed`, touch nothing shared.
+  bool use_seed_cache = true;
+};
+
+/// Service-level outcome of a request.
+enum class ResponseStatus {
+  kSolved,            ///< solver ran; see Response::result for the IK outcome
+  kRejected,          ///< never queued or never solved; see reject_reason
+  kDeadlineExceeded,  ///< deadline passed while the request was queued
+};
+
+/// Why a request was rejected (meaningful iff status == kRejected).
+enum class RejectReason {
+  kNone,       ///< not rejected
+  kQueueFull,  ///< admission control: the bounded queue was at capacity
+  kShutdown,   ///< service stopped before (or instead of) solving it
+};
+
+std::string toString(ResponseStatus s);
+std::string toString(RejectReason r);
+
+/// What a submitted request's future resolves to.
+struct Response {
+  ResponseStatus status = ResponseStatus::kRejected;
+  RejectReason reject_reason = RejectReason::kNone;
+  ik::SolveResult result;  ///< meaningful iff status == kSolved
+  double queue_ms = 0.0;   ///< time spent in the queue before pickup
+  double solve_ms = 0.0;   ///< solver wall time (0 unless kSolved)
+  bool seeded_from_cache = false;  ///< solve started from a cache hit
+
+  /// Solved *and* converged — the service-level success predicate.
+  bool ok() const {
+    return status == ResponseStatus::kSolved && result.converged();
+  }
+};
+
+}  // namespace dadu::service

@@ -1,0 +1,140 @@
+#include "dadu/service/seed_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu::service {
+namespace {
+
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for cell keys.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SeedCache::SeedCache(SeedCacheConfig config) : config_(config) {
+  if (!(config_.cell_size > 0.0))
+    throw std::invalid_argument("SeedCache: cell_size must be > 0");
+  if (!(config_.max_distance >= 0.0))
+    throw std::invalid_argument("SeedCache: max_distance must be >= 0");
+  config_.shards = std::max<std::size_t>(config_.shards, 1);
+  config_.max_entries_per_cell =
+      std::max<std::size_t>(config_.max_entries_per_cell, 1);
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+std::int64_t SeedCache::quantize(double v) const {
+  return static_cast<std::int64_t>(std::floor(v / config_.cell_size));
+}
+
+std::uint64_t SeedCache::cellKey(std::int64_t ix, std::int64_t iy,
+                                 std::int64_t iz) const {
+  // Mix each axis before combining so neighbouring cells land in
+  // unrelated buckets (and shards).
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(ix));
+  h = mix64(h ^ static_cast<std::uint64_t>(iy));
+  h = mix64(h ^ static_cast<std::uint64_t>(iz));
+  return h;
+}
+
+SeedCache::Shard& SeedCache::shardFor(std::uint64_t key) const {
+  return *shards_[key % shards_.size()];
+}
+
+void SeedCache::probeCell(std::uint64_t key, const linalg::Vec3& target,
+                          double& best_d2, linalg::VecX& seed,
+                          bool& found) const {
+  Shard& shard = shardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.cells.find(key);
+  if (it == shard.cells.end()) return;
+  for (const Entry& e : it->second.entries) {
+    const double d2 = (e.target - target).squaredNorm();
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      seed = e.theta;
+      found = true;
+    }
+  }
+}
+
+bool SeedCache::lookup(const linalg::Vec3& target, linalg::VecX& seed) const {
+  const std::int64_t ix = quantize(target.x);
+  const std::int64_t iy = quantize(target.y);
+  const std::int64_t iz = quantize(target.z);
+
+  double best_d2 = config_.max_distance * config_.max_distance;
+  // Accept entries *at* max_distance too (strict-less in probeCell
+  // would reject an exact-radius tie); widen by the smallest usable
+  // epsilon.
+  best_d2 = std::nextafter(best_d2, best_d2 + 1.0);
+  bool found = false;
+
+  if (config_.search_neighbors) {
+    for (std::int64_t dx = -1; dx <= 1; ++dx)
+      for (std::int64_t dy = -1; dy <= 1; ++dy)
+        for (std::int64_t dz = -1; dz <= 1; ++dz)
+          probeCell(cellKey(ix + dx, iy + dy, iz + dz), target, best_d2, seed,
+                    found);
+  } else {
+    probeCell(cellKey(ix, iy, iz), target, best_d2, seed, found);
+  }
+
+  (found ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
+  return found;
+}
+
+void SeedCache::insert(const linalg::Vec3& target, const linalg::VecX& theta) {
+  const std::uint64_t key =
+      cellKey(quantize(target.x), quantize(target.y), quantize(target.z));
+  Shard& shard = shardFor(key);
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    Cell& cell = shard.cells[key];
+    if (cell.entries.size() < config_.max_entries_per_cell) {
+      cell.entries.push_back({target, theta});
+    } else {
+      // Ring replacement: overwrite the oldest slot.  Keeps the cell
+      // fresh under sustained traffic without per-entry timestamps.
+      cell.entries[cell.next_slot] = {target, theta};
+      cell.next_slot = (cell.next_slot + 1) % config_.max_entries_per_cell;
+      evicted = true;
+    }
+  }
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted) evictions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+SeedCacheStats SeedCache::stats() const {
+  SeedCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t SeedCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, cell] : shard->cells) total += cell.entries.size();
+  }
+  return total;
+}
+
+void SeedCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->cells.clear();
+  }
+}
+
+}  // namespace dadu::service

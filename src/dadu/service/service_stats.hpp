@@ -1,0 +1,56 @@
+// Aggregate serving-layer statistics (snapshot type).
+//
+// IkService keeps live counters internally (one mutex, touched once
+// per submit/solve — nanoseconds against millisecond solves) and
+// copies them out through stats(); this header defines the snapshot a
+// caller sees.  Cache counters are mirrored from the SeedCache so one
+// struct answers "how is the service doing".
+#pragma once
+
+#include <cstdint>
+
+namespace dadu::service {
+
+struct ServiceStats {
+  // Admission.
+  std::uint64_t submitted = 0;           ///< submit() calls
+  std::uint64_t rejected_queue_full = 0; ///< shed by admission control
+  std::uint64_t rejected_shutdown = 0;   ///< submitted after / pending at stop
+  std::uint64_t deadline_expired = 0;    ///< dropped unexecuted
+
+  // Execution.
+  std::uint64_t solved = 0;     ///< solver ran (any ik::Status)
+  std::uint64_t converged = 0;  ///< ... and converged
+  long long total_iterations = 0;  ///< summed over solved requests
+  double total_queue_ms = 0.0;
+  double total_solve_ms = 0.0;
+
+  // Warm-start cache (mirrored from SeedCache::stats()).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_inserts = 0;
+
+  double meanQueueMs() const {
+    return solved == 0 ? 0.0 : total_queue_ms / static_cast<double>(solved);
+  }
+  double meanSolveMs() const {
+    return solved == 0 ? 0.0 : total_solve_ms / static_cast<double>(solved);
+  }
+  double meanIterations() const {
+    return solved == 0
+               ? 0.0
+               : static_cast<double>(total_iterations) /
+                     static_cast<double>(solved);
+  }
+  double cacheHitRate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+  double convergenceRate() const {
+    return solved == 0
+               ? 0.0
+               : static_cast<double>(converged) / static_cast<double>(solved);
+  }
+};
+
+}  // namespace dadu::service

@@ -1,5 +1,6 @@
 #include "dadu/workload/targets.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -48,6 +49,44 @@ std::vector<IkTask> generateTasks(const kin::Chain& chain, int count,
   std::vector<IkTask> tasks;
   tasks.reserve(count);
   for (int i = 0; i < count; ++i) tasks.push_back(generateTask(chain, i, opts));
+  return tasks;
+}
+
+std::vector<IkTask> generateClusteredTasks(const kin::Chain& chain, int count,
+                                           int clusters, double joint_spread,
+                                           const TargetGenOptions& opts) {
+  clusters = std::max(clusters, 1);
+  std::vector<IkTask> centers;
+  centers.reserve(clusters);
+  for (int c = 0; c < clusters; ++c)
+    centers.push_back(generateTask(chain, c, opts));
+
+  std::vector<IkTask> tasks;
+  tasks.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const IkTask& center = centers[static_cast<std::size_t>(i % clusters)];
+    // Separate stream offset so clustered tasks never replay the
+    // center/task streams (0x20001 vs generateTask's 0x10001).
+    Rng rng = Rng::forStream(
+        opts.seed,
+        chain.dof() * 0x20001ULL + static_cast<std::uint64_t>(i));
+
+    IkTask task;
+    task.generator = center.generator;
+    for (std::size_t j = 0; j < chain.dof(); ++j) {
+      task.generator[j] += rng.uniform(-joint_spread, joint_spread);
+      const kin::Joint& joint = chain.joint(j);
+      if (std::isfinite(joint.min))
+        task.generator[j] = std::max(task.generator[j], joint.min);
+      if (std::isfinite(joint.max))
+        task.generator[j] = std::min(task.generator[j], joint.max);
+    }
+    task.target = kin::endEffectorPosition(chain, task.generator);
+    task.seed = linalg::VecX(chain.dof());
+    for (std::size_t j = 0; j < chain.dof(); ++j)
+      task.seed[j] = rng.uniform(-opts.seed_joint_range, opts.seed_joint_range);
+    tasks.push_back(std::move(task));
+  }
   return tasks;
 }
 

@@ -50,4 +50,17 @@ std::vector<IkTask> generateTasks(const kin::Chain& chain, int count,
 IkTask generateTask(const kin::Chain& chain, int index,
                     const TargetGenOptions& opts = {});
 
+/// Clustered workload for warm-start studies: `count` tasks whose
+/// targets bunch around `clusters` centers (task i orbits center
+/// i % clusters).  Each target is the FK of the center's generating
+/// configuration perturbed by at most `joint_spread` rad per joint, so
+/// every task stays reachable by construction while its target lands
+/// within a small workspace neighbourhood of the center — the traffic
+/// shape a seed cache exists for.  Seeds are random full-range, same
+/// as generateTasks.  Deterministic in (chain dof, index, opts.seed).
+std::vector<IkTask> generateClusteredTasks(const kin::Chain& chain, int count,
+                                           int clusters,
+                                           double joint_spread = 0.05,
+                                           const TargetGenOptions& opts = {});
+
 }  // namespace dadu::workload

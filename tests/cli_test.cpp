@@ -155,5 +155,32 @@ TEST(Cli, PoseBadRpyArityFails) {
   EXPECT_EQ(r.code, 2);
 }
 
+TEST(Cli, ServeBenchRunsAndReportsCacheHits) {
+  const auto r = runCli({"serve-bench", "--robot", "serpentine:10",
+                         "--requests", "40", "--clusters", "4", "--workers",
+                         "2", "--max-iter", "2000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("throughput:"), std::string::npos);
+  EXPECT_NE(r.out.find("latency p50/p99:"), std::string::npos);
+  EXPECT_NE(r.out.find("cache:             on, hit rate"), std::string::npos);
+  // Clustered targets against a warm cache must actually hit.
+  EXPECT_EQ(r.out.find("hit rate 0 ("), std::string::npos) << r.out;
+}
+
+TEST(Cli, ServeBenchCacheOffReportsNoHits) {
+  const auto r = runCli({"serve-bench", "--robot", "serpentine:10",
+                         "--requests", "10", "--clusters", "2", "--workers",
+                         "2", "--cache", "off", "--max-iter", "2000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("cache:             off"), std::string::npos);
+}
+
+TEST(Cli, ServeBenchRejectsBadCacheFlag) {
+  const auto r = runCli({"serve-bench", "--robot", "serpentine:10", "--cache",
+                         "maybe"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--cache"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dadu::cli

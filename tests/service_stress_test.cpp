@@ -1,0 +1,203 @@
+// Serving-layer concurrency stress: many producers against many
+// workers, admission under overload, and shutdown racing submission.
+// Every future must resolve exactly once with an accounted-for
+// outcome; nothing may hang.  These tests are the TSan targets of the
+// service PR (see tools/run_tier1.sh for the invocation).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dadu/core/batch_runner.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/service/ik_service.hpp"
+#include "dadu/solvers/factory.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::service {
+namespace {
+
+ik::SolveOptions fastOptions() {
+  ik::SolveOptions options;
+  options.max_iterations = 300;  // keep stress iterations cheap
+  return options;
+}
+
+ServiceConfig makeConfig(std::size_t workers, std::size_t capacity,
+                         bool cache = false) {
+  ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = capacity;
+  config.enable_seed_cache = cache;
+  return config;
+}
+
+TEST(ServiceStress, ManyProducersManyWorkersAllResolveExactlyOnce) {
+  const auto chain = kin::makeSerpentine(6);
+  constexpr int kProducers = 6;
+  constexpr int kPerProducer = 40;
+  const auto tasks =
+      workload::generateTasks(chain, kProducers * kPerProducer);
+
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, fastOptions()); },
+                makeConfig(4, 1024));
+
+  std::vector<std::vector<std::future<Response>>> futures(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      futures[p].reserve(kPerProducer);
+      for (int i = 0; i < kPerProducer; ++i) {
+        const auto& task = tasks[static_cast<std::size_t>(p * kPerProducer + i)];
+        futures[p].push_back(
+            svc.submit({.target = task.target, .seed = task.seed}));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  int solved = 0;
+  for (auto& per_producer : futures) {
+    for (auto& f : per_producer) {
+      ASSERT_TRUE(f.valid());
+      const Response r = f.get();  // each future resolves exactly once
+      EXPECT_FALSE(f.valid());     // ... and is consumed
+      if (r.status == ResponseStatus::kSolved) ++solved;
+    }
+  }
+  EXPECT_EQ(solved, kProducers * kPerProducer);
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(solved));
+  EXPECT_EQ(stats.solved, static_cast<std::uint64_t>(solved));
+}
+
+TEST(ServiceStress, OverloadShedsButAccountsForEveryRequest) {
+  const auto chain = kin::makeSerpentine(6);
+  const auto tasks = workload::generateTasks(chain, 160);
+
+  // Tiny queue + one worker: a burst of 160 must shed most requests.
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, fastOptions()); },
+                makeConfig(1, 4));
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(tasks.size());
+  for (const auto& task : tasks)
+    futures.push_back(svc.submit({.target = task.target, .seed = task.seed}));
+
+  std::uint64_t solved = 0, rejected = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    if (r.status == ResponseStatus::kSolved) {
+      ++solved;
+    } else {
+      ASSERT_EQ(r.status, ResponseStatus::kRejected);
+      EXPECT_EQ(r.reject_reason, RejectReason::kQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(solved + rejected, tasks.size());
+  EXPECT_GT(rejected, 0u);  // 160 arrivals cannot all fit 1 worker + 4 slots
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.rejected_queue_full, rejected);
+  EXPECT_EQ(stats.solved, solved);
+}
+
+TEST(ServiceStress, StopRacingProducersNeverHangsOrLosesAFuture) {
+  const auto chain = kin::makeSerpentine(6);
+  const auto tasks = workload::generateTasks(chain, 120);
+
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, fastOptions()); },
+                makeConfig(2, 16));
+
+  std::vector<std::future<Response>> futures(tasks.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 4; ++p) {
+    producers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= tasks.size()) return;
+        futures[i] = svc.submit({.target = tasks[i].target,
+                                 .seed = tasks[i].seed});
+      }
+    });
+  }
+  // Stop mid-stream: everything already queued drains, later submits
+  // resolve Rejected{Shutdown}.
+  svc.stop(IkService::Drain::kDrainPending);
+  for (auto& t : producers) t.join();
+
+  std::uint64_t solved = 0, shed = 0, shutdown = 0;
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    const Response r = f.get();
+    switch (r.status) {
+      case ResponseStatus::kSolved:
+        ++solved;
+        break;
+      case ResponseStatus::kRejected:
+        if (r.reject_reason == RejectReason::kShutdown)
+          ++shutdown;
+        else
+          ++shed;
+        break;
+      case ResponseStatus::kDeadlineExceeded:
+        FAIL() << "no deadlines were set";
+    }
+  }
+  EXPECT_EQ(solved + shed + shutdown, tasks.size());
+}
+
+TEST(ServiceStress, ConcurrentCacheUseStaysCoherent) {
+  const auto chain = kin::makeSerpentine(8);
+  const auto tasks = workload::generateClusteredTasks(chain, 200, 5);
+
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, fastOptions()); },
+                makeConfig(4, 256, /*cache=*/true));
+
+  std::vector<std::future<Response>> futures;
+  futures.reserve(tasks.size());
+  for (const auto& task : tasks)
+    futures.push_back(svc.submit({.target = task.target, .seed = task.seed}));
+
+  int solved = 0;
+  for (auto& f : futures) {
+    const Response r = f.get();
+    if (r.status == ResponseStatus::kSolved) {
+      ++solved;
+      // A cached seed must still produce a valid converged result.
+      if (r.seeded_from_cache) {
+        EXPECT_TRUE(r.result.converged());
+      }
+    }
+  }
+  EXPECT_EQ(solved, 200);
+  const auto cache_stats = svc.seedCache().stats();
+  EXPECT_GT(cache_stats.hits, 0u);
+  EXPECT_EQ(cache_stats.inserts,
+            static_cast<std::uint64_t>(svc.stats().converged));
+}
+
+TEST(ServiceStress, BatchRunnerOnServiceMatchesSerialUnderLoad) {
+  // The rebased solveBatchParallel must keep task-order, bit-identical
+  // results while the dispatch underneath is the shared service.
+  const auto chain = kin::makeSerpentine(10);
+  const auto tasks = workload::generateTasks(chain, 24);
+  const SolverFactory factory = [&] {
+    return ik::makeSolver("quick-ik", chain, fastOptions());
+  };
+  const auto serial = solveBatchParallel(factory, tasks, 1);
+  const auto parallel = solveBatchParallel(factory, tasks, 4);
+  ASSERT_EQ(serial.results.size(), parallel.results.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(serial.results[i].theta, parallel.results[i].theta) << i;
+    EXPECT_EQ(serial.results[i].iterations, parallel.results[i].iterations);
+  }
+}
+
+}  // namespace
+}  // namespace dadu::service

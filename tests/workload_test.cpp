@@ -94,6 +94,47 @@ TEST(Targets, IndexedGenerationMatchesBatch) {
   }
 }
 
+TEST(Targets, ClusteredTasksReachableAndDeterministic) {
+  const auto chain = kin::makeSerpentine(12);
+  const auto a = generateClusteredTasks(chain, 20, 4);
+  const auto b = generateClusteredTasks(chain, 20, 4);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    // Reachable by construction.
+    const auto fk = kin::endEffectorPosition(chain, a[i].generator);
+    EXPECT_NEAR((fk - a[i].target).norm(), 0.0, 1e-12);
+    // Deterministic across calls.
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+  }
+}
+
+TEST(Targets, ClusteredTasksBunchAroundTheirCenters) {
+  const auto chain = kin::makeSerpentine(12);
+  const int clusters = 4;
+  const auto tasks = generateClusteredTasks(chain, 24, clusters, 0.02);
+  const auto centers = generateTasks(chain, clusters);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& center = centers[i % static_cast<std::size_t>(clusters)];
+    // A <=0.02 rad perturbation per joint moves a 12-link arm's end
+    // effector by well under link_count * spread * reach.
+    EXPECT_LT((tasks[i].target - center.target).norm(),
+              0.02 * static_cast<double>(chain.dof()) * chain.maxReach());
+    // Seeds stay full-range random, not clustered.
+  }
+}
+
+TEST(Targets, ClusteredTasksRespectJointLimits) {
+  const auto chain = kin::makePuma560();  // has finite limits
+  const auto tasks = generateClusteredTasks(chain, 12, 3, 0.5);
+  for (const auto& task : tasks)
+    for (std::size_t j = 0; j < chain.dof(); ++j) {
+      const auto& joint = chain.joint(j);
+      if (std::isfinite(joint.min)) EXPECT_GE(task.generator[j], joint.min);
+      if (std::isfinite(joint.max)) EXPECT_LE(task.generator[j], joint.max);
+    }
+}
+
 TEST(Targets, DistinctAcrossIndices) {
   const auto chain = kin::makeSerpentine(12);
   const auto tasks = generateTasks(chain, 10);

@@ -1,5 +1,6 @@
-// Entry point of the `dadu` command-line tool; all logic lives in
-// dadu::cli::run so it is unit-testable.
+// Entry point of the `dadu` command-line tool (info/fk/solve/accel/
+// pose/serve-bench); all logic lives in dadu::cli::run so it is
+// unit-testable.
 #include <iostream>
 #include <string>
 #include <vector>

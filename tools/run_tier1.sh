@@ -17,6 +17,16 @@
 #   ./build-ubsan/tests/kinematics_batch_fk_test
 #
 # (ASan is the same with -DDADU_SANITIZE=address.)
+#
+# The serving layer (src/dadu/service/) is verified under
+# ThreadSanitizer — queue, seed cache, worker pool and shutdown paths
+# are all concurrent — with:
+#
+#   cmake -B build-tsan -S . -DDADU_SANITIZE=thread -DDADU_BUILD_BENCH=OFF
+#   cmake --build build-tsan -j --target service_test service_stress_test parallel_test
+#   ./build-tsan/tests/service_test
+#   ./build-tsan/tests/service_stress_test
+#   ./build-tsan/tests/parallel_test
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
