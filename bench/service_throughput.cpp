@@ -32,6 +32,7 @@ struct RunResult {
   double p99_ms = 0.0;
   double mean_iterations = 0.0;
   double hit_rate = 0.0;
+  dadu::service::ServiceStats stats;  ///< full snapshot (histograms incl.)
 };
 
 double percentile(std::vector<double> sorted, double p) {
@@ -82,7 +83,8 @@ RunResult runService(const dadu::kin::Chain& chain,
                             ? 0.0
                             : static_cast<double>(iterations) /
                                   static_cast<double>(tasks.size());
-  out.hit_rate = svc.stats().cacheHitRate();
+  out.stats = svc.stats();
+  out.hit_rate = out.stats.cacheHitRate();
   return out;
 }
 
@@ -148,7 +150,7 @@ int main(int argc, char** argv) {
             << "x fewer iterations\n";
 
   if (!json_path.empty()) {
-    const std::vector<bench::MetricRecord> records = {
+    std::vector<bench::MetricRecord> records = {
         {"service_batch_baseline_solves_per_sec", baseline.solves_per_second,
          "solves/s"},
         {"service_solves_per_sec_cache_off", off.solves_per_sec, "solves/s"},
@@ -161,6 +163,20 @@ int main(int argc, char** argv) {
         {"service_mean_iterations_cache_on", on.mean_iterations, "iters"},
         {"service_cache_hit_rate", on.hit_rate, "ratio"},
     };
+    // Service-side histogram percentiles (from the lock-free latency
+    // histograms, not the caller-side sample vector).
+    const auto histRecords = [&records](const char* prefix,
+                                        const dadu::obs::HistogramSnapshot& h,
+                                        const char* suffix) {
+      const std::string base = std::string(prefix);
+      records.push_back({base + "_p50_ms" + suffix, h.p50(), "ms"});
+      records.push_back({base + "_p90_ms" + suffix, h.p90(), "ms"});
+      records.push_back({base + "_p99_ms" + suffix, h.p99(), "ms"});
+    };
+    histRecords("service_queue", off.stats.queue_hist, "_cache_off");
+    histRecords("service_solve", off.stats.solve_hist, "_cache_off");
+    histRecords("service_queue", on.stats.queue_hist, "_cache_on");
+    histRecords("service_solve", on.stats.solve_hist, "_cache_on");
     if (!bench::writeMetricsJson(json_path, records)) {
       std::cerr << "error: cannot write " << json_path << "\n";
       return 1;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <map>
 #include <sstream>
@@ -17,6 +18,7 @@
 #include "dadu/kinematics/jacobian_full.hpp"
 #include "dadu/kinematics/workspace.hpp"
 #include "dadu/linalg/rotation.hpp"
+#include "dadu/obs/export.hpp"
 #include "dadu/platform/timer.hpp"
 #include "dadu/service/ik_service.hpp"
 #include "dadu/solvers/factory.hpp"
@@ -38,6 +40,8 @@ constexpr const char* kUsage =
     "  serve-bench --robot <spec> [--requests n] [--clusters c] [--workers w]\n"
     "        [--queue-capacity n] [--rate req-per-s] [--deadline ms]\n"
     "        [--cache on|off] [--solver name] [--max-iter n]\n"
+    "        [--stats-out FILE] [--stats-format auto|prom|json]\n"
+    "  stats --robot <spec> [--format text|prom|json] [serve-bench options]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n";
 
@@ -183,37 +187,50 @@ int cmdAccel(const kin::Chain& chain,
   return r.converged() ? 0 : 1;
 }
 
-/// Open-loop arrival benchmark against a live IkService: submit
-/// `requests` clustered targets at a fixed arrival rate (0 = all at
-/// once), then report throughput, latency percentiles and the seed
-/// cache's effect.  Open loop means arrivals do not wait for
-/// completions — exactly the regime where admission control matters.
-int cmdServeBench(const kin::Chain& chain,
-                  const std::map<std::string, std::string>& opts,
-                  std::ostream& out) {
-  const int requests = std::stoi(optional(opts, "requests", "200"));
-  const int clusters = std::stoi(optional(opts, "clusters", "8"));
+/// Result of one in-process serving run (serve-bench / stats share it).
+struct ServeRun {
+  service::ServiceStats stats;
+  std::vector<double> latencies_ms;  ///< queue + solve, solved requests only
+  double wall_ms = 0.0;
+  std::size_t worker_count = 0;
+  std::string solver_name;
+  std::string cache_flag;
+  int clusters = 0;
+};
+
+/// Open-loop arrival run against a live IkService: submit `requests`
+/// clustered targets at a fixed arrival rate (0 = all at once).  Open
+/// loop means arrivals do not wait for completions — exactly the
+/// regime where admission control matters.
+ServeRun runServeWorkload(const kin::Chain& chain,
+                          const std::map<std::string, std::string>& opts,
+                          int default_requests) {
+  ServeRun run;
+  const int requests =
+      std::stoi(optional(opts, "requests", std::to_string(default_requests)));
+  run.clusters = std::stoi(optional(opts, "clusters", "8"));
   const double rate = std::stod(optional(opts, "rate", "0"));
   const double deadline_ms = std::stod(optional(opts, "deadline", "0"));
-  const std::string cache_flag = optional(opts, "cache", "on");
-  if (cache_flag != "on" && cache_flag != "off")
+  run.cache_flag = optional(opts, "cache", "on");
+  if (run.cache_flag != "on" && run.cache_flag != "off")
     throw std::invalid_argument("--cache must be 'on' or 'off'");
 
   ik::SolveOptions solve_options;
   solve_options.max_iterations = std::stoi(optional(opts, "max-iter", "10000"));
-  const std::string solver_name = optional(opts, "solver", "quick-ik");
+  run.solver_name = optional(opts, "solver", "quick-ik");
 
   service::ServiceConfig config;
   config.workers =
       static_cast<std::size_t>(std::stoul(optional(opts, "workers", "0")));
   config.queue_capacity = static_cast<std::size_t>(
       std::stoul(optional(opts, "queue-capacity", "1024")));
-  config.enable_seed_cache = cache_flag == "on";
+  config.enable_seed_cache = run.cache_flag == "on";
 
-  const auto tasks = workload::generateClusteredTasks(chain, requests, clusters);
+  const auto tasks =
+      workload::generateClusteredTasks(chain, requests, run.clusters);
 
   service::IkService svc(
-      [&] { return ik::makeSolver(solver_name, chain, solve_options); },
+      [&] { return ik::makeSolver(run.solver_name, chain, solve_options); },
       config);
 
   platform::WallTimer timer;
@@ -234,18 +251,45 @@ int cmdServeBench(const kin::Chain& chain,
                                   .deadline_ms = deadline_ms}));
   }
 
-  std::vector<double> latencies_ms;  // queue + solve, solved requests only
-  latencies_ms.reserve(futures.size());
+  run.latencies_ms.reserve(futures.size());
   for (auto& f : futures) {
     const service::Response r = f.get();
     if (r.status == service::ResponseStatus::kSolved)
-      latencies_ms.push_back(r.queue_ms + r.solve_ms);
+      run.latencies_ms.push_back(r.queue_ms + r.solve_ms);
   }
-  const double wall_ms = timer.elapsedMs();
+  run.wall_ms = timer.elapsedMs();
   svc.stop();
 
-  const auto stats = svc.stats();
-  std::sort(latencies_ms.begin(), latencies_ms.end());
+  run.stats = svc.stats();
+  run.worker_count = svc.workerCount();
+  std::sort(run.latencies_ms.begin(), run.latencies_ms.end());
+  return run;
+}
+
+/// Render `stats` in `format` ("prom" or "json"; "auto" = by file
+/// extension) and write it to `path`.
+void writeStatsFile(const service::ServiceStats& stats,
+                    const std::string& path, std::string format) {
+  if (format == "auto")
+    format = path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0
+                 ? "json"
+                 : "prom";
+  if (format != "prom" && format != "json")
+    throw std::invalid_argument("--stats-format must be auto, prom or json");
+  const obs::MetricsSnapshot snap = service::toMetricsSnapshot(stats);
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open stats file '" + path + "'");
+  file << (format == "json" ? obs::renderJson(snap)
+                            : obs::renderPrometheus(snap));
+}
+
+int cmdServeBench(const kin::Chain& chain,
+                  const std::map<std::string, std::string>& opts,
+                  std::ostream& out) {
+  const ServeRun run = runServeWorkload(chain, opts, /*default_requests=*/200);
+  const service::ServiceStats& stats = run.stats;
+  const std::vector<double>& latencies_ms = run.latencies_ms;
   const auto percentile = [&](double p) {
     if (latencies_ms.empty()) return 0.0;
     const auto rank = static_cast<std::size_t>(
@@ -253,27 +297,58 @@ int cmdServeBench(const kin::Chain& chain,
     return latencies_ms[std::min(rank, latencies_ms.size() - 1)];
   };
 
-  out << "solver:            " << solver_name << '\n';
-  out << "workers:           " << svc.workerCount() << '\n';
-  out << "requests:          " << stats.submitted << " (" << clusters
+  if (opts.count("stats-out"))
+    writeStatsFile(stats, opts.at("stats-out"),
+                   optional(opts, "stats-format", "auto"));
+
+  out << "solver:            " << run.solver_name << '\n';
+  out << "workers:           " << run.worker_count << '\n';
+  out << "requests:          " << stats.submitted << " (" << run.clusters
       << " clusters)\n";
   out << "solved:            " << stats.solved << " (" << stats.converged
       << " converged)\n";
   out << "rejected:          " << stats.rejected_queue_full << " queue-full, "
       << stats.rejected_shutdown << " shutdown\n";
   out << "deadline expired:  " << stats.deadline_expired << '\n';
-  out << "wall:              " << wall_ms << " ms\n";
+  out << "wall:              " << run.wall_ms << " ms\n";
   out << "throughput:        "
-      << (wall_ms > 0.0 ? static_cast<double>(stats.solved) / (wall_ms * 1e-3)
-                        : 0.0)
+      << (run.wall_ms > 0.0
+              ? static_cast<double>(stats.solved) / (run.wall_ms * 1e-3)
+              : 0.0)
       << " solves/s\n";
   out << "latency p50/p99:   " << percentile(50) << " / " << percentile(99)
       << " ms\n";
+  out << "queue ms p50/p99:  " << stats.queue_hist.p50() << " / "
+      << stats.queue_hist.p99() << '\n';
+  out << "solve ms p50/p99:  " << stats.solve_hist.p50() << " / "
+      << stats.solve_hist.p99() << '\n';
   out << "mean iterations:   " << stats.meanIterations() << '\n';
-  out << "cache:             " << cache_flag << ", hit rate "
+  out << "cache:             " << run.cache_flag << ", hit rate "
       << stats.cacheHitRate() << " (" << stats.cache_hits << "/"
       << (stats.cache_hits + stats.cache_misses) << ")\n";
   return stats.solved == stats.submitted ? 0 : 1;
+}
+
+/// Run a short in-process serving workload and render its full
+/// observability snapshot (counters, gauges, latency histograms) in
+/// the requested format — the terminal-facing view of the same data
+/// serve-bench exports with --stats-out.
+int cmdStats(const kin::Chain& chain,
+             const std::map<std::string, std::string>& opts,
+             std::ostream& out) {
+  const std::string format = optional(opts, "format", "text");
+  if (format != "text" && format != "prom" && format != "json")
+    throw std::invalid_argument("--format must be text, prom or json");
+
+  const ServeRun run = runServeWorkload(chain, opts, /*default_requests=*/100);
+  const obs::MetricsSnapshot snap = service::toMetricsSnapshot(run.stats);
+  if (format == "prom")
+    out << obs::renderPrometheus(snap);
+  else if (format == "json")
+    out << obs::renderJson(snap);
+  else
+    out << obs::renderText(snap);
+  return run.stats.solved == run.stats.submitted ? 0 : 1;
 }
 
 }  // namespace
@@ -336,6 +411,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "accel") return cmdAccel(chain, opts, out);
     if (command == "pose") return cmdPose(chain, opts, out);
     if (command == "serve-bench") return cmdServeBench(chain, opts, out);
+    if (command == "stats") return cmdStats(chain, opts, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;
   } catch (const std::exception& e) {

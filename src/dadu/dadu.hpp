@@ -97,6 +97,13 @@
 #include "dadu/solvers/restart.hpp"
 #include "dadu/solvers/nullspace.hpp"
 
+// Observability: lock-free counters, latency histograms, trace sinks,
+// and the Prometheus / JSON / text exporters.
+#include "dadu/obs/export.hpp"
+#include "dadu/obs/histogram.hpp"
+#include "dadu/obs/sharded_counters.hpp"
+#include "dadu/obs/sink.hpp"
+
 // Asynchronous serving layer.
 #include "dadu/service/ik_service.hpp"
 #include "dadu/service/queue.hpp"

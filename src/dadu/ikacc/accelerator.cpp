@@ -124,6 +124,20 @@ ik::SolveResult IkAccelerator::solve(const linalg::Vec3& target,
     for (std::size_t idx = 1; idx < max_spec; ++idx)
       if (error_k_[idx] < error_k_[best]) best = idx;
 
+    // Monotone descent guard (mirrors QuickIkSolver bit-for-bit): the
+    // selector's winner is adopted only when it improves on the
+    // pre-sweep error; otherwise the configuration is held and the
+    // solve stalls — the deterministic alpha ladder would only repeat
+    // the same losing sweep.  Projected descent (clamp_to_limits) is
+    // exempt, exactly as in the software solver.
+    if (!options_.clamp_to_limits && !(error_k_[best] < head.error)) {
+      trace_.push_back({result.iterations, spu.cycles, wave_cycles_this_iter,
+                        stats_.total_cycles, result.error, head.alpha_base,
+                        static_cast<int>(best) + 1});
+      result.status = ik::Status::kStalled;
+      break;
+    }
+
     result.theta = theta_k_[best];
     result.error = error_k_[best];
 
@@ -141,6 +155,10 @@ ik::SolveResult IkAccelerator::solve(const linalg::Vec3& target,
   }
 
   if (result.error < options_.accuracy) result.status = ik::Status::kConverged;
+  // Budget exhausted after an adopting sweep: mirror the software
+  // solver and record the adopted error as the final history entry.
+  if (options_.record_history && result.status == ik::Status::kMaxIterations)
+    result.error_history.push_back(result.error);
   finalizeEnergy(config_, stats_);
   return result;
 }

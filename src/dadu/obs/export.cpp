@@ -1,0 +1,143 @@
+#include "dadu/obs/export.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <sstream>
+
+namespace dadu::obs {
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':'))
+      c = '_';
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+    out.insert(out.begin(), '_');
+  return out;
+}
+
+/// Shortest-ish round-trip double for exposition formats: fixed with
+/// trailing-zero trim keeps goldens stable across platforms.
+std::string num(double v, int precision = 6) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (s.back() == '0') s.pop_back();
+    if (s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+void appendJsonRecord(std::ostringstream& os, bool& first,
+                      const std::string& metric, double value,
+                      const std::string& unit) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "  {\"metric\": \"" << metric << "\", \"value\": " << std::fixed
+     << std::setprecision(6) << value << ", \"unit\": \"" << unit << "\"}";
+}
+
+}  // namespace
+
+std::string renderPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const CounterSample& c : snapshot.counters) {
+    const std::string name = sanitize(c.name) + "_total";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << c.value << "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    const std::string name = sanitize(g.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << num(g.value) << "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    const std::string name = sanitize(h.name);
+    os << "# TYPE " << name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.hist.upper_bounds.size(); ++b) {
+      cumulative += h.hist.counts[b];
+      os << name << "_bucket{le=\"" << num(h.hist.upper_bounds[b]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.hist.count << "\n";
+    os << name << "_sum " << num(h.hist.sum) << "\n";
+    os << name << "_count " << h.hist.count << "\n";
+  }
+  return os.str();
+}
+
+std::string renderJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const CounterSample& c : snapshot.counters)
+    appendJsonRecord(os, first, c.name, static_cast<double>(c.value), "count");
+  for (const GaugeSample& g : snapshot.gauges)
+    appendJsonRecord(os, first, g.name, g.value, g.unit);
+  for (const HistogramSample& h : snapshot.histograms) {
+    appendJsonRecord(os, first, h.name + "_count",
+                     static_cast<double>(h.hist.count), "count");
+    appendJsonRecord(os, first, h.name + "_mean", h.hist.mean(), h.unit);
+    appendJsonRecord(os, first, h.name + "_p50", h.hist.p50(), h.unit);
+    appendJsonRecord(os, first, h.name + "_p90", h.hist.p90(), h.unit);
+    appendJsonRecord(os, first, h.name + "_p99", h.hist.p99(), h.unit);
+    appendJsonRecord(os, first, h.name + "_max", h.hist.max, h.unit);
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+std::string renderText(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  std::size_t width = 0;
+  for (const CounterSample& c : snapshot.counters)
+    width = std::max(width, c.name.size());
+  for (const GaugeSample& g : snapshot.gauges)
+    width = std::max(width, g.name.size());
+
+  for (const CounterSample& c : snapshot.counters)
+    os << std::left << std::setw(static_cast<int>(width) + 2) << c.name
+       << c.value << "\n";
+  for (const GaugeSample& g : snapshot.gauges)
+    os << std::left << std::setw(static_cast<int>(width) + 2) << g.name
+       << num(g.value) << (g.unit.empty() ? "" : " ") << g.unit << "\n";
+
+  for (const HistogramSample& h : snapshot.histograms) {
+    os << "\n" << h.name << " (" << h.unit << "): count " << h.hist.count
+       << ", mean " << num(h.hist.mean(), 3) << ", p50 "
+       << num(h.hist.p50(), 3) << ", p90 " << num(h.hist.p90(), 3) << ", p99 "
+       << num(h.hist.p99(), 3) << ", max " << num(h.hist.max, 3) << "\n";
+    if (h.hist.count == 0) continue;
+
+    // Trim to the populated bucket range so the bars tell a story
+    // instead of scrolling decades of zeros.
+    std::size_t lo = h.hist.counts.size(), hi = 0;
+    std::uint64_t peak = 0;
+    for (std::size_t b = 0; b < h.hist.counts.size(); ++b) {
+      if (h.hist.counts[b] == 0) continue;
+      lo = std::min(lo, b);
+      hi = std::max(hi, b);
+      peak = std::max(peak, h.hist.counts[b]);
+    }
+    constexpr std::size_t kBarWidth = 40;
+    for (std::size_t b = lo; b <= hi; ++b) {
+      const std::string bound = b < h.hist.upper_bounds.size()
+                                    ? "<= " + num(h.hist.upper_bounds[b], 3)
+                                    : "> " + num(h.hist.upper_bounds.back(), 3);
+      const auto bar = static_cast<std::size_t>(
+          peak == 0 ? 0
+                    : (kBarWidth * h.hist.counts[b] + peak - 1) / peak);
+      os << "  " << std::right << std::setw(12) << bound << "  "
+         << std::setw(8) << h.hist.counts[b] << "  " << std::string(bar, '#')
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dadu::obs

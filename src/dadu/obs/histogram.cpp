@@ -1,0 +1,109 @@
+#include "dadu/obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dadu::obs {
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest sample index whose cumulative count
+  // covers p% of the population (1-based rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count)));
+  const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (cumulative + in_bucket < target) {
+      cumulative += in_bucket;
+      continue;
+    }
+    if (b >= upper_bounds.size()) return max;  // overflow bucket
+    const double hi = upper_bounds[b];
+    const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+    // Linear interpolation by rank position inside the bucket, clamped
+    // to the observed max so a sparse top bucket cannot report a
+    // percentile beyond any recorded sample.
+    const double frac = in_bucket == 0
+                            ? 1.0
+                            : static_cast<double>(target - cumulative) /
+                                  static_cast<double>(in_bucket);
+    const double value = lo + (hi - lo) * frac;
+    return max > 0.0 ? std::min(value, max) : value;
+  }
+  return max;  // unreachable when counts sum to `count`
+}
+
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(Config()) {}
+
+LatencyHistogram::LatencyHistogram(Config config) : config_(config) {
+  if (!(config_.min_value > 0.0) || !(config_.max_value > config_.min_value))
+    throw std::invalid_argument(
+        "LatencyHistogram: need 0 < min_value < max_value");
+  if (config_.buckets_per_decade < 1)
+    throw std::invalid_argument(
+        "LatencyHistogram: buckets_per_decade must be >= 1");
+
+  // Fixed log-spaced ladder: bound_i = min * 10^(i / bpd), up to and
+  // including the first bound >= max_value.
+  const double step = 1.0 / static_cast<double>(config_.buckets_per_decade);
+  for (int i = 0;; ++i) {
+    const double bound =
+        config_.min_value * std::pow(10.0, step * static_cast<double>(i));
+    upper_bounds_.push_back(bound);
+    if (bound >= config_.max_value) break;
+  }
+  counts_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(upper_bounds_.size() + 1);
+}
+
+std::size_t LatencyHistogram::bucketFor(double value) const noexcept {
+  if (!(value > config_.min_value)) return 0;  // underflow, negatives, NaN
+  if (value > upper_bounds_.back()) return upper_bounds_.size();  // overflow
+  // Bucket b covers (bound_{b-1}, bound_b]; log position gives the
+  // ladder index directly instead of a search.
+  const double pos = std::log10(value / config_.min_value) *
+                     static_cast<double>(config_.buckets_per_decade);
+  auto idx = static_cast<std::size_t>(std::ceil(pos));
+  if (idx >= upper_bounds_.size()) idx = upper_bounds_.size() - 1;
+  // Guard the float boundary: log10 can land an exact bound a hair
+  // high/low; nudge down while the previous bound still covers value.
+  while (idx > 0 && value <= upper_bounds_[idx - 1]) --idx;
+  while (idx < upper_bounds_.size() && value > upper_bounds_[idx]) ++idx;
+  return idx;  // == upper_bounds_.size() means overflow
+}
+
+void LatencyHistogram::record(double value) noexcept {
+  counts_[bucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+
+  // Sum/max keep exact accumulation via CAS loops (atomic<double>
+  // fetch_add is C++20-library-dependent; this is portable and the
+  // contention is negligible against the bucket counters).
+  double observed = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(observed, observed + value,
+                                     std::memory_order_relaxed)) {
+  }
+  double seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max && !max_.compare_exchange_weak(
+                                 seen_max, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = upper_bounds_;
+  snap.counts.resize(upper_bounds_.size() + 1);
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    snap.counts[b] = counts_[b].load(std::memory_order_relaxed);
+    snap.count += snap.counts[b];
+  }
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+}  // namespace dadu::obs

@@ -1,0 +1,82 @@
+// Fixed-boundary log-bucket latency histogram.
+//
+// Serving-layer latencies span decades (a cache-hit solve is tens of
+// microseconds, a cold 100-DOF solve tens of milliseconds, a queued
+// request under overload whatever the queue lets it be), so the bucket
+// ladder is logarithmic: `buckets_per_decade` log-spaced boundaries per
+// factor of ten between `min_value` and `max_value`, one underflow
+// bucket below and one overflow bucket above.  Boundaries are fixed at
+// construction — record() is a log10, a clamp and one relaxed atomic
+// increment, no locks, safe from any number of threads.
+//
+// Percentiles come out of the snapshot by cumulative rank with linear
+// interpolation inside the winning bucket: exact enough for p50/p90/p99
+// dashboards (resolution is a bucket width, ~33% at 8 buckets/decade),
+// infinitely cheaper than retaining samples.  The paper's evaluation
+// reports means per platform (Table 2); a serving system needs tails —
+// SDLS-style real-time control loops budget against p99, not the mean.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dadu::obs {
+
+/// Read-side view of a histogram: plain values, safe to copy around,
+/// and the percentile math lives here so exporters and ServiceStats
+/// share one implementation.
+struct HistogramSnapshot {
+  /// Inclusive upper bound of each finite bucket, ascending; the last
+  /// bucket (overflow) has no finite bound and is counts.back().
+  std::vector<double> upper_bounds;
+  /// Per-bucket counts; counts.size() == upper_bounds.size() + 1.
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;  ///< total samples
+  double sum = 0.0;         ///< sum of recorded values
+  double max = 0.0;         ///< largest recorded value (0 when empty)
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+  /// Nearest-rank percentile (p in [0,100]) with linear interpolation
+  /// inside the selected bucket; 0 for an empty histogram.  Overflow
+  /// samples report the observed max.
+  double percentile(double p) const;
+  double p50() const { return percentile(50.0); }
+  double p90() const { return percentile(90.0); }
+  double p99() const { return percentile(99.0); }
+};
+
+class LatencyHistogram {
+ public:
+  struct Config {
+    double min_value = 1e-3;     ///< first bucket bound (1 us, in ms)
+    double max_value = 1e4;      ///< last finite bound (10 s, in ms)
+    int buckets_per_decade = 8;  ///< log resolution (~33% bucket width)
+  };
+
+  LatencyHistogram();  ///< default Config (NSDMI not usable in-class)
+  explicit LatencyHistogram(Config config);
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Record one sample.  Lock-free; negative/NaN samples clamp into the
+  /// underflow bucket.  Safe from any thread.
+  void record(double value) noexcept;
+
+  HistogramSnapshot snapshot() const;
+  const std::vector<double>& upperBounds() const { return upper_bounds_; }
+  const Config& config() const { return config_; }
+
+ private:
+  std::size_t bucketFor(double value) const noexcept;
+
+  Config config_;
+  std::vector<double> upper_bounds_;  // finite bounds; buckets = size()+1
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};  // CAS-loop accumulation (pre-C++20-safe)
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace dadu::obs

@@ -1,0 +1,57 @@
+#include "dadu/obs/sharded_counters.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <thread>
+
+namespace dadu::obs {
+namespace {
+
+std::size_t roundUpPow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+std::size_t defaultShards() {
+  // Enough shards that a worker per hardware thread never shares a
+  // slot, capped so the footprint stays a few KiB per counter set.
+  const auto hw = static_cast<std::size_t>(std::thread::hardware_concurrency());
+  return std::clamp<std::size_t>(roundUpPow2(std::max<std::size_t>(hw, 1)), 8,
+                                 64);
+}
+
+}  // namespace
+
+std::size_t threadSlot() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+ShardedCounters::ShardedCounters(std::size_t counters, std::size_t shards)
+    : num_counters_(counters),
+      num_shards_(shards == 0 ? defaultShards() : roundUpPow2(shards)),
+      shard_mask_(num_shards_ - 1) {
+  if (num_counters_ == 0)
+    throw std::invalid_argument("ShardedCounters: need at least one counter");
+  slots_ = std::make_unique<Slot[]>(num_shards_ * num_counters_);
+}
+
+std::uint64_t ShardedCounters::value(std::size_t counter) const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < num_shards_; ++s)
+    total += slot(s, counter).load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> ShardedCounters::snapshot() const {
+  std::vector<std::uint64_t> totals(num_counters_, 0);
+  for (std::size_t s = 0; s < num_shards_; ++s)
+    for (std::size_t c = 0; c < num_counters_; ++c)
+      totals[c] += slot(s, c).load(std::memory_order_relaxed);
+  return totals;
+}
+
+}  // namespace dadu::obs

@@ -1,0 +1,87 @@
+// Lock-free sharded counters for hot-path statistics.
+//
+// The serving layer used to funnel every submit() and every completed
+// solve through one global stats mutex; at high worker counts that
+// mutex is pure contention for bookkeeping that nobody reads until a
+// stats() call.  ShardedCounters splits each logical counter into one
+// slot per shard, each slot on its own cache line, written with relaxed
+// atomics: writers on different shards never touch the same line, so an
+// increment costs one uncontended atomic add.  Reads aggregate across
+// shards (snapshot-on-read) — reads are rare, writes are the hot path,
+// so the asymmetry is exactly right.
+//
+// Shard selection is by thread: every thread gets a process-wide index
+// on first use (threadSlot()) and maps onto a shard by power-of-two
+// mask.  With shards >= writer threads there is no sharing at all;
+// with fewer shards writers degrade gracefully to relaxed contention on
+// a shared line, never to a lock.
+//
+// Consistency contract: individual counters are exact (every add is
+// counted once); a snapshot taken while writers are active is a
+// per-counter-atomic view, not a cross-counter atomic one — two
+// counters incremented together by a writer may differ by one in-flight
+// update.  That is the standard monitoring trade and what makes the
+// write side lock-free.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dadu::obs {
+
+/// Process-wide dense index of the calling thread (assigned on first
+/// call, stable for the thread's lifetime).  Exposed for tests and for
+/// any other per-thread striping that wants to agree with the counters.
+std::size_t threadSlot() noexcept;
+
+class ShardedCounters {
+ public:
+  /// `counters` logical counters striped over `shards` slots each.
+  /// `shards` is rounded up to a power of two; 0 picks a default sized
+  /// to the hardware concurrency.
+  explicit ShardedCounters(std::size_t counters, std::size_t shards = 0);
+
+  ShardedCounters(const ShardedCounters&) = delete;
+  ShardedCounters& operator=(const ShardedCounters&) = delete;
+
+  std::size_t counters() const { return num_counters_; }
+  std::size_t shards() const { return num_shards_; }
+
+  /// Add `delta` to counter `counter` on the calling thread's shard.
+  /// Lock-free, wait-free, relaxed.  The hot-path entry point.
+  void add(std::size_t counter, std::uint64_t delta = 1) noexcept {
+    slot(threadSlot() & shard_mask_, counter)
+        .fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Aggregated value of one counter (sums all shards).
+  std::uint64_t value(std::size_t counter) const;
+
+  /// Aggregated values of every counter, indexed by counter id.
+  std::vector<std::uint64_t> snapshot() const;
+
+ private:
+  // One cache line per (shard, counter): increments never false-share.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> value{0};
+  };
+
+  std::atomic<std::uint64_t>& slot(std::size_t shard,
+                                   std::size_t counter) noexcept {
+    return slots_[shard * num_counters_ + counter].value;
+  }
+  const std::atomic<std::uint64_t>& slot(std::size_t shard,
+                                         std::size_t counter) const noexcept {
+    return slots_[shard * num_counters_ + counter].value;
+  }
+
+  std::size_t num_counters_;
+  std::size_t num_shards_;   // power of two
+  std::size_t shard_mask_;   // num_shards_ - 1
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace dadu::obs

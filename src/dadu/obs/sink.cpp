@@ -1,0 +1,47 @@
+#include "dadu/obs/sink.hpp"
+
+namespace dadu::obs {
+
+void RecordingSink::onSpan(std::string_view name, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.push_back({std::string(name), elapsed_ms});
+}
+
+void RecordingSink::onCount(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counts_.push_back({std::string(name), delta});
+}
+
+std::vector<SpanRecord> RecordingSink::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::vector<CountRecord> RecordingSink::counts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+std::size_t RecordingSink::spanCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const SpanRecord& s : spans_)
+    if (s.name == name) ++n;
+  return n;
+}
+
+std::uint64_t RecordingSink::countTotal(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const CountRecord& c : counts_)
+    if (c.name == name) total += c.delta;
+  return total;
+}
+
+void RecordingSink::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  counts_.clear();
+}
+
+}  // namespace dadu::obs

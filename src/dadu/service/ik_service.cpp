@@ -22,7 +22,11 @@ IkService::IkService(SolverFactory factory, ServiceConfig config)
     : config_(config),
       factory_(std::move(factory)),
       queue_(config.queue_capacity),
-      cache_(config.cache) {
+      cache_(config.cache),
+      counters_(kCounterCount, config.stat_shards),
+      queue_hist_(config.latency),
+      solve_hist_(config.latency),
+      e2e_hist_(config.latency) {
   if (!factory_) throw std::invalid_argument("IkService: null factory");
   std::size_t workers = config_.workers;
   if (workers == 0)
@@ -35,10 +39,7 @@ IkService::IkService(SolverFactory factory, ServiceConfig config)
 IkService::~IkService() { stop(Drain::kDrainPending); }
 
 std::future<Response> IkService::submit(Request request) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++counters_.submitted;
-  }
+  counters_.add(kSubmitted);
 
   Job job;
   job.enqueued = Clock::now();
@@ -68,13 +69,8 @@ std::future<Response> IkService::submit(Request request) {
 
 void IkService::rejectNow(std::promise<Response>& promise,
                           RejectReason reason) {
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (reason == RejectReason::kQueueFull)
-      ++counters_.rejected_queue_full;
-    else
-      ++counters_.rejected_shutdown;
-  }
+  counters_.add(reason == RejectReason::kQueueFull ? kRejectedQueueFull
+                                                   : kRejectedShutdown);
   Response response;
   response.status = ResponseStatus::kRejected;
   response.reject_reason = reason;
@@ -84,18 +80,27 @@ void IkService::rejectNow(std::promise<Response>& promise,
 void IkService::workerLoop() {
   const std::unique_ptr<ik::IkSolver> solver = factory_();
   Job job;
-  while (queue_.pop(job)) process(*solver, std::move(job));
+  while (queue_.pop(job)) {
+    // Discard-mode shutdown: anything dequeued after the discard flag
+    // is up gets rejected, never solved.  Without this check a worker
+    // racing stop()'s close()->drain() window could still execute
+    // pending work the caller asked to be dropped.
+    if (discard_.load(std::memory_order_acquire)) {
+      rejectNow(job.promise, RejectReason::kShutdown);
+      continue;
+    }
+    process(*solver, std::move(job));
+  }
 }
 
 void IkService::process(ik::IkSolver& solver, Job job) {
   const Clock::time_point picked_up = Clock::now();
   const double queue_ms = msBetween(job.enqueued, picked_up);
+  obs::ObsSink* const sink = config_.sink.get();
 
   if (job.has_deadline && picked_up > job.deadline) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++counters_.deadline_expired;
-    }
+    counters_.add(kDeadlineExpired);
+    if (sink) sink->onCount("deadline_expired", 1);
     Response response;
     response.status = ResponseStatus::kDeadlineExceeded;
     response.queue_ms = queue_ms;
@@ -125,13 +130,26 @@ void IkService::process(ik::IkSolver& solver, Job job) {
     if (result.converged() && cache_allowed)
       cache_.insert(job.request.target, result.theta);
 
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++counters_.solved;
-      if (result.converged()) ++counters_.converged;
-      counters_.total_iterations += result.iterations;
-      counters_.total_queue_ms += queue_ms;
-      counters_.total_solve_ms += solve_ms;
+    // Lock-free bookkeeping: relaxed sharded counters + histograms.
+    counters_.add(kSolved);
+    if (result.converged()) counters_.add(kConverged);
+    counters_.add(kIterations, static_cast<std::uint64_t>(result.iterations));
+    counters_.add(kFkEvaluations,
+                  static_cast<std::uint64_t>(result.fk_evaluations));
+    counters_.add(kSpeculationLoad,
+                  static_cast<std::uint64_t>(result.speculation_load));
+    queue_hist_.record(queue_ms);
+    solve_hist_.record(solve_ms);
+    e2e_hist_.record(queue_ms + solve_ms);
+
+    if (sink) {
+      sink->onSpan("queue", queue_ms);
+      sink->onSpan("solve", solve_ms);
+      sink->onCount("iterations", static_cast<std::uint64_t>(result.iterations));
+      sink->onCount("fk_evaluations",
+                    static_cast<std::uint64_t>(result.fk_evaluations));
+      sink->onCount("speculation_load",
+                    static_cast<std::uint64_t>(result.speculation_load));
     }
 
     Response response;
@@ -151,33 +169,49 @@ void IkService::process(ik::IkSolver& solver, Job job) {
 void IkService::stop(Drain mode) {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   stopped_.store(true);
+  // Order matters for discard: raise the flag BEFORE closing the
+  // queue.  A worker that pops a job after close() then observes
+  // discard_ and rejects instead of solving; stop()'s own drain below
+  // rejects whatever the workers never touched.  Either way no pending
+  // job is executed after a discard stop.
+  if (mode == Drain::kDiscardPending)
+    discard_.store(true, std::memory_order_release);
   queue_.close();
+  if (config_.after_close_hook) config_.after_close_hook();
   if (mode == Drain::kDiscardPending) {
-    for (Job& job : queue_.drain()) {
-      {
-        std::lock_guard<std::mutex> stats_lock(stats_mutex_);
-        ++counters_.rejected_shutdown;
-      }
-      Response response;
-      response.status = ResponseStatus::kRejected;
-      response.reject_reason = RejectReason::kShutdown;
-      job.promise.set_value(std::move(response));
-    }
+    for (Job& job : queue_.drain())
+      rejectNow(job.promise, RejectReason::kShutdown);
   }
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
 }
 
 ServiceStats IkService::stats() const {
+  const std::vector<std::uint64_t> totals = counters_.snapshot();
   ServiceStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    snapshot = counters_;
-  }
+  snapshot.submitted = totals[kSubmitted];
+  snapshot.rejected_queue_full = totals[kRejectedQueueFull];
+  snapshot.rejected_shutdown = totals[kRejectedShutdown];
+  snapshot.deadline_expired = totals[kDeadlineExpired];
+  snapshot.solved = totals[kSolved];
+  snapshot.converged = totals[kConverged];
+  snapshot.total_iterations = static_cast<long long>(totals[kIterations]);
+  snapshot.total_fk_evaluations =
+      static_cast<long long>(totals[kFkEvaluations]);
+  snapshot.total_speculation_load =
+      static_cast<long long>(totals[kSpeculationLoad]);
+
+  snapshot.queue_hist = queue_hist_.snapshot();
+  snapshot.solve_hist = solve_hist_.snapshot();
+  snapshot.e2e_hist = e2e_hist_.snapshot();
+  snapshot.total_queue_ms = snapshot.queue_hist.sum;
+  snapshot.total_solve_ms = snapshot.solve_hist.sum;
+
   const SeedCacheStats cache = cache_.stats();
   snapshot.cache_hits = cache.hits;
   snapshot.cache_misses = cache.misses;
   snapshot.cache_inserts = cache.inserts;
+  snapshot.cache_evictions = cache.evictions;
   return snapshot;
 }
 

@@ -17,7 +17,13 @@
 //   - warm-start seed cache: converged solutions are indexed by
 //     workspace target; a request whose target lands near a cached
 //     solution is seeded from it (typically collapsing the iteration
-//     count) and converged results are inserted back.
+//     count) and converged results are inserted back;
+//   - observability: counters live in lock-free sharded slots
+//     (obs::ShardedCounters), latency distributions in log-bucket
+//     histograms (queue / solve / end-to-end) — the submit and solve
+//     hot paths take no lock for bookkeeping.  An optional ObsSink
+//     receives per-event spans (queue wait, solve) and solver-level
+//     counters (iterations, FK evaluations, speculation load).
 //
 // Thread-safety contract: submit(), stats(), queueDepth() are safe
 // from any thread.  stop() may be called from any one thread (and is
@@ -34,6 +40,9 @@
 #include <thread>
 #include <vector>
 
+#include "dadu/obs/histogram.hpp"
+#include "dadu/obs/sharded_counters.hpp"
+#include "dadu/obs/sink.hpp"
 #include "dadu/service/queue.hpp"
 #include "dadu/service/request.hpp"
 #include "dadu/service/seed_cache.hpp"
@@ -52,6 +61,18 @@ struct ServiceConfig {
   std::size_t queue_capacity = 1024;
   bool enable_seed_cache = true;
   SeedCacheConfig cache;
+  /// Stat shards for the lock-free counters (0 = sized to hardware
+  /// concurrency).  More shards = less cross-worker cache traffic.
+  std::size_t stat_shards = 0;
+  /// Bucket ladder shared by the queue/solve/end-to-end histograms.
+  obs::LatencyHistogram::Config latency;
+  /// Optional per-event sink (trace spans + solver counters).  Null =
+  /// no per-event overhead beyond one branch.  Must be thread-safe.
+  std::shared_ptr<obs::ObsSink> sink;
+  /// Test seam: invoked by stop() between closing the queue and
+  /// draining it — the race window the discard path must tolerate.
+  /// Never set in production.
+  std::function<void()> after_close_hook;
 };
 
 class IkService {
@@ -78,17 +99,35 @@ class IkService {
 
   /// Close admission, handle queued requests per `mode`, join workers.
   /// Idempotent; concurrent callers serialize, later modes are no-ops.
-  /// In-flight solves always run to completion.
+  /// In-flight solves always run to completion.  In discard mode a
+  /// request a worker dequeues after the close is rejected without
+  /// solving — pending work is never executed past a discard stop.
   void stop(Drain mode = Drain::kDrainPending);
   bool stopped() const { return stopped_.load(); }
 
   ServiceStats stats() const;
+  /// stats() flattened for the exporters (Prometheus / JSON / text).
+  obs::MetricsSnapshot metrics() const { return toMetricsSnapshot(stats()); }
   const SeedCache& seedCache() const { return cache_; }
   std::size_t workerCount() const { return workers_.size(); }
   std::size_t queueDepth() const { return queue_.size(); }
   const ServiceConfig& config() const { return config_; }
 
  private:
+  /// Logical counter ids for the sharded stat slots.
+  enum Counter : std::size_t {
+    kSubmitted,
+    kRejectedQueueFull,
+    kRejectedShutdown,
+    kDeadlineExpired,
+    kSolved,
+    kConverged,
+    kIterations,
+    kFkEvaluations,
+    kSpeculationLoad,
+    kCounterCount,
+  };
+
   void workerLoop();
   void process(ik::IkSolver& solver, Job job);
   void rejectNow(std::promise<Response>& promise, RejectReason reason);
@@ -100,12 +139,21 @@ class IkService {
   std::vector<std::thread> workers_;
 
   std::atomic<bool> stopped_{false};
+  /// Discard-mode shutdown: set (before the queue closes) to tell
+  /// workers to reject anything they dequeue from then on instead of
+  /// solving it.  Fixes the close()->drain() race where a worker could
+  /// pop and *solve* a pending job that discard semantics promised to
+  /// fail fast.
+  std::atomic<bool> discard_{false};
   std::mutex stop_mutex_;  ///< serializes stop() / joins
 
-  // Live counters behind one mutex: touched once per submit / solve,
-  // negligible against the solve itself, trivially race-free.
-  mutable std::mutex stats_mutex_;
-  ServiceStats counters_;
+  // Lock-free statistics: sharded counters + latency histograms, all
+  // written with relaxed atomics on the hot path, aggregated in
+  // stats().  No mutex anywhere on submit/process.
+  obs::ShardedCounters counters_;
+  obs::LatencyHistogram queue_hist_;
+  obs::LatencyHistogram solve_hist_;
+  obs::LatencyHistogram e2e_hist_;
 };
 
 }  // namespace dadu::service

@@ -14,7 +14,20 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
+/// Mix each axis before combining so neighbouring cells land in
+/// unrelated buckets (and shards).
+std::uint64_t mixCoord(std::int64_t ix, std::int64_t iy, std::int64_t iz) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(ix));
+  h = mix64(h ^ static_cast<std::uint64_t>(iy));
+  h = mix64(h ^ static_cast<std::uint64_t>(iz));
+  return h;
+}
+
 }  // namespace
+
+std::size_t SeedCache::CellHash::operator()(const CellCoord& c) const {
+  return static_cast<std::size_t>(mixCoord(c.ix, c.iy, c.iz) & mask);
+}
 
 SeedCache::SeedCache(SeedCacheConfig config) : config_(config) {
   if (!(config_.cell_size > 0.0))
@@ -24,35 +37,45 @@ SeedCache::SeedCache(SeedCacheConfig config) : config_(config) {
   config_.shards = std::max<std::size_t>(config_.shards, 1);
   config_.max_entries_per_cell =
       std::max<std::size_t>(config_.max_entries_per_cell, 1);
+  config_.hash_bits = std::min(config_.hash_bits, 64u);
+  hash_mask_ = config_.hash_bits >= 64
+                   ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << config_.hash_bits) - 1);
   shards_.reserve(config_.shards);
-  for (std::size_t s = 0; s < config_.shards; ++s)
-    shards_.push_back(std::make_unique<Shard>());
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Seed the map with the truncating hasher (test seam; identity in
+    // production where hash_bits is 64).
+    shard->cells = std::unordered_map<CellCoord, Cell, CellHash>(
+        /*bucket_count=*/8, CellHash{hash_mask_});
+    shards_.push_back(std::move(shard));
+  }
 }
 
 std::int64_t SeedCache::quantize(double v) const {
   return static_cast<std::int64_t>(std::floor(v / config_.cell_size));
 }
 
-std::uint64_t SeedCache::cellKey(std::int64_t ix, std::int64_t iy,
-                                 std::int64_t iz) const {
-  // Mix each axis before combining so neighbouring cells land in
-  // unrelated buckets (and shards).
-  std::uint64_t h = mix64(static_cast<std::uint64_t>(ix));
-  h = mix64(h ^ static_cast<std::uint64_t>(iy));
-  h = mix64(h ^ static_cast<std::uint64_t>(iz));
-  return h;
+SeedCache::CellCoord SeedCache::cellOf(const linalg::Vec3& p) const {
+  return {quantize(p.x), quantize(p.y), quantize(p.z)};
 }
 
-SeedCache::Shard& SeedCache::shardFor(std::uint64_t key) const {
-  return *shards_[key % shards_.size()];
+std::uint64_t SeedCache::cellHash(const CellCoord& c) const {
+  return mixCoord(c.ix, c.iy, c.iz) & hash_mask_;
 }
 
-void SeedCache::probeCell(std::uint64_t key, const linalg::Vec3& target,
+SeedCache::Shard& SeedCache::shardFor(const CellCoord& c) const {
+  // Shard choice rides the (possibly truncated) hash: collisions here
+  // are harmless — they only co-locate two cells behind one mutex.
+  return *shards_[cellHash(c) % shards_.size()];
+}
+
+void SeedCache::probeCell(const CellCoord& coord, const linalg::Vec3& target,
                           double& best_d2, linalg::VecX& seed,
                           bool& found) const {
-  Shard& shard = shardFor(key);
+  Shard& shard = shardFor(coord);
   std::lock_guard<std::mutex> lock(shard.mutex);
-  const auto it = shard.cells.find(key);
+  const auto it = shard.cells.find(coord);
   if (it == shard.cells.end()) return;
   for (const Entry& e : it->second.entries) {
     const double d2 = (e.target - target).squaredNorm();
@@ -65,9 +88,7 @@ void SeedCache::probeCell(std::uint64_t key, const linalg::Vec3& target,
 }
 
 bool SeedCache::lookup(const linalg::Vec3& target, linalg::VecX& seed) const {
-  const std::int64_t ix = quantize(target.x);
-  const std::int64_t iy = quantize(target.y);
-  const std::int64_t iz = quantize(target.z);
+  const CellCoord home = cellOf(target);
 
   double best_d2 = config_.max_distance * config_.max_distance;
   // Accept entries *at* max_distance too (strict-less in probeCell
@@ -80,10 +101,10 @@ bool SeedCache::lookup(const linalg::Vec3& target, linalg::VecX& seed) const {
     for (std::int64_t dx = -1; dx <= 1; ++dx)
       for (std::int64_t dy = -1; dy <= 1; ++dy)
         for (std::int64_t dz = -1; dz <= 1; ++dz)
-          probeCell(cellKey(ix + dx, iy + dy, iz + dz), target, best_d2, seed,
-                    found);
+          probeCell({home.ix + dx, home.iy + dy, home.iz + dz}, target,
+                    best_d2, seed, found);
   } else {
-    probeCell(cellKey(ix, iy, iz), target, best_d2, seed, found);
+    probeCell(home, target, best_d2, seed, found);
   }
 
   (found ? hits_ : misses_).fetch_add(1, std::memory_order_relaxed);
@@ -91,13 +112,12 @@ bool SeedCache::lookup(const linalg::Vec3& target, linalg::VecX& seed) const {
 }
 
 void SeedCache::insert(const linalg::Vec3& target, const linalg::VecX& theta) {
-  const std::uint64_t key =
-      cellKey(quantize(target.x), quantize(target.y), quantize(target.z));
-  Shard& shard = shardFor(key);
+  const CellCoord coord = cellOf(target);
+  Shard& shard = shardFor(coord);
   bool evicted = false;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    Cell& cell = shard.cells[key];
+    Cell& cell = shard.cells[coord];
     if (cell.entries.size() < config_.max_entries_per_cell) {
       cell.entries.push_back({target, theta});
     } else {

@@ -49,6 +49,11 @@ struct SeedCacheConfig {
   /// Probe the 26 adjacent cells too (hit quality at cell borders at
   /// ~27x the probe cost of the home cell — still trivial vs a solve).
   bool search_neighbors = true;
+  /// Test seam: keep only this many low bits of the mixed 64-bit cell
+  /// hash (0..64; 64 = full hash).  Narrow widths force distinct cells
+  /// to collide, exercising the coordinate-equality disambiguation —
+  /// correctness never depends on the hash being collision-free.
+  unsigned hash_bits = 64;
 };
 
 /// Monotonic counters (snapshot; see SeedCache::stats()).
@@ -93,18 +98,38 @@ class SeedCache {
     std::vector<Entry> entries;
     std::size_t next_slot = 0;  ///< ring replacement cursor
   };
+  /// Exact quantized grid coordinates.  Cells are keyed by coordinate,
+  /// not by hash: two distinct cells whose 64-bit hashes collide must
+  /// stay distinct cells (hash collisions only cost a shared bucket,
+  /// never aliased contents).
+  struct CellCoord {
+    std::int64_t ix = 0;
+    std::int64_t iy = 0;
+    std::int64_t iz = 0;
+    bool operator==(const CellCoord& o) const {
+      return ix == o.ix && iy == o.iy && iz == o.iz;
+    }
+  };
+  struct CellHash {
+    std::uint64_t mask;  ///< hash_bits truncation
+    CellHash() : mask(~std::uint64_t{0}) {}
+    explicit CellHash(std::uint64_t m) : mask(m) {}
+    std::size_t operator()(const CellCoord& c) const;
+  };
   struct Shard {
     mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, Cell> cells;
+    std::unordered_map<CellCoord, Cell, CellHash> cells;
   };
 
   std::int64_t quantize(double v) const;
-  std::uint64_t cellKey(std::int64_t ix, std::int64_t iy,
-                        std::int64_t iz) const;
-  Shard& shardFor(std::uint64_t key) const;
+  CellCoord cellOf(const linalg::Vec3& p) const;
+  std::uint64_t cellHash(const CellCoord& c) const;
+  Shard& shardFor(const CellCoord& c) const;
   /// Probe one cell under its shard lock, tightening (best_d2, found).
-  void probeCell(std::uint64_t key, const linalg::Vec3& target,
+  void probeCell(const CellCoord& coord, const linalg::Vec3& target,
                  double& best_d2, linalg::VecX& seed, bool& found) const;
+
+  std::uint64_t hash_mask_ = ~std::uint64_t{0};
 
   SeedCacheConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;

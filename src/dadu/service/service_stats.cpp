@@ -1,0 +1,41 @@
+#include "dadu/service/service_stats.hpp"
+
+namespace dadu::service {
+
+obs::MetricsSnapshot toMetricsSnapshot(const ServiceStats& stats) {
+  obs::MetricsSnapshot snap;
+  const auto counter = [&](const char* name, std::uint64_t value) {
+    snap.counters.push_back({std::string("dadu_service_") + name, value});
+  };
+  counter("submitted", stats.submitted);
+  counter("rejected_queue_full", stats.rejected_queue_full);
+  counter("rejected_shutdown", stats.rejected_shutdown);
+  counter("deadline_expired", stats.deadline_expired);
+  counter("solved", stats.solved);
+  counter("converged", stats.converged);
+  counter("iterations", static_cast<std::uint64_t>(stats.total_iterations));
+  counter("fk_evaluations",
+          static_cast<std::uint64_t>(stats.total_fk_evaluations));
+  counter("speculation_load",
+          static_cast<std::uint64_t>(stats.total_speculation_load));
+  counter("cache_hits", stats.cache_hits);
+  counter("cache_misses", stats.cache_misses);
+  counter("cache_inserts", stats.cache_inserts);
+  counter("cache_evictions", stats.cache_evictions);
+
+  snap.gauges.push_back(
+      {"dadu_service_convergence_rate", stats.convergenceRate(), "ratio"});
+  snap.gauges.push_back(
+      {"dadu_service_cache_hit_rate", stats.cacheHitRate(), "ratio"});
+  snap.gauges.push_back(
+      {"dadu_service_mean_iterations", stats.meanIterations(), "iters"});
+
+  snap.histograms.push_back(
+      {"dadu_service_queue_ms", stats.queue_hist, "ms"});
+  snap.histograms.push_back(
+      {"dadu_service_solve_ms", stats.solve_hist, "ms"});
+  snap.histograms.push_back({"dadu_service_e2e_ms", stats.e2e_hist, "ms"});
+  return snap;
+}
+
+}  // namespace dadu::service

@@ -1,13 +1,17 @@
 // Aggregate serving-layer statistics (snapshot type).
 //
-// IkService keeps live counters internally (one mutex, touched once
-// per submit/solve — nanoseconds against millisecond solves) and
-// copies them out through stats(); this header defines the snapshot a
-// caller sees.  Cache counters are mirrored from the SeedCache so one
-// struct answers "how is the service doing".
+// IkService keeps its live counters in lock-free sharded slots
+// (obs::ShardedCounters) and its latency distributions in log-bucket
+// histograms (obs::LatencyHistogram); stats() aggregates both into this
+// snapshot.  Cache counters are mirrored from the SeedCache so one
+// struct answers "how is the service doing" — totals, rates, and the
+// queue/solve/end-to-end latency distributions with percentiles.
 #pragma once
 
 #include <cstdint>
+
+#include "dadu/obs/export.hpp"
+#include "dadu/obs/histogram.hpp"
 
 namespace dadu::service {
 
@@ -22,13 +26,21 @@ struct ServiceStats {
   std::uint64_t solved = 0;     ///< solver ran (any ik::Status)
   std::uint64_t converged = 0;  ///< ... and converged
   long long total_iterations = 0;  ///< summed over solved requests
+  long long total_fk_evaluations = 0;   ///< FK passes incl. speculative
+  long long total_speculation_load = 0; ///< Fig. 5b load, summed
   double total_queue_ms = 0.0;
   double total_solve_ms = 0.0;
+
+  // Latency distributions (solved requests; end-to-end = queue + solve).
+  obs::HistogramSnapshot queue_hist;
+  obs::HistogramSnapshot solve_hist;
+  obs::HistogramSnapshot e2e_hist;
 
   // Warm-start cache (mirrored from SeedCache::stats()).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t cache_inserts = 0;
+  std::uint64_t cache_evictions = 0;  ///< ring-replaced entries
 
   double meanQueueMs() const {
     return solved == 0 ? 0.0 : total_queue_ms / static_cast<double>(solved);
@@ -52,5 +64,11 @@ struct ServiceStats {
                : static_cast<double>(converged) / static_cast<double>(solved);
   }
 };
+
+/// Flatten a stats snapshot into the exporter model (counter samples,
+/// derived gauges, the three latency histograms) under the
+/// `dadu_service_` metric prefix.  Feed the result to
+/// obs::renderPrometheus / renderJson / renderText.
+obs::MetricsSnapshot toMetricsSnapshot(const ServiceStats& stats);
 
 }  // namespace dadu::service

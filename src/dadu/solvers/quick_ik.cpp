@@ -103,6 +103,19 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
     for (std::size_t idx = 1; idx < lanes; ++idx)
       if (error_k[idx] < error_k[best]) best = idx;
 
+    // Monotone descent guard: adopt the winner only if it improves on
+    // the pre-sweep error.  The alpha ladder is deterministic, so a
+    // sweep that cannot improve now never will — keep the current
+    // theta (result.error already holds head.error) and stop rather
+    // than stepping to a worse configuration.  Projected descent
+    // (clamp_to_limits) is exempt: the projection legitimately visits
+    // worse errors while sliding along the joint-limit boundary, and
+    // adoption moves theta so the next sweep is not a repeat.
+    if (!options_.clamp_to_limits && !(error_k[best] < head.error)) {
+      result.status = Status::kStalled;
+      return result;
+    }
+
     batch_.candidateInto(best, result.theta);
     result.error = error_k[best];
 
@@ -115,6 +128,9 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
 
   result.status = result.error < options_.accuracy ? Status::kConverged
                                                    : Status::kMaxIterations;
+  // Budget exhausted after an adopting sweep: the adopted error was
+  // never recorded (the loop head only logs pre-sweep errors).
+  if (options_.record_history) result.error_history.push_back(result.error);
   return result;
 }
 

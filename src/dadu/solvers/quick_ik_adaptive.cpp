@@ -70,6 +70,20 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
     for (std::size_t idx = 1; idx < lanes; ++idx)
       if (error_k[idx] < error_k[best]) best = idx;
 
+    // Monotone descent guard: never adopt a candidate worse than the
+    // pre-sweep error.  Unlike the fixed-width solver the ladder here
+    // can still change shape, so retry at full width; only a full-width
+    // sweep that fails to improve is a true stall.  Projected descent
+    // (clamp_to_limits) is exempt — see QuickIkSolver.
+    if (!options_.clamp_to_limits && !(error_k[best] < head.error)) {
+      if (spec == options_.speculations) {
+        result.status = Status::kStalled;
+        return result;
+      }
+      spec = options_.speculations;
+      continue;
+    }
+
     batch_.candidateInto(best, result.theta);
     result.error = error_k[best];
     if (result.error < options_.accuracy) {
@@ -91,6 +105,9 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
 
   result.status = result.error < options_.accuracy ? Status::kConverged
                                                    : Status::kMaxIterations;
+  // Budget exhausted after an adopting sweep: the adopted error was
+  // never recorded (the loop head only logs pre-sweep errors).
+  if (options_.record_history) result.error_history.push_back(result.error);
   return result;
 }
 

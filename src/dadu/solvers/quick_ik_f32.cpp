@@ -64,13 +64,22 @@ SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
     for (std::size_t idx = 1; idx < lanes; ++idx)
       if (error_k[idx] < error_k[best]) best = idx;
 
-    batch_.candidateInto(best, result.theta);
-    // Honest accuracy: re-measure the winner in double before claiming
-    // convergence (a hardware build would do the final check on the
-    // host controller anyway).
-    result.error =
-        (target - kin::endEffectorPosition(chain_, result.theta)).norm();
+    // Stage the winner and re-measure it in double before adopting —
+    // both for honest accuracy (a hardware build would do the final
+    // check on the host controller anyway) and so a float-datapath
+    // "winner" that regresses past the pre-sweep error never replaces
+    // the current theta.
+    batch_.candidateInto(best, candidate_);
+    const double candidate_error =
+        (target - kin::endEffectorPosition(chain_, candidate_)).norm();
     ++result.fk_evaluations;
+
+    if (!(candidate_error < head.error)) {
+      result.status = Status::kStalled;
+      return result;
+    }
+    result.theta = candidate_;
+    result.error = candidate_error;
 
     if (result.error < options_.accuracy) {
       result.status = Status::kConverged;
@@ -81,6 +90,9 @@ SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
 
   result.status = result.error < options_.accuracy ? Status::kConverged
                                                    : Status::kMaxIterations;
+  // Budget exhausted after an adopting sweep: the adopted error was
+  // never recorded (the loop head only logs pre-sweep errors).
+  if (options_.record_history) result.error_history.push_back(result.error);
   return result;
 }
 

@@ -36,6 +36,7 @@ class QuickIkF32Solver final : public IkSolver {
   // and errors stay double, matching the scalar f32 path).
   kin::BatchedForward batch_{kin::BatchedForward::Precision::kF32};
   std::vector<double> alphas_;
+  linalg::VecX candidate_;  ///< winner staging, adopted only on improvement
 };
 
 }  // namespace dadu::ik

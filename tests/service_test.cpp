@@ -8,11 +8,15 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "dadu/obs/sink.hpp"
 
 #include "dadu/kinematics/presets.hpp"
 #include "dadu/service/ik_service.hpp"
@@ -183,6 +187,33 @@ TEST(SeedCacheTest, RingReplacementBoundsCellSize) {
   EXPECT_EQ(cache.size(), 3u);
   EXPECT_EQ(cache.stats().inserts, 10u);
   EXPECT_EQ(cache.stats().evictions, 7u);
+}
+
+TEST(SeedCacheTest, HashCollisionsDoNotAliasCells) {
+  SeedCacheConfig config;
+  config.cell_size = 1.0;
+  config.max_distance = 1.0;
+  config.max_entries_per_cell = 4;
+  config.search_neighbors = false;
+  config.hash_bits = 0;  // every cell collides onto a single hash value
+  SeedCache cache(config);
+  // Fill the rings of two far-apart cells exactly.  When cells were
+  // keyed by their 64-bit hash, colliding cells aliased to ONE ring:
+  // the second cell's inserts ring-replaced the first cell's entries
+  // and lookups could be warm-started from the wrong workspace region.
+  for (int i = 0; i < 4; ++i) {
+    cache.insert({0.1 + 0.2 * i, 0.5, 0.5},
+                 linalg::VecX{static_cast<double>(i)});
+    cache.insert({100.1 + 0.2 * i, 0.5, 0.5},
+                 linalg::VecX{static_cast<double>(10 + i)});
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  linalg::VecX seed;
+  ASSERT_TRUE(cache.lookup({0.1, 0.5, 0.5}, seed));
+  EXPECT_EQ(seed, linalg::VecX{0.0});
+  ASSERT_TRUE(cache.lookup({100.7, 0.5, 0.5}, seed));
+  EXPECT_EQ(seed, linalg::VecX{13.0});
 }
 
 TEST(SeedCacheTest, StatsCountHitsAndMisses) {
@@ -522,6 +553,101 @@ TEST(IkServiceTest, StatsSnapshotIsConsistent) {
   EXPECT_GT(stats.meanSolveMs(), 0.0);
   EXPECT_GE(stats.meanQueueMs(), 0.0);
   EXPECT_DOUBLE_EQ(stats.convergenceRate(), 1.0);
+}
+
+TEST(IkServiceTest, DiscardStopNeverSolvesJobsDequeuedAfterClose) {
+  const auto chain = kin::makePlanar(3);
+  const auto gate = std::make_shared<Gate>();
+  // The after_close_hook runs inside stop() between closing the queue
+  // and draining it — exactly the race window.  It releases the pinned
+  // worker and then waits for the still-queued job's future, forcing
+  // the worker (not the drain) to consume that job.  Before the
+  // discard_ flag the worker would *solve* it, violating discard
+  // semantics; now it must reject with kShutdown.
+  auto pending = std::make_shared<std::shared_future<Response>>();
+  ServiceConfig config = smallConfig(1, 8);
+  config.after_close_hook = [gate, pending] {
+    gate->open();
+    pending->wait();
+  };
+  IkService svc(gatedFactory(chain, gate), config);
+
+  auto in_flight = svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)});
+  gate->awaitArrivals(1);  // worker pinned inside solve()
+  *pending =
+      svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)}).share();
+
+  svc.stop(IkService::Drain::kDiscardPending);
+
+  EXPECT_EQ(in_flight.get().status, ResponseStatus::kSolved);
+  const Response r = pending->get();
+  EXPECT_EQ(r.status, ResponseStatus::kRejected);
+  EXPECT_EQ(r.reject_reason, RejectReason::kShutdown);
+  EXPECT_EQ(svc.stats().rejected_shutdown, 1u);
+}
+
+TEST(IkServiceTest, LatencyHistogramsCoverEverySolve) {
+  const auto chain = kin::makeSerpentine(6);
+  const auto tasks = workload::generateTasks(chain, 8);
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); },
+                smallConfig(2, 16));
+  std::vector<std::future<Response>> futures;
+  for (const auto& task : tasks)
+    futures.push_back(svc.submit({.target = task.target, .seed = task.seed}));
+  for (auto& f : futures) f.get();
+
+  const auto stats = svc.stats();
+  EXPECT_EQ(stats.queue_hist.count, tasks.size());
+  EXPECT_EQ(stats.solve_hist.count, tasks.size());
+  EXPECT_EQ(stats.e2e_hist.count, tasks.size());
+  // The mean-latency totals are the histogram sums — one source of
+  // truth, no second accumulator to fall out of sync.
+  EXPECT_DOUBLE_EQ(stats.total_solve_ms, stats.solve_hist.sum);
+  EXPECT_DOUBLE_EQ(stats.total_queue_ms, stats.queue_hist.sum);
+  EXPECT_GT(stats.solve_hist.p50(), 0.0);
+  EXPECT_LE(stats.solve_hist.p50(), stats.solve_hist.p99());
+  // End-to-end dominates solve sample-by-sample, so also in the sums.
+  EXPECT_GE(stats.e2e_hist.sum, stats.solve_hist.sum);
+  EXPECT_GE(stats.e2e_hist.max, stats.solve_hist.max);
+}
+
+TEST(IkServiceTest, SinkReceivesSpansAndSolverCounters) {
+  const auto chain = kin::makeSerpentine(6);
+  const auto tasks = workload::generateTasks(chain, 4);
+  auto sink = std::make_shared<obs::RecordingSink>();
+  ServiceConfig config = smallConfig(1, 16);
+  config.sink = sink;
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); }, config);
+  std::vector<std::future<Response>> futures;
+  for (const auto& task : tasks)
+    futures.push_back(svc.submit({.target = task.target, .seed = task.seed}));
+  for (auto& f : futures) f.get();
+
+  EXPECT_EQ(sink->spanCount("queue"), tasks.size());
+  EXPECT_EQ(sink->spanCount("solve"), tasks.size());
+  const auto stats = svc.stats();
+  EXPECT_EQ(sink->countTotal("iterations"),
+            static_cast<std::uint64_t>(stats.total_iterations));
+  EXPECT_EQ(sink->countTotal("fk_evaluations"),
+            static_cast<std::uint64_t>(stats.total_fk_evaluations));
+  EXPECT_EQ(sink->countTotal("speculation_load"),
+            static_cast<std::uint64_t>(stats.total_speculation_load));
+}
+
+TEST(IkServiceTest, CacheEvictionsSurfaceInStats) {
+  const auto chain = kin::makeSerpentine(6);
+  const auto task = workload::generateTask(chain, 0);
+  ServiceConfig config = smallConfig(1, 32, /*cache=*/true);
+  // One slot per cell: every repeat insert into the target's cell is a
+  // ring replacement, so the eviction counter must advance.
+  config.cache.max_entries_per_cell = 1;
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); }, config);
+  for (int i = 0; i < 3; ++i)
+    svc.submit({.target = task.target, .seed = task.seed}).get();
+
+  const auto stats = svc.stats();
+  ASSERT_GT(stats.cache_inserts, 1u);  // every converged solve inserts
+  EXPECT_EQ(stats.cache_evictions, stats.cache_inserts - 1);
 }
 
 }  // namespace

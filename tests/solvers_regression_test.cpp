@@ -1,0 +1,180 @@
+// Regression tests for two Quick-IK defects:
+//
+//  1. Non-monotone adoption: the speculative sweep adopted the argmin
+//     candidate unconditionally, so with an overshooting alpha ladder
+//     (most visible at speculations=1, where the only candidate is the
+//     full Eq. 8 step) theta could move to a configuration with HIGHER
+//     error than before the sweep.  Fixed: a sweep whose winner does
+//     not improve on the pre-sweep error keeps the current theta and
+//     stalls (the deterministic ladder would only repeat itself).
+//
+//  2. History truncation: on a max-iterations exit the adopted error of
+//     the final sweep was never appended to error_history, so the
+//     recorded history ended one entry short of the reported error.
+//
+// Both fixes must hold across every speculative implementation:
+// QuickIkSolver, QuickIkAdaptiveSolver, QuickIkF32Solver, and the
+// IkAccelerator functional model (kept bit-identical to QuickIkSolver
+// by the AcceleratorEquivalence tests).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dadu/ikacc/accelerator.hpp"
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/solvers/quick_ik.hpp"
+#include "dadu/solvers/quick_ik_adaptive.hpp"
+#include "dadu/solvers/quick_ik_f32.hpp"
+#include "dadu/workload/targets.hpp"
+
+namespace dadu::ik {
+namespace {
+
+// Known overshoot case found by sweeping the workload generator:
+// serpentine-6, task seed 0, speculations=1.  The single candidate is
+// the full Eq. 8 step, which soon overshoots the target; the broken
+// solver adopts it anyway and the error history rises.
+constexpr std::size_t kDof = 6;
+constexpr int kTaskSeed = 0;
+
+SolveOptions overshootOptions() {
+  SolveOptions options;
+  options.speculations = 1;
+  options.record_history = true;
+  return options;
+}
+
+void expectMonotoneHistory(const SolveResult& r) {
+  for (std::size_t i = 1; i < r.error_history.size(); ++i)
+    EXPECT_LE(r.error_history[i], r.error_history[i - 1])
+        << "error rose at history step " << i;
+}
+
+TEST(QuickIkRegression, NeverAdoptsWorseCandidate) {
+  const auto chain = kin::makeSerpentine(kDof);
+  const auto task = workload::generateTask(chain, kTaskSeed);
+  QuickIkSolver solver(chain, overshootOptions());
+  const auto r = solver.solve(task.target, task.seed);
+
+  // The losing sweep stalls instead of regressing.
+  EXPECT_EQ(r.status, Status::kStalled);
+  expectMonotoneHistory(r);
+  ASSERT_FALSE(r.error_history.empty());
+  // Final error can never exceed where the solve started.
+  EXPECT_LE(r.error, r.error_history.front());
+}
+
+TEST(QuickIkRegression, MonotoneAcrossManyTasks) {
+  const auto chain = kin::makeSerpentine(kDof);
+  QuickIkSolver solver(chain, overshootOptions());
+  for (int s = 0; s < 30; ++s) {
+    const auto task = workload::generateTask(chain, s);
+    const auto r = solver.solve(task.target, task.seed);
+    expectMonotoneHistory(r);
+  }
+}
+
+TEST(QuickIkRegression, MaxIterationsExitRecordsFinalError) {
+  const auto chain = kin::makeSerpentine(50);
+  SolveOptions options;
+  options.max_iterations = 3;
+  options.accuracy = 1e-9;  // unreachable in 3 iterations
+  options.record_history = true;
+  QuickIkSolver solver(chain, options);
+  const auto task = workload::generateTask(chain, 1);
+  const auto r = solver.solve(task.target, task.seed);
+
+  ASSERT_EQ(r.status, Status::kMaxIterations);
+  // One head entry per iteration plus the final adopted error.
+  ASSERT_EQ(r.error_history.size(),
+            static_cast<std::size_t>(r.iterations) + 1);
+  EXPECT_DOUBLE_EQ(r.error_history.back(), r.error);
+}
+
+TEST(QuickIkRegression, AdaptiveNeverAdoptsWorseCandidate) {
+  const auto chain = kin::makeSerpentine(kDof);
+  const auto task = workload::generateTask(chain, kTaskSeed);
+  QuickIkAdaptiveSolver solver(chain, overshootOptions(),
+                               /*min_speculations=*/1);
+  const auto r = solver.solve(task.target, task.seed);
+  expectMonotoneHistory(r);
+  ASSERT_FALSE(r.error_history.empty());
+  EXPECT_LE(r.error, r.error_history.front());
+}
+
+TEST(QuickIkRegression, AdaptiveMaxIterationsExitRecordsFinalError) {
+  const auto chain = kin::makeSerpentine(50);
+  SolveOptions options;
+  options.max_iterations = 3;
+  options.accuracy = 1e-9;
+  options.record_history = true;
+  QuickIkAdaptiveSolver solver(chain, options, /*min_speculations=*/4);
+  const auto task = workload::generateTask(chain, 1);
+  const auto r = solver.solve(task.target, task.seed);
+  ASSERT_EQ(r.status, Status::kMaxIterations);
+  ASSERT_EQ(r.error_history.size(),
+            static_cast<std::size_t>(r.iterations) + 1);
+  EXPECT_DOUBLE_EQ(r.error_history.back(), r.error);
+}
+
+TEST(QuickIkRegression, F32NeverAdoptsWorseCandidate) {
+  const auto chain = kin::makeSerpentine(kDof);
+  const auto task = workload::generateTask(chain, kTaskSeed);
+  QuickIkF32Solver solver(chain, overshootOptions());
+  const auto r = solver.solve(task.target, task.seed);
+  expectMonotoneHistory(r);
+  ASSERT_FALSE(r.error_history.empty());
+  EXPECT_LE(r.error, r.error_history.front());
+}
+
+TEST(QuickIkRegression, F32MaxIterationsExitRecordsFinalError) {
+  const auto chain = kin::makeSerpentine(50);
+  SolveOptions options;
+  options.max_iterations = 3;
+  options.accuracy = 1e-9;
+  options.record_history = true;
+  QuickIkF32Solver solver(chain, options);
+  const auto task = workload::generateTask(chain, 1);
+  const auto r = solver.solve(task.target, task.seed);
+  ASSERT_EQ(r.status, Status::kMaxIterations);
+  ASSERT_EQ(r.error_history.size(),
+            static_cast<std::size_t>(r.iterations) + 1);
+  EXPECT_DOUBLE_EQ(r.error_history.back(), r.error);
+}
+
+// The accelerator model must stay bit-identical to QuickIkSolver on
+// the stalling case too — the guard lives in both implementations.
+TEST(QuickIkRegression, AcceleratorMirrorsGuardExactly) {
+  const auto chain = kin::makeSerpentine(kDof);
+  const auto task = workload::generateTask(chain, kTaskSeed);
+  const SolveOptions options = overshootOptions();
+
+  QuickIkSolver software(chain, options);
+  const auto sw = software.solve(task.target, task.seed);
+
+  acc::IkAccelerator accelerator(chain, options, acc::AccConfig{});
+  const auto hw = accelerator.solve(task.target, task.seed);
+
+  EXPECT_EQ(hw.status, sw.status);
+  EXPECT_EQ(hw.iterations, sw.iterations);
+  EXPECT_EQ(hw.error, sw.error);
+  EXPECT_EQ(hw.theta, sw.theta);
+  EXPECT_EQ(hw.error_history, sw.error_history);
+}
+
+// Projected descent is exempt from the guard: clamped solves are
+// allowed to pass through worse errors while sliding along joint
+// limits, and must still converge (the Puma interior-target case).
+TEST(QuickIkRegression, ClampedSolveStillConverges) {
+  const auto chain = kin::makePuma560();
+  SolveOptions options;
+  options.clamp_to_limits = true;
+  QuickIkSolver solver(chain, options);
+  const auto task = workload::generateTask(chain, 3);
+  const auto r = solver.solve(task.target, task.seed);
+  EXPECT_TRUE(r.converged());
+  EXPECT_TRUE(chain.withinLimits(r.theta));
+}
+
+}  // namespace
+}  // namespace dadu::ik
