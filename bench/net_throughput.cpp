@@ -1,0 +1,236 @@
+// Wire-level serving throughput: a multi-connection load generator
+// against a live IkServer on loopback — the full ingress path the
+// in-process service bench cannot see (framing, epoll dispatch,
+// eventfd completion hand-off, socket writes).
+//
+// Shape: C client threads, one pipelined IkClient connection each,
+// window W requests outstanding per connection.  Every client measures
+// per-request wall latency (send -> matching reply); the driver
+// aggregates p50/p90/p99, throughput, and the server's shed/reject
+// counters — the acceptance numbers for the dadu_net front-end.
+//
+// Usage: net_throughput [--quick] [--connections C] [--requests N]
+//                       [--window W] [--workers K] [--dof D]
+//                       [--json PATH]
+//   --quick     small workload for CI smoke runs
+//   --requests  total requests across all connections
+//   --json P    write BENCH_net.json metric records to P
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "dadu/dadu.hpp"
+
+namespace {
+
+struct Options {
+  std::size_t connections = 64;
+  std::size_t requests = 8192;
+  std::size_t window = 8;  ///< pipelined requests in flight per connection
+  std::size_t workers = 0;
+  std::size_t dof = 12;
+  std::string json_path;
+};
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+struct ClientOutcome {
+  std::vector<double> latencies_ms;
+  std::size_t solved = 0;
+  std::size_t rejected = 0;  ///< service-level rejects (queue full, ...)
+  std::size_t wire_errors = 0;
+};
+
+/// One connection's worth of load: pipeline up to `window` requests,
+/// collect replies in arrival order, timestamp each by request id.
+ClientOutcome runClient(const dadu::kin::Chain& chain, std::uint16_t port,
+                        std::size_t requests, std::size_t window,
+                        std::uint32_t task_offset) {
+  namespace net = dadu::net;
+  ClientOutcome outcome;
+  outcome.latencies_ms.reserve(requests);
+
+  net::IkClient client;
+  client.connect("127.0.0.1", port);
+
+  std::unordered_map<std::uint64_t, dadu::platform::WallTimer> sent;
+  std::size_t submitted = 0, received = 0;
+  while (received < requests) {
+    while (submitted < requests && sent.size() < window) {
+      const auto task = dadu::workload::generateTask(
+          chain, task_offset + static_cast<std::uint32_t>(submitted));
+      dadu::service::Request request;
+      request.target = task.target;
+      request.seed = task.seed;
+      const std::uint64_t id = client.sendRequest(request);
+      sent.emplace(id, dadu::platform::WallTimer{});
+      ++submitted;
+    }
+    const net::ClientReply reply = client.receiveAny();
+    const auto it = sent.find(reply.id());
+    if (it == sent.end()) continue;  // not ours (cannot happen; be safe)
+    outcome.latencies_ms.push_back(it->second.elapsedMs());
+    sent.erase(it);
+    ++received;
+    if (reply.type == net::MsgType::kError) {
+      ++outcome.wire_errors;
+    } else if (static_cast<dadu::service::ResponseStatus>(
+                   reply.response.status) ==
+               dadu::service::ResponseStatus::kSolved) {
+      ++outcome.solved;
+    } else {
+      ++outcome.rejected;
+    }
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--quick") {
+      opt.connections = 8;
+      opt.requests = 512;
+    } else if (arg == "--connections") {
+      opt.connections = std::stoul(next());
+    } else if (arg == "--requests") {
+      opt.requests = std::stoul(next());
+    } else if (arg == "--window") {
+      opt.window = std::stoul(next());
+    } else if (arg == "--workers") {
+      opt.workers = std::stoul(next());
+    } else if (arg == "--dof") {
+      opt.dof = std::stoul(next());
+    } else if (arg == "--json") {
+      opt.json_path = next();
+    } else {
+      std::cerr << "unknown option " << arg << '\n';
+      return 2;
+    }
+  }
+
+  namespace net = dadu::net;
+  namespace service = dadu::service;
+  const auto chain = dadu::kin::makeSerpentine(opt.dof);
+
+  service::ServiceConfig service_config;
+  service_config.workers = opt.workers;
+  service_config.queue_capacity = 4096;
+  service_config.enable_seed_cache = true;
+  service::IkService svc(
+      [&] { return dadu::ik::makeSolver("quick-ik", chain, {}); },
+      service_config);
+
+  net::ServerConfig server_config;
+  server_config.max_connections = opt.connections + 8;
+  net::IkServer server(svc, server_config);
+  server.start();
+
+  std::cout << "net_throughput: " << opt.connections << " connections, "
+            << opt.requests << " requests, window " << opt.window << ", "
+            << svc.workerCount() << " workers, serpentine:" << opt.dof
+            << " (port " << server.port() << ")\n";
+
+  const std::size_t per_conn =
+      std::max<std::size_t>(1, opt.requests / opt.connections);
+  std::vector<ClientOutcome> outcomes(opt.connections);
+  dadu::platform::WallTimer wall;
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(opt.connections);
+    for (std::size_t c = 0; c < opt.connections; ++c)
+      threads.emplace_back([&, c] {
+        outcomes[c] = runClient(chain, server.port(), per_conn, opt.window,
+                                static_cast<std::uint32_t>(c * per_conn));
+      });
+    for (auto& t : threads) t.join();
+  }
+  const double wall_ms = wall.elapsedMs();
+  server.stop();
+  svc.stop();
+
+  std::vector<double> latencies;
+  std::size_t solved = 0, rejected = 0, wire_errors = 0;
+  for (const auto& o : outcomes) {
+    latencies.insert(latencies.end(), o.latencies_ms.begin(),
+                     o.latencies_ms.end());
+    solved += o.solved;
+    rejected += o.rejected;
+    wire_errors += o.wire_errors;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double total = static_cast<double>(latencies.size());
+  const double rps = total / (wall_ms / 1000.0);
+  const double p50 = percentile(latencies, 50.0);
+  const double p90 = percentile(latencies, 90.0);
+  const double p99 = percentile(latencies, 99.0);
+  const net::NetStats net_stats = server.stats();
+  const service::ServiceStats svc_stats = svc.stats();
+  const double reject_rate = total > 0.0 ? rejected / total : 0.0;
+  const double shed_rate =
+      total > 0.0 ? static_cast<double>(net_stats.shed_draining) / total : 0.0;
+
+  std::cout << "throughput:     " << rps << " req/s (" << latencies.size()
+            << " replies in " << wall_ms << " ms)\n"
+            << "latency p50/p90/p99: " << p50 << " / " << p90 << " / " << p99
+            << " ms\n"
+            << "solved:         " << solved << ", rejected " << rejected
+            << " (rate " << reject_rate << "), wire errors " << wire_errors
+            << '\n'
+            << "server:         " << net_stats.frames_received
+            << " frames in, " << net_stats.responses_sent << " responses, "
+            << net_stats.malformed_frames << " malformed, shed rate "
+            << shed_rate << '\n'
+            << "service:        " << svc_stats.solved << " solved, "
+            << svc_stats.rejected_queue_full << " queue-full, cache hit rate "
+            << svc_stats.cacheHitRate() << '\n';
+
+  // Sanity for the acceptance gate: every reply accounted for.
+  if (solved + rejected + wire_errors != latencies.size()) {
+    std::cerr << "reply accounting mismatch\n";
+    return 1;
+  }
+
+  if (!opt.json_path.empty()) {
+    const std::vector<bench::MetricRecord> records = {
+        {"net_requests_per_sec", rps, "req/s"},
+        {"net_latency_p50", p50, "ms"},
+        {"net_latency_p90", p90, "ms"},
+        {"net_latency_p99", p99, "ms"},
+        {"net_reject_rate", reject_rate, "ratio"},
+        {"net_shed_rate", shed_rate, "ratio"},
+        {"net_wire_errors", static_cast<double>(wire_errors), "count"},
+        {"net_malformed_frames",
+         static_cast<double>(net_stats.malformed_frames), "count"},
+        {"net_connections", static_cast<double>(opt.connections), "count"},
+    };
+    if (!bench::writeMetricsJson(opt.json_path, records)) {
+      std::cerr << "cannot write " << opt.json_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << opt.json_path << '\n';
+  }
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "dadu/cli/cli.hpp"
 
+#include <csignal>
+
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -18,6 +21,8 @@
 #include "dadu/kinematics/jacobian_full.hpp"
 #include "dadu/kinematics/workspace.hpp"
 #include "dadu/linalg/rotation.hpp"
+#include "dadu/net/ik_server.hpp"
+#include "dadu/net/net_stats.hpp"
 #include "dadu/obs/export.hpp"
 #include "dadu/platform/timer.hpp"
 #include "dadu/service/ik_service.hpp"
@@ -41,6 +46,10 @@ constexpr const char* kUsage =
     "        [--queue-capacity n] [--rate req-per-s] [--deadline ms]\n"
     "        [--cache on|off] [--solver name] [--max-iter n]\n"
     "        [--stats-out FILE] [--stats-format auto|prom|json]\n"
+    "  serve --robot <spec> --port <p> [--address a] [--workers w]\n"
+    "        [--queue-capacity n] [--solver name] [--max-iter n]\n"
+    "        [--cache on|off] [--max-connections n] [--idle-timeout ms]\n"
+    "        [--stats-format text|prom|json] [--max-runtime-ms n]\n"
     "  stats --robot <spec> [--format text|prom|json] [serve-bench options]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n";
@@ -329,6 +338,103 @@ int cmdServeBench(const kin::Chain& chain,
   return stats.solved == stats.submitted ? 0 : 1;
 }
 
+/// SIGINT/SIGTERM latch for `dadu serve`.  The handler only stores —
+/// everything else (drain, stats dump) runs on the main thread, which
+/// polls the flag.  sig_atomic_t-compatible: std::atomic<int> with
+/// relaxed stores is async-signal-safe on every platform we target.
+std::atomic<int> g_stop_signal{0};
+
+void onStopSignal(int signum) {
+  g_stop_signal.store(signum, std::memory_order_relaxed);
+}
+
+/// `dadu serve`: bind the TCP front-end on --port, serve until
+/// SIGINT/SIGTERM (or --max-runtime-ms, the test seam), then drain —
+/// listener first, in-flight solves flushed — and dump the combined
+/// service + wire observability snapshot in --stats-format.
+int cmdServe(const kin::Chain& chain,
+             const std::map<std::string, std::string>& opts, std::ostream& out,
+             std::ostream& err) {
+  const std::string format = optional(opts, "stats-format", "text");
+  if (format != "text" && format != "prom" && format != "json")
+    throw std::invalid_argument("--stats-format must be text, prom or json");
+  const int port_value = std::stoi(require(opts, "port"));
+  if (port_value < 0 || port_value > 65535)
+    throw std::invalid_argument("--port must be in [0, 65535]");
+  const double max_runtime_ms =
+      std::stod(optional(opts, "max-runtime-ms", "0"));
+  const std::string cache_flag = optional(opts, "cache", "on");
+  if (cache_flag != "on" && cache_flag != "off")
+    throw std::invalid_argument("--cache must be 'on' or 'off'");
+
+  ik::SolveOptions solve_options;
+  solve_options.max_iterations = std::stoi(optional(opts, "max-iter", "10000"));
+  const std::string solver_name = optional(opts, "solver", "quick-ik");
+
+  service::ServiceConfig service_config;
+  service_config.workers =
+      static_cast<std::size_t>(std::stoul(optional(opts, "workers", "0")));
+  service_config.queue_capacity = static_cast<std::size_t>(
+      std::stoul(optional(opts, "queue-capacity", "1024")));
+  service_config.enable_seed_cache = cache_flag == "on";
+
+  net::ServerConfig server_config;
+  server_config.bind_address = optional(opts, "address", "127.0.0.1");
+  server_config.port = static_cast<std::uint16_t>(port_value);
+  server_config.max_connections = static_cast<std::size_t>(
+      std::stoul(optional(opts, "max-connections", "256")));
+  server_config.idle_timeout_ms =
+      std::stod(optional(opts, "idle-timeout", "0"));
+
+  service::IkService svc(
+      [&] { return ik::makeSolver(solver_name, chain, solve_options); },
+      service_config);
+  net::IkServer server(svc, server_config);
+  server.start();
+
+  // Install the handlers only while we serve, and restore the previous
+  // disposition after — `run()` is a library entry point and must not
+  // leave process-global state behind.
+  struct sigaction action {};
+  action.sa_handler = onStopSignal;
+  sigemptyset(&action.sa_mask);
+  struct sigaction old_int {}, old_term {};
+  sigaction(SIGINT, &action, &old_int);
+  sigaction(SIGTERM, &action, &old_term);
+  g_stop_signal.store(0, std::memory_order_relaxed);
+
+  out << "dadu serve: robot " << chain.name() << " (" << chain.dof()
+      << " DOF), solver " << solver_name << ", " << svc.workerCount()
+      << " workers\n";
+  out << "listening on " << server.address() << ":" << server.port() << '\n';
+  out.flush();
+
+  platform::WallTimer uptime;
+  while (g_stop_signal.load(std::memory_order_relaxed) == 0) {
+    if (max_runtime_ms > 0.0 && uptime.elapsedMs() >= max_runtime_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const int signum = g_stop_signal.load(std::memory_order_relaxed);
+  if (signum != 0)
+    err << "caught " << (signum == SIGINT ? "SIGINT" : "SIGTERM")
+        << ", draining\n";
+
+  server.stop();  // listener first, in-flight flushed
+  svc.stop();
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+
+  const obs::MetricsSnapshot snap =
+      net::merge(svc.metrics(), server.metrics());
+  if (format == "prom")
+    out << obs::renderPrometheus(snap);
+  else if (format == "json")
+    out << obs::renderJson(snap);
+  else
+    out << obs::renderText(snap);
+  return 0;
+}
+
 /// Run a short in-process serving workload and render its full
 /// observability snapshot (counters, gauges, latency histograms) in
 /// the requested format — the terminal-facing view of the same data
@@ -411,6 +517,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "accel") return cmdAccel(chain, opts, out);
     if (command == "pose") return cmdPose(chain, opts, out);
     if (command == "serve-bench") return cmdServeBench(chain, opts, out);
+    if (command == "serve") return cmdServe(chain, opts, out, err);
     if (command == "stats") return cmdStats(chain, opts, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;

@@ -111,6 +111,15 @@
 #include "dadu/service/seed_cache.hpp"
 #include "dadu/service/service_stats.hpp"
 
+// TCP serving front-end: epoll event loop, binary wire protocol,
+// non-blocking server and blocking client.
+#include "dadu/net/buffer.hpp"
+#include "dadu/net/event_loop.hpp"
+#include "dadu/net/ik_client.hpp"
+#include "dadu/net/ik_server.hpp"
+#include "dadu/net/net_stats.hpp"
+#include "dadu/net/wire.hpp"
+
 // Top-level engine.
 #include "dadu/core/batch_runner.hpp"
 #include "dadu/core/engine.hpp"

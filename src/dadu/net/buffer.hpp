@@ -1,0 +1,54 @@
+// Growable byte buffer with an amortised-O(1) consume front.
+//
+// Both sides of the wire need the same two motions: append bytes as
+// they arrive (or are serialized) and consume whole frames off the
+// front.  A std::vector plus a head offset gives contiguous storage
+// for the frame decoder (which wants one flat [data, size) span) while
+// keeping consume() from memmoving on every frame — the head only
+// compacts when the dead prefix outgrows the live bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace dadu::net {
+
+class ByteBuffer {
+ public:
+  /// Live (unconsumed) bytes.
+  const std::uint8_t* data() const { return storage_.data() + head_; }
+  std::size_t size() const { return storage_.size() - head_; }
+  bool empty() const { return size() == 0; }
+
+  void append(const void* bytes, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(bytes);
+    storage_.insert(storage_.end(), p, p + len);
+  }
+
+  /// Drop `len` bytes off the front (len <= size()).
+  void consume(std::size_t len) {
+    head_ += len;
+    if (head_ >= storage_.size()) {
+      storage_.clear();
+      head_ = 0;
+    } else if (head_ > storage_.size() - head_) {
+      // Dead prefix outweighs live bytes: compact once.
+      storage_.erase(storage_.begin(),
+                     storage_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  void clear() {
+    storage_.clear();
+    head_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> storage_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace dadu::net

@@ -1,0 +1,87 @@
+// Single-threaded epoll event loop.
+//
+// One thread calls run(); every fd handler, the wakeup handler and the
+// tick handler execute on that thread, so loop-owned state (the
+// server's connection table) needs no locks.  Two thread-safe entry
+// points exist for everyone else: wakeup() — poke the loop's eventfd
+// so it drains whatever cross-thread queue the wakeup handler guards —
+// and stop().  This is the classic reactor shape (libevent/muduo);
+// epoll is level-triggered, which keeps partial-read/-write handling
+// straightforward: the fd stays ready until the buffer is drained.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace dadu::net {
+
+class EventLoop {
+ public:
+  /// Invoked with the ready epoll event mask (EPOLLIN | EPOLLOUT | ...).
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  /// Creates the epoll instance and the internal wakeup eventfd.
+  /// Throws std::runtime_error if either cannot be created.
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // --- loop-thread-only interface -----------------------------------
+  /// Watch `fd` for `events`.  The handler may add/modify/remove any
+  /// fd, including its own.  Throws on epoll_ctl failure.
+  void add(int fd, std::uint32_t events, FdHandler handler);
+  void modify(int fd, std::uint32_t events);
+  /// Stop watching `fd` (does not close it).  Safe against pending
+  /// events in the current dispatch round: they are skipped.
+  void remove(int fd);
+  bool watching(int fd) const { return handlers_.count(fd) != 0; }
+
+  /// Dispatch until stop().  Runs the tick handler (if set) at least
+  /// every tick interval.
+  void run();
+  /// One epoll_wait + dispatch round with the given cap on blocking
+  /// time; returns the number of fd events handled.  Exposed for tests
+  /// and for callers embedding the loop in their own thread.
+  int runOnce(int timeout_ms);
+
+  /// Called on the loop thread every `interval_ms` (best effort, also
+  /// between bursts of events).  One tick handler at a time.
+  void setTick(double interval_ms, std::function<void()> handler);
+
+  /// Called on the loop thread after wakeup() was poked (coalesced:
+  /// many wakeup() calls may fold into one invocation).
+  void setWakeupHandler(std::function<void()> handler);
+
+  // --- thread-safe interface ----------------------------------------
+  /// Make run() return after the current dispatch round.
+  void stop();
+  /// Poke the loop: runOnce() returns promptly and the wakeup handler
+  /// runs.  Async-signal-safe is NOT guaranteed (it takes no lock but
+  /// writes an fd owned by the loop; call only while the loop object
+  /// is alive).
+  void wakeup();
+
+  bool stopped() const { return stop_.load(std::memory_order_acquire); }
+
+ private:
+  void maybeTick();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  // shared_ptr so a handler that removes another fd mid-round cannot
+  // free a std::function the dispatcher is still holding.
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+  std::function<void()> wakeup_handler_;
+  std::function<void()> tick_handler_;
+  double tick_interval_ms_ = 0.0;
+  std::chrono::steady_clock::time_point next_tick_{};
+};
+
+}  // namespace dadu::net

@@ -1,0 +1,226 @@
+#include "dadu/net/ik_client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dadu::net {
+namespace {
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// One non-blocking connect attempt with a poll() deadline.  Returns
+/// the connected fd or -1.
+int tryConnect(const std::string& host, std::uint16_t port,
+               double timeout_ms) {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("IkClient: bad address '" + host + "'");
+  }
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0)
+    return fd;
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  pollfd pfd{fd, POLLOUT, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+  if (ready <= 0) {
+    ::close(fd);
+    return -1;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+      err != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+void setTimeouts(int fd, double io_timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(io_timeout_ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (io_timeout_ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+}  // namespace
+
+IkClient::~IkClient() { close(); }
+
+IkClient::IkClient(IkClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_),
+      config_(other.config_),
+      in_(std::move(other.in_)),
+      strays_(std::move(other.strays_)) {}
+
+IkClient& IkClient::operator=(IkClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_ = other.next_id_;
+    config_ = other.config_;
+    in_ = std::move(other.in_);
+    strays_ = std::move(other.strays_);
+  }
+  return *this;
+}
+
+void IkClient::connect(const std::string& host, std::uint16_t port,
+                       ClientConfig config) {
+  close();
+  config_ = config;
+  for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
+    if (attempt > 0)
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.retry_backoff_ms));
+    const int fd = tryConnect(host, port, config_.connect_timeout_ms);
+    if (fd < 0) continue;
+    // Blocking mode from here on: the client's contract is synchronous
+    // I/O with per-syscall timeouts.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    setTimeouts(fd, config_.io_timeout_ms);
+    const int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+    fd_ = fd;
+    return;
+  }
+  throw std::runtime_error("IkClient: cannot connect to " + host + ":" +
+                           std::to_string(port) + " after " +
+                           std::to_string(config_.connect_attempts) +
+                           " attempts");
+}
+
+void IkClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+  strays_.clear();
+}
+
+void IkClient::sendAll(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("IkClient send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::uint64_t IkClient::sendRequest(const service::Request& request) {
+  if (fd_ < 0) throw std::runtime_error("IkClient: not connected");
+  WireRequest wire;
+  wire.id = next_id_++;
+  wire.spec_id = config_.spec_id;
+  wire.use_seed_cache = request.use_seed_cache;
+  wire.target[0] = request.target.x;
+  wire.target[1] = request.target.y;
+  wire.target[2] = request.target.z;
+  wire.deadline_ms = request.deadline_ms;
+  wire.seed.assign(request.seed.begin(), request.seed.end());
+
+  std::vector<std::uint8_t> frame;
+  encodeRequest(wire, frame);
+  sendAll(frame.data(), frame.size());
+  return wire.id;
+}
+
+ClientReply IkClient::receiveAny() {
+  if (fd_ < 0) throw std::runtime_error("IkClient: not connected");
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    DecodedFrame frame;
+    const DecodeStatus status = decodeFrame(in_.data(), in_.size(),
+                                            config_.max_frame_bytes, frame);
+    switch (status) {
+      case DecodeStatus::kOk: {
+        in_.consume(frame.consumed);
+        ClientReply reply;
+        if (frame.type == MsgType::kResponse) {
+          reply.type = MsgType::kResponse;
+          reply.response = std::move(frame.response);
+        } else if (frame.type == MsgType::kError) {
+          reply.type = MsgType::kError;
+          reply.error = std::move(frame.error);
+        } else {
+          throw std::runtime_error(
+              "IkClient: server sent a request frame");
+        }
+        return reply;
+      }
+      case DecodeStatus::kMalformed:
+        throw std::runtime_error("IkClient: malformed frame from server");
+      case DecodeStatus::kUnsupportedVersion:
+        throw std::runtime_error("IkClient: server wire version mismatch");
+      case DecodeStatus::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n == 0)
+      throw std::runtime_error("IkClient: connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw std::runtime_error("IkClient: receive timeout");
+      throwErrno("IkClient recv");
+    }
+    in_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+ClientReply IkClient::waitFor(std::uint64_t id) {
+  const auto it = strays_.find(id);
+  if (it != strays_.end()) {
+    ClientReply reply = std::move(it->second);
+    strays_.erase(it);
+    return reply;
+  }
+  for (;;) {
+    ClientReply reply = receiveAny();
+    if (reply.id() == id) return reply;
+    strays_.emplace(reply.id(), std::move(reply));
+  }
+}
+
+service::Response IkClient::call(const service::Request& request) {
+  const std::uint64_t id = sendRequest(request);
+  ClientReply reply = waitFor(id);
+  if (reply.type == MsgType::kError)
+    throw WireErrorException(std::move(reply.error));
+  return toServiceResponse(reply.response);
+}
+
+}  // namespace dadu::net

@@ -1,0 +1,110 @@
+// Blocking client for the dadu_net wire protocol.
+//
+// One IkClient owns one TCP connection.  Two usage shapes:
+//
+//   synchronous RPC      — call(request) sends and waits for that
+//                          reply (the quickstart / CLI shape);
+//   pipelined streaming  — sendRequest() any number of requests, then
+//                          waitFor(id)/receiveAny() to collect replies.
+//                          Replies can arrive in ANY order (service
+//                          workers finish out of order); the client
+//                          buffers strays by id so waitFor(id) is safe
+//                          under pipelining.
+//
+// connect() retries with backoff — the standard "server still binding"
+// race killer for tests and load generators.  The client is blocking
+// by design: callers that want concurrency open more connections
+// (that is what bench/net_throughput does); the server side is the
+// non-blocking half of the system.  Not thread-safe: one thread per
+// client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "dadu/net/buffer.hpp"
+#include "dadu/net/wire.hpp"
+#include "dadu/service/request.hpp"
+
+namespace dadu::net {
+
+struct ClientConfig {
+  double connect_timeout_ms = 1000.0;  ///< per connect() attempt
+  int connect_attempts = 20;           ///< total tries before giving up
+  double retry_backoff_ms = 50.0;      ///< sleep between attempts
+  double io_timeout_ms = 30000.0;      ///< per send/recv syscall
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  std::uint32_t spec_id = 0;           ///< stamped into every request
+};
+
+/// One reply off the wire: either a response or an error frame.
+struct ClientReply {
+  MsgType type = MsgType::kResponse;
+  WireResponse response;  ///< meaningful iff type == kResponse
+  WireError error;        ///< meaningful iff type == kError
+  std::uint64_t id() const {
+    return type == MsgType::kError ? error.id : response.id;
+  }
+};
+
+/// Thrown when the server answers a request with a kError frame.
+class WireErrorException : public std::runtime_error {
+ public:
+  explicit WireErrorException(WireError error)
+      : std::runtime_error("wire error [" + net::toString(error.code) +
+                           "]: " + error.message),
+        error_(std::move(error)) {}
+  const WireError& error() const { return error_; }
+
+ private:
+  WireError error_;
+};
+
+class IkClient {
+ public:
+  IkClient() = default;
+  ~IkClient();
+
+  IkClient(const IkClient&) = delete;
+  IkClient& operator=(const IkClient&) = delete;
+  IkClient(IkClient&& other) noexcept;
+  IkClient& operator=(IkClient&& other) noexcept;
+
+  /// Connect (with retries) to host:port.  Throws std::runtime_error
+  /// when every attempt fails.
+  void connect(const std::string& host, std::uint16_t port,
+               ClientConfig config = {});
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Send one request frame; returns the assigned request id.  Never
+  /// waits for the reply — pipeline as many as you like.
+  std::uint64_t sendRequest(const service::Request& request);
+
+  /// Next reply off the wire, whatever request it answers.  Throws on
+  /// EOF, timeout, or protocol violation.
+  ClientReply receiveAny();
+
+  /// Reply to request `id`, buffering any other replies that arrive
+  /// first (so interleaved pipelined replies are not lost).
+  ClientReply waitFor(std::uint64_t id);
+
+  /// Synchronous RPC: sendRequest + waitFor, decoded back into the
+  /// service's Response type.  Throws WireErrorException if the server
+  /// answered with an error frame.
+  service::Response call(const service::Request& request);
+
+  const ClientConfig& config() const { return config_; }
+
+ private:
+  void sendAll(const std::uint8_t* data, std::size_t len);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  ClientConfig config_;
+  ByteBuffer in_;
+  std::unordered_map<std::uint64_t, ClientReply> strays_;
+};
+
+}  // namespace dadu::net

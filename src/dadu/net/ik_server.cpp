@@ -1,0 +1,499 @@
+#include "dadu/net/ik_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dadu::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+[[noreturn]] void throwErrno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Frame payloads are bytes, not milliseconds: give their histogram a
+/// ladder that spans tiny control frames to the max frame cap.
+obs::LatencyHistogram::Config frameBytesLadder() {
+  obs::LatencyHistogram::Config config;
+  config.min_value = 16.0;
+  config.max_value = 1e8;
+  config.buckets_per_decade = 4;
+  return config;
+}
+
+}  // namespace
+
+void IkServer::CompletionSink::push(PendingCompletion item) {
+  std::lock_guard<std::mutex> lock(mutex);
+  items.push_back(std::move(item));
+  // Poke under the lock: stop() nulls `loop` under the same lock after
+  // joining the loop thread, so the EventLoop we poke is always alive.
+  if (loop) loop->wakeup();
+}
+
+IkServer::IkServer(service::IkService& service, ServerConfig config)
+    : service_(service),
+      config_(std::move(config)),
+      sink_(std::make_shared<CompletionSink>()),
+      counters_(kCounterCount, config_.stat_shards),
+      frame_hist_(frameBytesLadder()),
+      e2e_hist_(config_.latency) {
+  sink_->loop = &loop_;
+}
+
+IkServer::~IkServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void IkServer::start() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (started_.load()) throw std::runtime_error("IkServer: already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) throwErrno("socket");
+  const int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("IkServer: bad bind address '" +
+                             config_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throwErrno("bind");
+  }
+  if (::listen(listen_fd_, config_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throwErrno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  loop_.add(listen_fd_, EPOLLIN, [this](std::uint32_t) { onAcceptable(); });
+  loop_.setWakeupHandler([this] {
+    drainCompletions();
+    if (draining_.load(std::memory_order_acquire)) beginDrain();
+  });
+  loop_.setTick(config_.tick_interval_ms, [this] { onTick(); });
+
+  started_.store(true);
+  thread_ = std::thread([this] { loop_.run(); });
+}
+
+void IkServer::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (!started_.load() || stopped_.load()) return;
+  draining_.store(true, std::memory_order_release);
+  loop_.wakeup();
+  if (thread_.joinable()) thread_.join();
+  {
+    // From here no loop thread exists; late completions (drain timed
+    // out) must not poke a dead loop.
+    std::lock_guard<std::mutex> sink_lock(sink_->mutex);
+    sink_->loop = nullptr;
+  }
+  stopped_.store(true, std::memory_order_release);
+}
+
+// ------------------------------------------------------------- accept
+
+void IkServer::onAcceptable() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors (ECONNABORTED, EMFILE): skip
+    }
+    if (draining_.load(std::memory_order_acquire) ||
+        conns_.size() >= config_.max_connections) {
+      counters_.add(kRejectedLimit);
+      ::close(fd);
+      continue;
+    }
+    const int on = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+
+    const std::uint64_t conn_id = next_conn_id_++;
+    Connection conn;
+    conn.id = conn_id;
+    conn.fd = fd;
+    conn.last_activity = Clock::now();
+    conns_.emplace(conn_id, std::move(conn));
+    loop_.add(fd, EPOLLIN, [this, conn_id](std::uint32_t events) {
+      onConnectionEvent(conn_id, events);
+    });
+    counters_.add(kAccepted);
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --------------------------------------------------------- connection
+
+std::uint32_t IkServer::interestOf(const Connection& conn) const {
+  std::uint32_t events = 0;
+  if (!conn.reads_paused && !conn.peer_eof && !conn.close_after_flush &&
+      !draining_.load(std::memory_order_acquire))
+    events |= EPOLLIN;
+  if (!conn.out.empty()) events |= EPOLLOUT;
+  return events;
+}
+
+void IkServer::updateReadInterest(Connection& conn) {
+  if (loop_.watching(conn.fd)) loop_.modify(conn.fd, interestOf(conn));
+}
+
+void IkServer::onConnectionEvent(std::uint64_t conn_id, std::uint32_t events) {
+  {
+    const auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    if (events & (EPOLLERR | EPOLLHUP)) {
+      closeConnection(conn_id, CloseReason::kError);
+      return;
+    }
+    if (events & EPOLLIN) onReadable(it->second);
+  }
+  // onReadable may have closed (and erased) the connection: re-find.
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  if (events & EPOLLOUT) onWritable(it->second);
+}
+
+void IkServer::onReadable(Connection& conn) {
+  read_chunk_.resize(config_.read_chunk_bytes);
+  bool saw_eof = false;
+  for (;;) {
+    const ssize_t n =
+        ::recv(conn.fd, read_chunk_.data(), read_chunk_.size(), 0);
+    if (n > 0) {
+      conn.in.append(read_chunk_.data(), static_cast<std::size_t>(n));
+      counters_.add(kBytesRead, static_cast<std::uint64_t>(n));
+      conn.last_activity = Clock::now();
+      if (static_cast<std::size_t>(n) < read_chunk_.size()) break;
+      continue;
+    }
+    if (n == 0) {
+      saw_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+    closeConnection(conn.id, CloseReason::kError);
+    return;
+  }
+
+  parseFrames(conn);  // may close `conn`; do not touch it after unless found
+  const auto it = conns_.find(conn.id);
+  if (it == conns_.end()) return;
+  Connection& live = it->second;
+
+  if (saw_eof) {
+    // Half-close: the peer finished sending but may still be reading.
+    // Flush everything in flight, then close from our side.
+    live.peer_eof = true;
+    if (live.out.empty() && live.in_flight == 0) {
+      closeConnection(live.id, CloseReason::kPeer);
+      return;
+    }
+    live.close_after_flush = true;
+  }
+  updateReadInterest(live);
+}
+
+void IkServer::parseFrames(Connection& conn) {
+  while (!conn.in.empty()) {
+    DecodedFrame frame;
+    const DecodeStatus status = decodeFrame(conn.in.data(), conn.in.size(),
+                                            config_.max_frame_bytes, frame);
+    switch (status) {
+      case DecodeStatus::kNeedMore:
+        return;
+      case DecodeStatus::kMalformed:
+        counters_.add(kMalformedFrames);
+        closeConnection(conn.id, CloseReason::kProtocol);
+        return;
+      case DecodeStatus::kUnsupportedVersion:
+        counters_.add(kMalformedFrames);
+        queueError(conn, frame.request_id, WireErrorCode::kUnsupportedVersion,
+                   "server speaks wire version " +
+                       std::to_string(int{kWireVersion}));
+        conn.in.clear();  // nothing further is trustworthy
+        conn.close_after_flush = true;
+        return;
+      case DecodeStatus::kOk:
+        break;
+    }
+    conn.in.consume(frame.consumed);
+    counters_.add(kFramesReceived);
+    frame_hist_.record(
+        static_cast<double>(frame.consumed - kLengthBytes));
+    if (frame.type != MsgType::kRequest) {
+      // Clients must not send responses/errors at a server.
+      counters_.add(kMalformedFrames);
+      closeConnection(conn.id, CloseReason::kProtocol);
+      return;
+    }
+    handleRequest(conn, frame.request);
+  }
+}
+
+void IkServer::handleRequest(Connection& conn, const WireRequest& request) {
+  if (draining_.load(std::memory_order_acquire)) {
+    counters_.add(kShedDraining);
+    queueError(conn, request.id, WireErrorCode::kShuttingDown,
+               "server is draining");
+    return;
+  }
+  if (request.spec_id != config_.robot_spec_id) {
+    queueError(conn, request.id, WireErrorCode::kUnknownSpec,
+               "server serves spec " + std::to_string(config_.robot_spec_id) +
+                   ", not " + std::to_string(request.spec_id));
+    return;
+  }
+
+  conn.in_flight++;
+  dispatched_pending_++;
+  counters_.add(kRequestsDispatched);
+
+  PendingCompletion pending;
+  pending.conn_id = conn.id;
+  pending.request_id = request.id;
+  pending.dispatched = Clock::now();
+  service_.submit(
+      toServiceRequest(request),
+      // The callback runs on a service worker (or inline on admission
+      // reject); it only touches the shared sink, never loop state.
+      [sink = sink_, pending = std::move(pending)](
+          service::Response response) mutable {
+        pending.response = std::move(response);
+        sink->push(std::move(pending));
+      });
+}
+
+void IkServer::drainCompletions() {
+  std::vector<PendingCompletion> done;
+  {
+    std::lock_guard<std::mutex> lock(sink_->mutex);
+    done.swap(sink_->items);
+  }
+  const auto now = Clock::now();
+  for (PendingCompletion& item : done) {
+    dispatched_pending_--;
+    counters_.add(kRequestsCompleted);
+    e2e_hist_.record(msBetween(item.dispatched, now));
+
+    const auto it = conns_.find(item.conn_id);
+    if (it == conns_.end()) continue;  // connection died mid-solve
+    Connection& conn = it->second;
+    conn.in_flight--;
+
+    const service::Response& r = item.response;
+    if (r.status == service::ResponseStatus::kRejected &&
+        r.reject_reason == service::RejectReason::kInternalError) {
+      queueError(conn, item.request_id, WireErrorCode::kInternal, r.message);
+    } else {
+      std::vector<std::uint8_t> encoded;
+      encodeResponse(toWireResponse(item.request_id, r), encoded);
+      conn.out.append(encoded.data(), encoded.size());
+      counters_.add(kResponsesSent);
+      afterEnqueue(conn);
+    }
+  }
+}
+
+void IkServer::queueError(Connection& conn, std::uint64_t request_id,
+                          WireErrorCode code, const std::string& message) {
+  WireError error;
+  error.id = request_id;
+  error.code = code;
+  error.message = message;
+  std::vector<std::uint8_t> encoded;
+  encodeError(error, encoded);
+  conn.out.append(encoded.data(), encoded.size());
+  counters_.add(kErrorsSent);
+  afterEnqueue(conn);
+}
+
+void IkServer::afterEnqueue(Connection& conn) {
+  // Slow-reader backpressure: responses pile up only while we keep
+  // reading requests, so capping the out-buffer by pausing reads
+  // bounds per-connection memory.
+  if (!conn.reads_paused && conn.out.size() > config_.write_buffer_limit) {
+    conn.reads_paused = true;
+    counters_.add(kReadPauses);
+  }
+  updateReadInterest(conn);
+}
+
+void IkServer::onWritable(Connection& conn) {
+  while (!conn.out.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.consume(static_cast<std::size_t>(n));
+      counters_.add(kBytesWritten, static_cast<std::uint64_t>(n));
+      conn.last_activity = Clock::now();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
+      break;
+    closeConnection(conn.id, CloseReason::kError);
+    return;
+  }
+
+  if (conn.reads_paused && conn.out.size() < config_.write_buffer_limit / 2) {
+    conn.reads_paused = false;
+    parseFrames(conn);  // frames may have been buffered while paused
+    const auto it = conns_.find(conn.id);
+    if (it == conns_.end()) return;
+  }
+  if (conn.out.empty() && conn.close_after_flush && conn.in_flight == 0) {
+    closeConnection(conn.id, conn.peer_eof ? CloseReason::kPeer
+                                           : CloseReason::kProtocol);
+    return;
+  }
+  updateReadInterest(conn);
+}
+
+void IkServer::closeConnection(std::uint64_t conn_id, CloseReason reason) {
+  const auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection& conn = it->second;
+  loop_.remove(conn.fd);
+  ::close(conn.fd);
+  switch (reason) {
+    case CloseReason::kPeer:
+      counters_.add(kClosedPeer);
+      break;
+    case CloseReason::kProtocol:
+      counters_.add(kClosedProtocol);
+      break;
+    case CloseReason::kIdle:
+      counters_.add(kClosedIdle);
+      break;
+    case CloseReason::kShutdown:
+      counters_.add(kClosedShutdown);
+      break;
+    case CloseReason::kError:
+      counters_.add(kClosedError);
+      break;
+  }
+  // In-flight completions for this connection still arrive; the sink
+  // drain drops them by failed lookup and keeps dispatched_pending_
+  // (the global drain condition) exact.
+  conns_.erase(it);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- drain
+
+void IkServer::beginDrain() {
+  if (drain_deadline_set_) {
+    if (drainComplete() || Clock::now() >= drain_deadline_) {
+      std::vector<std::uint64_t> ids;
+      ids.reserve(conns_.size());
+      for (const auto& [id, conn] : conns_) ids.push_back(id);
+      for (std::uint64_t id : ids)
+        closeConnection(id, CloseReason::kShutdown);
+      loop_.stop();
+    }
+    return;
+  }
+  // First sight of the drain flag on the loop thread: listener closes
+  // before anything else so no new work can arrive, reads stop, and
+  // what is already dispatched gets to finish and flush.
+  drain_deadline_set_ = true;
+  drain_deadline_ =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             config_.drain_timeout_ms));
+  if (listen_fd_ >= 0) {
+    loop_.remove(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [id, conn] : conns_) updateReadInterest(conn);
+  beginDrain();  // re-enter to handle the already-drained case
+}
+
+bool IkServer::drainComplete() const {
+  if (dispatched_pending_ != 0) return false;
+  for (const auto& [id, conn] : conns_)
+    if (!conn.out.empty()) return false;
+  return true;
+}
+
+void IkServer::onTick() {
+  if (draining_.load(std::memory_order_acquire)) {
+    beginDrain();
+    return;
+  }
+  if (config_.idle_timeout_ms <= 0.0) return;
+  const auto now = Clock::now();
+  std::vector<std::uint64_t> idle;
+  for (const auto& [id, conn] : conns_)
+    if (conn.in_flight == 0 && conn.out.empty() &&
+        msBetween(conn.last_activity, now) > config_.idle_timeout_ms)
+      idle.push_back(id);
+  for (std::uint64_t id : idle) closeConnection(id, CloseReason::kIdle);
+}
+
+// -------------------------------------------------------------- stats
+
+NetStats IkServer::stats() const {
+  const std::vector<std::uint64_t> totals = counters_.snapshot();
+  NetStats snapshot;
+  snapshot.connections_accepted = totals[kAccepted];
+  snapshot.connections_active = active_conns_.load(std::memory_order_relaxed);
+  snapshot.connections_rejected_limit = totals[kRejectedLimit];
+  snapshot.closed_by_peer = totals[kClosedPeer];
+  snapshot.closed_protocol = totals[kClosedProtocol];
+  snapshot.closed_idle = totals[kClosedIdle];
+  snapshot.closed_shutdown = totals[kClosedShutdown];
+  snapshot.closed_error = totals[kClosedError];
+  snapshot.frames_received = totals[kFramesReceived];
+  snapshot.malformed_frames = totals[kMalformedFrames];
+  snapshot.responses_sent = totals[kResponsesSent];
+  snapshot.errors_sent = totals[kErrorsSent];
+  snapshot.bytes_read = totals[kBytesRead];
+  snapshot.bytes_written = totals[kBytesWritten];
+  snapshot.requests_dispatched = totals[kRequestsDispatched];
+  snapshot.requests_completed = totals[kRequestsCompleted];
+  snapshot.shed_draining = totals[kShedDraining];
+  snapshot.read_pauses = totals[kReadPauses];
+  snapshot.frame_bytes_hist = frame_hist_.snapshot();
+  snapshot.wire_e2e_hist = e2e_hist_.snapshot();
+  return snapshot;
+}
+
+}  // namespace dadu::net

@@ -1,0 +1,58 @@
+// Wire-level serving statistics (snapshot type).
+//
+// IkServer keeps its live counters in the same lock-free machinery as
+// the service layer (obs::ShardedCounters + obs::LatencyHistogram);
+// stats() aggregates them into this snapshot.  Connection counters are
+// per-state — every accepted connection ends in exactly one of the
+// closed_* buckets — so `accepted - sum(closed_*)` is always the live
+// connection count, cross-checkable against the `active` gauge.
+#pragma once
+
+#include <cstdint>
+
+#include "dadu/obs/export.hpp"
+#include "dadu/obs/histogram.hpp"
+
+namespace dadu::net {
+
+struct NetStats {
+  // Connection lifecycle (per-state counters).
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_active = 0;       ///< gauge: open right now
+  std::uint64_t connections_rejected_limit = 0;  ///< over max_connections
+  std::uint64_t closed_by_peer = 0;      ///< orderly remote close
+  std::uint64_t closed_protocol = 0;     ///< malformed frame / bad version
+  std::uint64_t closed_idle = 0;         ///< idle-timeout sweep
+  std::uint64_t closed_shutdown = 0;     ///< server drain/stop
+  std::uint64_t closed_error = 0;        ///< socket error (EPOLLERR, EPIPE...)
+
+  // Frame traffic.
+  std::uint64_t frames_received = 0;   ///< well-formed frames parsed
+  std::uint64_t malformed_frames = 0;  ///< grammar violations seen
+  std::uint64_t responses_sent = 0;
+  std::uint64_t errors_sent = 0;       ///< kError frames sent
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+
+  // Dispatch and backpressure.
+  std::uint64_t requests_dispatched = 0;  ///< handed to IkService
+  std::uint64_t requests_completed = 0;   ///< completions written back
+  std::uint64_t shed_draining = 0;        ///< refused: server draining
+  std::uint64_t read_pauses = 0;   ///< times a slow reader paused reads
+
+  // Distributions: received-frame payload sizes (bytes) and wire-level
+  // end-to-end latency (frame parsed -> response queued for write, ms).
+  obs::HistogramSnapshot frame_bytes_hist;
+  obs::HistogramSnapshot wire_e2e_hist;
+};
+
+/// Flatten into the exporter model under the `dadu_net_` prefix for
+/// obs::renderPrometheus / renderJson / renderText.
+obs::MetricsSnapshot toMetricsSnapshot(const NetStats& stats);
+
+/// Concatenate two exporter snapshots (e.g. dadu_service_* ++
+/// dadu_net_*) into one dump.
+obs::MetricsSnapshot merge(obs::MetricsSnapshot a,
+                           const obs::MetricsSnapshot& b);
+
+}  // namespace dadu::net

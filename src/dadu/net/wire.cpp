@@ -1,0 +1,294 @@
+#include "dadu/net/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace dadu::net {
+namespace {
+
+// ------------------------------------------------------------- encode
+
+void putU8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void putU16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putF64(std::vector<std::uint8_t>& out, double v) {
+  putU64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Reserve the length prefix, write the payload via `body`, then patch
+/// the prefix with the actual payload size.
+template <typename BodyFn>
+void encodeFrame(std::vector<std::uint8_t>& out, MsgType type,
+                 std::uint64_t request_id, BodyFn&& body) {
+  const std::size_t length_at = out.size();
+  putU32(out, 0);  // patched below
+  const std::size_t payload_at = out.size();
+  putU8(out, kWireVersion);
+  putU8(out, static_cast<std::uint8_t>(type));
+  putU64(out, request_id);
+  body(out);
+  const auto payload_len = static_cast<std::uint32_t>(out.size() - payload_at);
+  for (int i = 0; i < 4; ++i)
+    out[length_at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(payload_len >> (8 * i));
+}
+
+// ------------------------------------------------------------- decode
+
+/// Bounds-checked little-endian reader over one frame's body.
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t len) : data_(data), len_(len) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > len_) return false;
+    v = data_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > len_) return false;
+    v = static_cast<std::uint16_t>(data_[pos_] |
+                                   (std::uint16_t{data_[pos_ + 1]} << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (pos_ + 4 > len_) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= std::uint32_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (pos_ + 8 > len_) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= std::uint64_t{data_[pos_ + static_cast<std::size_t>(i)]} << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    v = std::bit_cast<double>(bits);
+    return true;
+  }
+  bool f64Array(std::vector<double>& out, std::uint32_t n) {
+    if (remaining() / 8 < n) return false;
+    out.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) f64(out[i]);
+    return true;
+  }
+  bool bytes(std::string& out, std::uint32_t n) {
+    if (remaining() < n) return false;
+    out.assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+  std::size_t remaining() const { return len_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+bool decodeRequestBody(Reader& r, WireRequest& out) {
+  std::uint8_t flags = 0;
+  std::uint32_t seed_len = 0;
+  if (!r.u32(out.spec_id) || !r.u8(flags) || !r.f64(out.target[0]) ||
+      !r.f64(out.target[1]) || !r.f64(out.target[2]) ||
+      !r.f64(out.deadline_ms) || !r.u32(seed_len) ||
+      !r.f64Array(out.seed, seed_len))
+    return false;
+  out.use_seed_cache = (flags & 0x01u) != 0;
+  return r.remaining() == 0;
+}
+
+bool decodeResponseBody(Reader& r, WireResponse& out) {
+  std::uint8_t cached = 0;
+  std::uint32_t theta_len = 0;
+  std::uint32_t iterations = 0;
+  if (!r.u8(out.status) || !r.u8(out.reject_reason) ||
+      !r.u8(out.solver_status) || !r.u8(cached) || !r.u32(iterations) ||
+      !r.f64(out.error) || !r.f64(out.queue_ms) || !r.f64(out.solve_ms) ||
+      !r.u32(theta_len) || !r.f64Array(out.theta, theta_len))
+    return false;
+  out.seeded_from_cache = cached != 0;
+  out.iterations = static_cast<std::int32_t>(iterations);
+  return r.remaining() == 0;
+}
+
+bool decodeErrorBody(Reader& r, WireError& out) {
+  std::uint16_t code = 0;
+  std::uint32_t msg_len = 0;
+  if (!r.u16(code) || !r.u32(msg_len) || !r.bytes(out.message, msg_len))
+    return false;
+  out.code = static_cast<WireErrorCode>(code);
+  return r.remaining() == 0;
+}
+
+}  // namespace
+
+std::string toString(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kUnsupportedVersion:
+      return "unsupported-version";
+    case WireErrorCode::kUnknownSpec:
+      return "unknown-spec";
+    case WireErrorCode::kInternal:
+      return "internal";
+    case WireErrorCode::kShuttingDown:
+      return "shutting-down";
+  }
+  return "unknown";
+}
+
+void encodeRequest(const WireRequest& request, std::vector<std::uint8_t>& out) {
+  encodeFrame(out, MsgType::kRequest, request.id,
+              [&](std::vector<std::uint8_t>& o) {
+                putU32(o, request.spec_id);
+                putU8(o, request.use_seed_cache ? 0x01u : 0x00u);
+                for (double t : request.target) putF64(o, t);
+                putF64(o, request.deadline_ms);
+                putU32(o, static_cast<std::uint32_t>(request.seed.size()));
+                for (double s : request.seed) putF64(o, s);
+              });
+}
+
+void encodeResponse(const WireResponse& response,
+                    std::vector<std::uint8_t>& out) {
+  encodeFrame(out, MsgType::kResponse, response.id,
+              [&](std::vector<std::uint8_t>& o) {
+                putU8(o, response.status);
+                putU8(o, response.reject_reason);
+                putU8(o, response.solver_status);
+                putU8(o, response.seeded_from_cache ? 1 : 0);
+                putU32(o, static_cast<std::uint32_t>(response.iterations));
+                putF64(o, response.error);
+                putF64(o, response.queue_ms);
+                putF64(o, response.solve_ms);
+                putU32(o, static_cast<std::uint32_t>(response.theta.size()));
+                for (double t : response.theta) putF64(o, t);
+              });
+}
+
+void encodeError(const WireError& error, std::vector<std::uint8_t>& out) {
+  encodeFrame(out, MsgType::kError, error.id,
+              [&](std::vector<std::uint8_t>& o) {
+                putU16(o, static_cast<std::uint16_t>(error.code));
+                putU32(o, static_cast<std::uint32_t>(error.message.size()));
+                o.insert(o.end(), error.message.begin(), error.message.end());
+              });
+}
+
+DecodeStatus decodeFrame(const std::uint8_t* data, std::size_t len,
+                         std::size_t max_frame_bytes, DecodedFrame& out) {
+  if (len < kLengthBytes) return DecodeStatus::kNeedMore;
+  std::uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i)
+    payload_len |= std::uint32_t{data[static_cast<std::size_t>(i)]} << (8 * i);
+
+  // Judge the declared length before waiting on bytes: an attacker (or
+  // corrupted stream) claiming a huge frame must not make us buffer it.
+  if (payload_len < kPayloadHeaderBytes || payload_len > max_frame_bytes)
+    return DecodeStatus::kMalformed;
+  if (len < kLengthBytes + payload_len) return DecodeStatus::kNeedMore;
+
+  const std::uint8_t* payload = data + kLengthBytes;
+  out.consumed = kLengthBytes + payload_len;
+  out.version = payload[0];
+  const std::uint8_t raw_type = payload[1];
+  out.request_id = 0;
+  for (int i = 0; i < 8; ++i)
+    out.request_id |= std::uint64_t{payload[2 + static_cast<std::size_t>(i)]}
+                      << (8 * i);
+
+  if (out.version != kWireVersion) return DecodeStatus::kUnsupportedVersion;
+  if (raw_type < static_cast<std::uint8_t>(MsgType::kRequest) ||
+      raw_type > static_cast<std::uint8_t>(MsgType::kError))
+    return DecodeStatus::kMalformed;
+  out.type = static_cast<MsgType>(raw_type);
+
+  Reader body(payload + kPayloadHeaderBytes,
+              payload_len - kPayloadHeaderBytes);
+  switch (out.type) {
+    case MsgType::kRequest:
+      out.request = WireRequest{};
+      out.request.id = out.request_id;
+      if (!decodeRequestBody(body, out.request))
+        return DecodeStatus::kMalformed;
+      return DecodeStatus::kOk;
+    case MsgType::kResponse:
+      out.response = WireResponse{};
+      out.response.id = out.request_id;
+      if (!decodeResponseBody(body, out.response))
+        return DecodeStatus::kMalformed;
+      return DecodeStatus::kOk;
+    case MsgType::kError:
+      out.error = WireError{};
+      out.error.id = out.request_id;
+      if (!decodeErrorBody(body, out.error)) return DecodeStatus::kMalformed;
+      return DecodeStatus::kOk;
+  }
+  return DecodeStatus::kMalformed;
+}
+
+service::Request toServiceRequest(const WireRequest& request) {
+  service::Request out;
+  out.target = {request.target[0], request.target[1], request.target[2]};
+  if (!request.seed.empty()) out.seed = linalg::VecX(request.seed);
+  out.deadline_ms = request.deadline_ms;
+  out.use_seed_cache = request.use_seed_cache;
+  return out;
+}
+
+WireResponse toWireResponse(std::uint64_t id,
+                            const service::Response& response) {
+  WireResponse out;
+  out.id = id;
+  out.status = static_cast<std::uint8_t>(response.status);
+  out.reject_reason = static_cast<std::uint8_t>(response.reject_reason);
+  out.solver_status = static_cast<std::uint8_t>(response.result.status);
+  out.seeded_from_cache = response.seeded_from_cache;
+  out.iterations = response.result.iterations;
+  out.error = response.result.error;
+  out.queue_ms = response.queue_ms;
+  out.solve_ms = response.solve_ms;
+  out.theta.assign(response.result.theta.begin(), response.result.theta.end());
+  return out;
+}
+
+service::Response toServiceResponse(const WireResponse& response) {
+  service::Response out;
+  out.status = static_cast<service::ResponseStatus>(response.status);
+  out.reject_reason =
+      static_cast<service::RejectReason>(response.reject_reason);
+  out.result.status = static_cast<ik::Status>(response.solver_status);
+  out.result.iterations = response.iterations;
+  out.result.error = response.error;
+  out.result.theta = linalg::VecX(response.theta);
+  out.queue_ms = response.queue_ms;
+  out.solve_ms = response.solve_ms;
+  out.seeded_from_cache = response.seeded_from_cache;
+  return out;
+}
+
+}  // namespace dadu::net

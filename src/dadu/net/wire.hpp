@@ -1,0 +1,150 @@
+// dadu_net binary wire protocol: length-prefixed frames, version 1.
+//
+// Every message on a connection is one frame:
+//
+//   offset  size  field
+//   0       4     payload length N (bytes after this field), u32 LE
+//   4       1     protocol version (kWireVersion)
+//   5       1     message type (MsgType)
+//   6       8     request id, u64 LE (echoed verbatim in the reply;
+//                 0 when the sender has none, e.g. a pre-parse error)
+//   14      N-10  type-specific body
+//
+// Request body (kRequest, client -> server):
+//   u32 spec id  — which robot the server must be serving
+//   u8  flags    — bit 0: allow the warm-start seed cache
+//   f64 target x, y, z
+//   f64 deadline ms (0 = none)
+//   u32 seed length S, then S f64 joint angles (S = 0: solver default)
+//
+// Response body (kResponse, server -> client):
+//   u8  service status (service::ResponseStatus)
+//   u8  reject reason  (service::RejectReason)
+//   u8  solver status  (ik::Status; meaningful iff service status solved)
+//   u8  seeded-from-cache flag
+//   i32 iterations
+//   f64 final error
+//   f64 queue ms, f64 solve ms
+//   u32 theta length T, then T f64 joint angles
+//
+// Error body (kError, server -> client):
+//   u16 error code (WireErrorCode)
+//   u32 message length M, then M bytes of UTF-8 text
+//
+// All integers and doubles are little-endian; doubles are IEEE-754
+// bit patterns (std::bit_cast through u64), so a round trip is
+// bit-exact.  Versioning rules: the version byte must equal
+// kWireVersion; a server receiving a newer/older version answers
+// kUnsupportedVersion and closes.  New fields append to bodies (old
+// decoders key off the length); incompatible layout changes bump the
+// version byte.  A frame that violates the grammar (short payload,
+// length over the negotiated cap, unknown type, body length mismatch)
+// is malformed: the receiver closes that connection — and only that
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dadu/service/request.hpp"
+
+namespace dadu::net {
+
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Bytes of the length prefix.
+inline constexpr std::size_t kLengthBytes = 4;
+/// Fixed payload prologue: version + type + request id.
+inline constexpr std::size_t kPayloadHeaderBytes = 1 + 1 + 8;
+/// Default cap on one frame's payload (tunable per server/client).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+enum class MsgType : std::uint8_t {
+  kRequest = 1,
+  kResponse = 2,
+  kError = 3,
+};
+
+enum class WireErrorCode : std::uint16_t {
+  kUnsupportedVersion = 1,  ///< version byte != kWireVersion
+  kUnknownSpec = 2,         ///< request's spec id is not served here
+  kInternal = 3,            ///< solver threw; message carries what()
+  kShuttingDown = 4,        ///< server is draining, request not accepted
+};
+
+std::string toString(WireErrorCode code);
+
+/// Decoded kRequest frame.
+struct WireRequest {
+  std::uint64_t id = 0;
+  std::uint32_t spec_id = 0;
+  bool use_seed_cache = true;
+  double target[3] = {0.0, 0.0, 0.0};
+  double deadline_ms = 0.0;
+  std::vector<double> seed;
+};
+
+/// Decoded kResponse frame.
+struct WireResponse {
+  std::uint64_t id = 0;
+  std::uint8_t status = 0;         ///< service::ResponseStatus
+  std::uint8_t reject_reason = 0;  ///< service::RejectReason
+  std::uint8_t solver_status = 0;  ///< ik::Status
+  bool seeded_from_cache = false;
+  std::int32_t iterations = 0;
+  double error = 0.0;
+  double queue_ms = 0.0;
+  double solve_ms = 0.0;
+  std::vector<double> theta;
+};
+
+/// Decoded kError frame.
+struct WireError {
+  std::uint64_t id = 0;
+  WireErrorCode code = WireErrorCode::kInternal;
+  std::string message;
+};
+
+/// Append one complete frame for the message to `out`.
+void encodeRequest(const WireRequest& request, std::vector<std::uint8_t>& out);
+void encodeResponse(const WireResponse& response,
+                    std::vector<std::uint8_t>& out);
+void encodeError(const WireError& error, std::vector<std::uint8_t>& out);
+
+enum class DecodeStatus {
+  kOk,                  ///< one frame decoded; `consumed` bytes used
+  kNeedMore,            ///< prefix of a valid frame; wait for more bytes
+  kMalformed,           ///< grammar violation; close the connection
+  kUnsupportedVersion,  ///< well-framed but wrong version; error + close
+};
+
+/// One decoded frame; `type` selects which member is meaningful.
+struct DecodedFrame {
+  MsgType type = MsgType::kRequest;
+  std::uint8_t version = 0;
+  std::uint64_t request_id = 0;  ///< valid for kOk and kUnsupportedVersion
+  std::size_t consumed = 0;      ///< bytes of input the frame occupied
+  WireRequest request;
+  WireResponse response;
+  WireError error;
+};
+
+/// Try to decode one frame from [data, data+len).  Never reads past
+/// `len`.  `max_frame_bytes` caps the declared payload length — a
+/// larger declaration is malformed *immediately*, before buffering.
+DecodeStatus decodeFrame(const std::uint8_t* data, std::size_t len,
+                         std::size_t max_frame_bytes, DecodedFrame& out);
+
+/// Wire request -> service request (spec id and request id are
+/// connection-layer concerns and do not cross this boundary).
+service::Request toServiceRequest(const WireRequest& request);
+
+/// Service response -> wire response for request `id`.
+WireResponse toWireResponse(std::uint64_t id,
+                            const service::Response& response);
+
+/// Wire response -> service response (the client-side inverse of
+/// toWireResponse; theta/error/iterations land in Response::result).
+service::Response toServiceResponse(const WireResponse& response);
+
+}  // namespace dadu::net

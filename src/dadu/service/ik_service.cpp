@@ -39,6 +39,46 @@ IkService::IkService(SolverFactory factory, ServiceConfig config)
 IkService::~IkService() { stop(Drain::kDrainPending); }
 
 std::future<Response> IkService::submit(Request request) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  submitInternal(std::move(request),
+                 [promise](Response&& response, std::exception_ptr error) {
+                   if (error)
+                     promise->set_exception(error);
+                   else
+                     promise->set_value(std::move(response));
+                 });
+  return future;
+}
+
+void IkService::submit(Request request, Completion done) {
+  if (!done) throw std::invalid_argument("IkService::submit: null callback");
+  submitInternal(
+      std::move(request),
+      [done = std::move(done)](Response&& response,
+                               std::exception_ptr error) mutable {
+        if (error) {
+          // Callbacks have no exception channel: fold the solver
+          // exception into a typed reject so the caller still hears
+          // back exactly once.
+          Response failed;
+          failed.status = ResponseStatus::kRejected;
+          failed.reject_reason = RejectReason::kInternalError;
+          try {
+            std::rethrow_exception(error);
+          } catch (const std::exception& e) {
+            failed.message = e.what();
+          } catch (...) {
+            failed.message = "unknown solver exception";
+          }
+          done(std::move(failed));
+        } else {
+          done(std::move(response));
+        }
+      });
+}
+
+void IkService::submitInternal(Request request, JobCompletion finish) {
   counters_.add(kSubmitted);
 
   Job job;
@@ -51,30 +91,28 @@ std::future<Response> IkService::submit(Request request) {
     job.has_deadline = true;
   }
   job.request = std::move(request);
-  std::future<Response> future = job.promise.get_future();
+  job.finish = std::move(finish);
 
   switch (queue_.tryPush(std::move(job))) {
     case PushResult::kAccepted:
       break;
     case PushResult::kFull:
-      // tryPush did not move from `job` — fail its promise here.
-      rejectNow(job.promise, RejectReason::kQueueFull);
+      // tryPush did not move from `job` — fail its completion here.
+      rejectNow(job.finish, RejectReason::kQueueFull);
       break;
     case PushResult::kClosed:
-      rejectNow(job.promise, RejectReason::kShutdown);
+      rejectNow(job.finish, RejectReason::kShutdown);
       break;
   }
-  return future;
 }
 
-void IkService::rejectNow(std::promise<Response>& promise,
-                          RejectReason reason) {
+void IkService::rejectNow(JobCompletion& finish, RejectReason reason) {
   counters_.add(reason == RejectReason::kQueueFull ? kRejectedQueueFull
                                                    : kRejectedShutdown);
   Response response;
   response.status = ResponseStatus::kRejected;
   response.reject_reason = reason;
-  promise.set_value(std::move(response));
+  finish(std::move(response), nullptr);
 }
 
 void IkService::workerLoop() {
@@ -86,7 +124,7 @@ void IkService::workerLoop() {
     // racing stop()'s close()->drain() window could still execute
     // pending work the caller asked to be dropped.
     if (discard_.load(std::memory_order_acquire)) {
-      rejectNow(job.promise, RejectReason::kShutdown);
+      rejectNow(job.finish, RejectReason::kShutdown);
       continue;
     }
     process(*solver, std::move(job));
@@ -104,7 +142,7 @@ void IkService::process(ik::IkSolver& solver, Job job) {
     Response response;
     response.status = ResponseStatus::kDeadlineExceeded;
     response.queue_ms = queue_ms;
-    job.promise.set_value(std::move(response));
+    job.finish(std::move(response), nullptr);
     return;
   }
 
@@ -158,11 +196,12 @@ void IkService::process(ik::IkSolver& solver, Job job) {
     response.queue_ms = queue_ms;
     response.solve_ms = solve_ms;
     response.seeded_from_cache = from_cache;
-    job.promise.set_value(std::move(response));
+    job.finish(std::move(response), nullptr);
   } catch (...) {
     // Solver precondition failures (seed-size mismatch, non-finite
-    // target) surface through the future, not the worker thread.
-    job.promise.set_exception(std::current_exception());
+    // target) surface through the completion, not the worker thread.
+    Response failed;
+    job.finish(std::move(failed), std::current_exception());
   }
 }
 
@@ -180,7 +219,7 @@ void IkService::stop(Drain mode) {
   if (config_.after_close_hook) config_.after_close_hook();
   if (mode == Drain::kDiscardPending) {
     for (Job& job : queue_.drain())
-      rejectNow(job.promise, RejectReason::kShutdown);
+      rejectNow(job.finish, RejectReason::kShutdown);
   }
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();

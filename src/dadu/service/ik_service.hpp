@@ -25,10 +25,21 @@
 //     receives per-event spans (queue wait, solve) and solver-level
 //     counters (iterations, FK evaluations, speculation load).
 //
+// Completion model: the native submit path takes a completion callback
+// invoked exactly once from whichever thread finishes the request (a
+// worker, the submitter on admission reject, the stop() caller on a
+// discard drain).  Event-driven callers — the dadu_net TCP server —
+// use it directly so no thread ever parks on a future; the
+// future-returning submit overload is a thin wrapper that fulfills a
+// promise from the callback.
+//
 // Thread-safety contract: submit(), stats(), queueDepth() are safe
 // from any thread.  stop() may be called from any one thread (and is
 // idempotent); the destructor stops with drain semantics.  Futures may
-// be waited on from anywhere; each resolves exactly once.
+// be waited on from anywhere; each resolves exactly once.  Completion
+// callbacks must be thread-safe with respect to their own captures and
+// must not block for long (they run on the worker hot path) nor call
+// stop() (deadlock: stop() joins the calling worker).
 #pragma once
 
 #include <atomic>
@@ -85,11 +96,25 @@ class IkService {
   IkService(const IkService&) = delete;
   IkService& operator=(const IkService&) = delete;
 
+  /// Completion invoked exactly once per submitted request.  Solver
+  /// exceptions arrive as Rejected{kInternalError} with the what() text
+  /// in Response::message (callbacks have no exception channel).
+  using Completion = std::function<void(Response)>;
+
   /// Submit one request; never blocks.  The future resolves to a
   /// Response: kSolved once a worker ran the solver, or an immediate
   /// Rejected{QueueFull}/Rejected{Shutdown} when admission fails, or
-  /// kDeadlineExceeded if the deadline passed while queued.
+  /// kDeadlineExceeded if the deadline passed while queued.  Solver
+  /// exceptions rethrow from future::get().
   std::future<Response> submit(Request request);
+
+  /// Callback flavour of submit(): identical admission, deadline and
+  /// solve semantics (bit-identical Response for the same request),
+  /// but the outcome is delivered by invoking `done` instead of
+  /// resolving a future — no thread ever blocks waiting.  `done` may
+  /// run on the submitting thread (admission rejects) or a worker.
+  /// Throws std::invalid_argument on a null callback.
+  void submit(Request request, Completion done);
 
   /// What happens to still-queued requests at stop().
   enum class Drain {
@@ -128,9 +153,10 @@ class IkService {
     kCounterCount,
   };
 
+  void submitInternal(Request request, JobCompletion finish);
   void workerLoop();
   void process(ik::IkSolver& solver, Job job);
-  void rejectNow(std::promise<Response>& promise, RejectReason reason);
+  void rejectNow(JobCompletion& finish, RejectReason reason);
 
   ServiceConfig config_;
   SolverFactory factory_;

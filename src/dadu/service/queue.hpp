@@ -17,7 +17,8 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <future>
+#include <exception>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -25,11 +26,19 @@
 
 namespace dadu::service {
 
-/// One queued unit of work: the request, the promise its future was
-/// minted from, and the submission-time bookkeeping the worker needs.
+/// How a finished job reports back: exactly one invocation per job,
+/// from whichever thread finished it (a worker for solved/deadline
+/// outcomes, the submitter for admission rejects, the stop() caller
+/// for discard drains).  `error` is non-null iff the solver threw — the
+/// future submit path rethrows it, the callback path folds it into a
+/// Rejected{kInternalError} response.
+using JobCompletion = std::function<void(Response&&, std::exception_ptr)>;
+
+/// One queued unit of work: the request, the completion that resolves
+/// it, and the submission-time bookkeeping the worker needs.
 struct Job {
   Request request;
-  std::promise<Response> promise;
+  JobCompletion finish;
   std::chrono::steady_clock::time_point enqueued{};
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;

@@ -22,6 +22,8 @@ std::string toString(RejectReason r) {
       return "queue-full";
     case RejectReason::kShutdown:
       return "shutdown";
+    case RejectReason::kInternalError:
+      return "internal-error";
   }
   return "unknown";
 }

@@ -43,6 +43,11 @@ enum class RejectReason {
   kNone,       ///< not rejected
   kQueueFull,  ///< admission control: the bounded queue was at capacity
   kShutdown,   ///< service stopped before (or instead of) solving it
+  /// The solver threw (seed-size mismatch, non-finite target, ...).
+  /// Only surfaced through the completion-callback submit path — the
+  /// future path rethrows the original exception instead.  See
+  /// Response::message for the exception text.
+  kInternalError,
 };
 
 std::string toString(ResponseStatus s);
@@ -56,6 +61,9 @@ struct Response {
   double queue_ms = 0.0;   ///< time spent in the queue before pickup
   double solve_ms = 0.0;   ///< solver wall time (0 unless kSolved)
   bool seeded_from_cache = false;  ///< solve started from a cache hit
+  /// Human-readable detail for Rejected{kInternalError} (the solver
+  /// exception's what()); empty otherwise.
+  std::string message;
 
   /// Solved *and* converged — the service-level success predicate.
   bool ok() const {

@@ -182,5 +182,45 @@ TEST(Cli, ServeBenchRejectsBadCacheFlag) {
   EXPECT_NE(r.err.find("--cache"), std::string::npos);
 }
 
+TEST(Cli, ServeBindsDrainsAndDumpsStats) {
+  // --max-runtime-ms is the headless stand-in for SIGINT: serve an
+  // ephemeral port briefly, drain, and dump the merged snapshot.
+  const auto r = runCli({"serve", "--robot", "planar:6", "--port", "0",
+                         "--workers", "2", "--max-runtime-ms", "100"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("listening on 127.0.0.1:"), std::string::npos);
+  // Both layers' metrics appear in one dump.
+  EXPECT_NE(r.out.find("dadu_service_submitted"), std::string::npos);
+  EXPECT_NE(r.out.find("dadu_net_connections_accepted"), std::string::npos);
+}
+
+TEST(Cli, ServeHonoursPromStatsFormat) {
+  const auto r = runCli({"serve", "--robot", "planar:6", "--port", "0",
+                         "--workers", "1", "--max-runtime-ms", "50",
+                         "--stats-format", "prom"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("# TYPE dadu_net_connections_accepted_total counter"),
+            std::string::npos);
+}
+
+TEST(Cli, ServeRequiresPort) {
+  const auto r = runCli({"serve", "--robot", "planar:6"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("port"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsBadStatsFormat) {
+  const auto r = runCli({"serve", "--robot", "planar:6", "--port", "0",
+                         "--stats-format", "xml"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--stats-format"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsOutOfRangePort) {
+  const auto r = runCli({"serve", "--robot", "planar:6", "--port", "70000"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--port"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dadu::cli

@@ -1,0 +1,299 @@
+// Wire-protocol unit tests: frame grammar, bit-exact round trips, and
+// the malformed-input taxonomy the server's close-only-the-offender
+// behaviour is built on.  Everything here is pure byte manipulation —
+// no sockets.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "dadu/net/buffer.hpp"
+#include "dadu/net/wire.hpp"
+
+namespace dadu::net {
+namespace {
+
+WireRequest sampleRequest() {
+  WireRequest request;
+  request.id = 0x1122334455667788ull;
+  request.spec_id = 7;
+  request.use_seed_cache = false;
+  request.target[0] = 0.25;
+  request.target[1] = -1.5;
+  request.target[2] = 3.75;
+  request.deadline_ms = 12.5;
+  request.seed = {0.1, -0.2, 0.3, 1e-300};
+  return request;
+}
+
+WireResponse sampleResponse() {
+  WireResponse response;
+  response.id = 42;
+  response.status = 0;         // kSolved
+  response.reject_reason = 0;  // kNone
+  response.solver_status = 0;  // kConverged
+  response.seeded_from_cache = true;
+  response.iterations = 123;
+  response.error = 0.0042;
+  response.queue_ms = 1.25;
+  response.solve_ms = 7.5;
+  response.theta = {0.5, -0.25, std::numeric_limits<double>::denorm_min()};
+  return response;
+}
+
+TEST(WireCodec, RequestRoundTripIsBitExact) {
+  const WireRequest request = sampleRequest();
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(request, bytes);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kRequest);
+  EXPECT_EQ(frame.consumed, bytes.size());
+  EXPECT_EQ(frame.request.id, request.id);
+  EXPECT_EQ(frame.request.spec_id, request.spec_id);
+  EXPECT_EQ(frame.request.use_seed_cache, request.use_seed_cache);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame.request.target[i]),
+              std::bit_cast<std::uint64_t>(request.target[i]));
+  EXPECT_EQ(frame.request.deadline_ms, request.deadline_ms);
+  ASSERT_EQ(frame.request.seed.size(), request.seed.size());
+  for (std::size_t i = 0; i < request.seed.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame.request.seed[i]),
+              std::bit_cast<std::uint64_t>(request.seed[i]));
+}
+
+TEST(WireCodec, ResponseRoundTripIsBitExact) {
+  const WireResponse response = sampleResponse();
+  std::vector<std::uint8_t> bytes;
+  encodeResponse(response, bytes);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kResponse);
+  EXPECT_EQ(frame.response.id, response.id);
+  EXPECT_EQ(frame.response.status, response.status);
+  EXPECT_EQ(frame.response.reject_reason, response.reject_reason);
+  EXPECT_EQ(frame.response.solver_status, response.solver_status);
+  EXPECT_EQ(frame.response.seeded_from_cache, response.seeded_from_cache);
+  EXPECT_EQ(frame.response.iterations, response.iterations);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(frame.response.error),
+            std::bit_cast<std::uint64_t>(response.error));
+  ASSERT_EQ(frame.response.theta.size(), response.theta.size());
+  for (std::size_t i = 0; i < response.theta.size(); ++i)
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(frame.response.theta[i]),
+              std::bit_cast<std::uint64_t>(response.theta[i]));
+}
+
+TEST(WireCodec, ErrorRoundTrip) {
+  WireError error;
+  error.id = 9;
+  error.code = WireErrorCode::kUnknownSpec;
+  error.message = "server serves spec 0, not 7";
+  std::vector<std::uint8_t> bytes;
+  encodeError(error, bytes);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kError);
+  EXPECT_EQ(frame.error.id, error.id);
+  EXPECT_EQ(frame.error.code, error.code);
+  EXPECT_EQ(frame.error.message, error.message);
+}
+
+TEST(WireCodec, EmptySeedAndEmptyThetaAreValid) {
+  WireRequest request;
+  request.id = 1;
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(request, bytes);
+  DecodedFrame frame;
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(frame.request.seed.empty());
+
+  WireResponse response;
+  response.id = 2;
+  bytes.clear();
+  encodeResponse(response, bytes);
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(frame.response.theta.empty());
+}
+
+// Every strict prefix of a valid frame must report kNeedMore — the
+// streaming decoder's core obligation (a TCP read can split anywhere).
+TEST(WireCodec, EveryPrefixNeedsMore) {
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(sampleRequest(), bytes);
+  DecodedFrame frame;
+  for (std::size_t len = 0; len < bytes.size(); ++len)
+    EXPECT_EQ(decodeFrame(bytes.data(), len, kDefaultMaxFrameBytes, frame),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << len;
+}
+
+TEST(WireCodec, BackToBackFramesDecodeSequentially) {
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(sampleRequest(), bytes);
+  const std::size_t first = bytes.size();
+  encodeResponse(sampleResponse(), bytes);
+
+  DecodedFrame frame;
+  ASSERT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kRequest);
+  EXPECT_EQ(frame.consumed, first);
+  ASSERT_EQ(decodeFrame(bytes.data() + first, bytes.size() - first,
+                        kDefaultMaxFrameBytes, frame),
+            DecodeStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kResponse);
+}
+
+TEST(WireCodec, OversizedDeclaredLengthIsMalformedImmediately) {
+  // Only the 4-byte length prefix has arrived, declaring a payload
+  // beyond the cap: must be rejected NOW, not buffered until it fits.
+  const std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0x7F};
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, PayloadShorterThanHeaderIsMalformed) {
+  std::vector<std::uint8_t> bytes = {5, 0, 0, 0, 1, 1, 0, 0, 0};
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, UnknownTypeIsMalformed) {
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(sampleRequest(), bytes);
+  bytes[5] = 99;  // type byte
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, BodyLengthMismatchIsMalformed) {
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(sampleRequest(), bytes);
+  // Claim one more seed element than the body carries.
+  // Seed-length field sits 4 (len) + 10 (header) + 4 (spec) + 1 (flags)
+  // + 32 (3 target + deadline doubles) bytes in.
+  const std::size_t seed_len_at = 4 + 10 + 4 + 1 + 32;
+  bytes[seed_len_at] += 1;
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, TrailingGarbageInBodyIsMalformed) {
+  std::vector<std::uint8_t> bytes;
+  encodeError({.id = 1, .code = WireErrorCode::kInternal, .message = "x"},
+              bytes);
+  // Grow the payload by one byte and patch the length prefix.
+  bytes.push_back(0xAB);
+  bytes[0] += 1;
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kMalformed);
+}
+
+TEST(WireCodec, WrongVersionIsReportedWithRequestId) {
+  std::vector<std::uint8_t> bytes;
+  encodeRequest(sampleRequest(), bytes);
+  bytes[4] = kWireVersion + 1;  // version byte
+  DecodedFrame frame;
+  EXPECT_EQ(decodeFrame(bytes.data(), bytes.size(), kDefaultMaxFrameBytes,
+                        frame),
+            DecodeStatus::kUnsupportedVersion);
+  EXPECT_EQ(frame.request_id, sampleRequest().id);
+  EXPECT_EQ(frame.consumed, bytes.size());
+}
+
+TEST(WireCodec, ServiceConversionPreservesFields) {
+  const WireRequest wire = sampleRequest();
+  const service::Request request = toServiceRequest(wire);
+  EXPECT_EQ(request.target.x, wire.target[0]);
+  EXPECT_EQ(request.target.y, wire.target[1]);
+  EXPECT_EQ(request.target.z, wire.target[2]);
+  EXPECT_EQ(request.deadline_ms, wire.deadline_ms);
+  EXPECT_EQ(request.use_seed_cache, wire.use_seed_cache);
+  ASSERT_EQ(request.seed.size(), wire.seed.size());
+
+  service::Response response;
+  response.status = service::ResponseStatus::kSolved;
+  response.result.status = ik::Status::kConverged;
+  response.result.iterations = 17;
+  response.result.error = 1e-3;
+  response.result.theta = linalg::VecX{0.1, 0.2};
+  response.queue_ms = 2.0;
+  response.solve_ms = 3.0;
+  response.seeded_from_cache = true;
+  const WireResponse encoded = toWireResponse(99, response);
+  const service::Response decoded = toServiceResponse(encoded);
+  EXPECT_EQ(encoded.id, 99u);
+  EXPECT_EQ(decoded.status, response.status);
+  EXPECT_EQ(decoded.result.status, response.result.status);
+  EXPECT_EQ(decoded.result.iterations, response.result.iterations);
+  EXPECT_EQ(decoded.result.theta, response.result.theta);
+  EXPECT_EQ(decoded.queue_ms, response.queue_ms);
+  EXPECT_EQ(decoded.solve_ms, response.solve_ms);
+  EXPECT_TRUE(decoded.seeded_from_cache);
+}
+
+// ------------------------------------------------------------- buffer
+
+TEST(ByteBufferTest, AppendConsumeRoundTrip) {
+  ByteBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  buffer.append(data, sizeof data);
+  EXPECT_EQ(buffer.size(), 5u);
+  buffer.consume(2);
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.data()[0], 3);
+  buffer.consume(3);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ByteBufferTest, CompactionPreservesLiveBytes) {
+  ByteBuffer buffer;
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  buffer.append(data.data(), data.size());
+  buffer.consume(900);  // dead prefix outweighs live bytes -> compacts
+  ASSERT_EQ(buffer.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i)
+    EXPECT_EQ(buffer.data()[i], static_cast<std::uint8_t>(900 + i));
+  buffer.append(data.data(), 4);
+  EXPECT_EQ(buffer.size(), 104u);
+}
+
+TEST(WireErrorCodeTest, ToString) {
+  EXPECT_EQ(toString(WireErrorCode::kUnsupportedVersion),
+            "unsupported-version");
+  EXPECT_EQ(toString(WireErrorCode::kUnknownSpec), "unknown-spec");
+  EXPECT_EQ(toString(WireErrorCode::kInternal), "internal");
+  EXPECT_EQ(toString(WireErrorCode::kShuttingDown), "shutting-down");
+}
+
+}  // namespace
+}  // namespace dadu::net

@@ -6,6 +6,7 @@
 // the gate, so queue occupancy is fully controlled.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -632,6 +633,138 @@ TEST(IkServiceTest, SinkReceivesSpansAndSolverCounters) {
             static_cast<std::uint64_t>(stats.total_fk_evaluations));
   EXPECT_EQ(sink->countTotal("speculation_load"),
             static_cast<std::uint64_t>(stats.total_speculation_load));
+}
+
+// ------------------------------------------- completion-callback API
+
+/// Collects one callback Response and lets the test wait for it.
+struct CallbackSlot {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  Response response;
+
+  IkService::Completion completion() {
+    return [this](Response r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      response = std::move(r);
+      done = true;
+      cv.notify_all();
+    };
+  }
+  Response get() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return done; });
+    return response;
+  }
+};
+
+TEST(IkServiceTest, NullCompletionThrows) {
+  const auto chain = kin::makePlanar(3);
+  IkService svc(gatedFactory(chain, nullptr), smallConfig(1, 4));
+  EXPECT_THROW(
+      svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)}, nullptr),
+      std::invalid_argument);
+}
+
+// The future overload is documented as a thin wrapper over the callback
+// path: for the same request (cache off, fresh identical solvers) the
+// two must produce bit-identical Responses, field for field.
+TEST(IkServiceTest, CallbackAndFuturePathsAreBitIdentical) {
+  const auto chain = kin::makeSerpentine(8);
+  // Two services so each request hits a factory-fresh solver (solver
+  // RNG state advances per solve on one instance).
+  const auto factory = [&] { return ik::makeSolver("quick-ik", chain, {}); };
+  IkService via_future(factory, smallConfig(1, 8));
+  IkService via_callback(factory, smallConfig(1, 8));
+
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto task = workload::generateTask(chain, i);
+    const Request request{.target = task.target,
+                          .seed = task.seed,
+                          .use_seed_cache = false};
+    const Response from_future = via_future.submit(request).get();
+    CallbackSlot slot;
+    via_callback.submit(request, slot.completion());
+    const Response from_callback = slot.get();
+
+    ASSERT_EQ(from_future.status, ResponseStatus::kSolved);
+    EXPECT_EQ(from_callback.status, from_future.status);
+    EXPECT_EQ(from_callback.reject_reason, from_future.reject_reason);
+    EXPECT_EQ(from_callback.result.status, from_future.result.status);
+    EXPECT_EQ(from_callback.result.iterations, from_future.result.iterations);
+    EXPECT_EQ(from_callback.seeded_from_cache, from_future.seeded_from_cache);
+    ASSERT_EQ(from_callback.result.theta.size(),
+              from_future.result.theta.size());
+    for (std::size_t j = 0; j < from_future.result.theta.size(); ++j)
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(from_callback.result.theta[j]),
+                std::bit_cast<std::uint64_t>(from_future.result.theta[j]))
+          << "request " << i << " theta[" << j << "]";
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(from_callback.result.error),
+              std::bit_cast<std::uint64_t>(from_future.result.error));
+  }
+}
+
+TEST(IkServiceTest, CallbackAdmissionRejectRunsOnSubmitterThread) {
+  const auto chain = kin::makePlanar(3);
+  const auto gate = std::make_shared<Gate>();
+  IkService svc(gatedFactory(chain, gate), smallConfig(1, 1));
+
+  // Pin the worker and fill the queue, as in the future-path test.
+  auto in_flight = svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)});
+  gate->awaitArrivals(1);
+  auto queued = svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)});
+
+  const auto submitter = std::this_thread::get_id();
+  std::thread::id ran_on;
+  bool called = false;
+  svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)},
+             [&](Response r) {
+               ran_on = std::this_thread::get_id();
+               called = true;
+               EXPECT_EQ(r.status, ResponseStatus::kRejected);
+               EXPECT_EQ(r.reject_reason, RejectReason::kQueueFull);
+             });
+  // Admission rejects are synchronous: already delivered, on this thread.
+  EXPECT_TRUE(called);
+  EXPECT_EQ(ran_on, submitter);
+
+  gate->open();
+  in_flight.get();
+  queued.get();
+}
+
+TEST(IkServiceTest, SolverExceptionBecomesInternalErrorForCallbacks) {
+  const auto chain = kin::makeSerpentine(6);
+  IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); },
+                smallConfig(1, 4));
+  CallbackSlot slot;
+  // Wrong seed size: the future path rethrows; the callback path must
+  // fold the exception into Rejected{kInternalError} + message.
+  svc.submit({.target = {0.5, 0, 0},
+              .seed = linalg::VecX(2),
+              .use_seed_cache = false},
+             slot.completion());
+  const Response r = slot.get();
+  EXPECT_EQ(r.status, ResponseStatus::kRejected);
+  EXPECT_EQ(r.reject_reason, RejectReason::kInternalError);
+  EXPECT_FALSE(r.message.empty());
+}
+
+TEST(IkServiceTest, CallbackSubmitAfterStopRejectsWithShutdown) {
+  const auto chain = kin::makePlanar(3);
+  IkService svc(gatedFactory(chain, nullptr), smallConfig(1, 4));
+  svc.stop();
+  CallbackSlot slot;
+  svc.submit({.target = {0.5, 0, 0}, .seed = linalg::VecX(3)},
+             slot.completion());
+  const Response r = slot.get();
+  EXPECT_EQ(r.status, ResponseStatus::kRejected);
+  EXPECT_EQ(r.reject_reason, RejectReason::kShutdown);
+}
+
+TEST(ResponseTypes, InternalErrorToString) {
+  EXPECT_EQ(toString(RejectReason::kInternalError), "internal-error");
 }
 
 TEST(IkServiceTest, CacheEvictionsSurfaceInStats) {

@@ -36,3 +36,12 @@ build_dir="${1:-${repo_root}/build}"
 cmake -B "${build_dir}" -S "${repo_root}" ${DADU_CMAKE_ARGS:-}
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
+
+# Optional perf-trajectory step: DADU_RUN_BENCH=1 runs the wire-level
+# load generator (64 pipelined TCP connections against a loopback
+# IkServer) and leaves BENCH_net.json next to the build dir for later
+# PRs to diff against.
+if [[ "${DADU_RUN_BENCH:-0}" == "1" ]]; then
+  "${build_dir}/bench/net_throughput" --quick \
+    --json "${build_dir}/BENCH_net.json"
+fi
