@@ -46,10 +46,14 @@ constexpr const char* kUsage =
     "        [--queue-capacity n] [--rate req-per-s] [--deadline ms]\n"
     "        [--cache on|off] [--solver name] [--max-iter n]\n"
     "        [--stats-out FILE] [--stats-format auto|prom|json]\n"
+    "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
+    "        [--shed-queue-depth n]\n"
     "  serve --robot <spec> --port <p> [--address a] [--workers w]\n"
     "        [--queue-capacity n] [--solver name] [--max-iter n]\n"
     "        [--cache on|off] [--max-connections n] [--idle-timeout ms]\n"
     "        [--stats-format text|prom|json] [--max-runtime-ms n]\n"
+    "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
+    "        [--shed-queue-depth n]\n"
     "  stats --robot <spec> [--format text|prom|json] [serve-bench options]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n";
@@ -207,6 +211,24 @@ struct ServeRun {
   int clusters = 0;
 };
 
+/// Circuit-breaker flags shared by serve / serve-bench / stats.  The
+/// breaker stays disabled (zero overhead) unless at least one
+/// threshold is set.
+service::CircuitBreakerConfig parseBreakerOptions(
+    const std::map<std::string, std::string>& opts) {
+  service::CircuitBreakerConfig breaker;
+  breaker.trip_queue_depth = static_cast<std::size_t>(
+      std::stoul(optional(opts, "breaker-queue-depth", "0")));
+  breaker.trip_p99_ms = std::stod(optional(opts, "breaker-p99-ms", "0"));
+  breaker.shed_queue_depth = static_cast<std::size_t>(
+      std::stoul(optional(opts, "shed-queue-depth", "0")));
+  if (breaker.trip_p99_ms < 0.0)
+    throw std::invalid_argument("--breaker-p99-ms must be >= 0");
+  breaker.enabled = breaker.trip_queue_depth > 0 ||
+                    breaker.trip_p99_ms > 0.0 || breaker.shed_queue_depth > 0;
+  return breaker;
+}
+
 /// Open-loop arrival run against a live IkService: submit `requests`
 /// clustered targets at a fixed arrival rate (0 = all at once).  Open
 /// loop means arrivals do not wait for completions — exactly the
@@ -234,6 +256,7 @@ ServeRun runServeWorkload(const kin::Chain& chain,
   config.queue_capacity = static_cast<std::size_t>(
       std::stoul(optional(opts, "queue-capacity", "1024")));
   config.enable_seed_cache = run.cache_flag == "on";
+  config.breaker = parseBreakerOptions(opts);
 
   const auto tasks =
       workload::generateClusteredTasks(chain, requests, run.clusters);
@@ -318,6 +341,11 @@ int cmdServeBench(const kin::Chain& chain,
       << " converged)\n";
   out << "rejected:          " << stats.rejected_queue_full << " queue-full, "
       << stats.rejected_shutdown << " shutdown\n";
+  if (stats.breaker.trips > 0 || stats.rejected_overloaded > 0 ||
+      stats.shed_low_priority > 0)
+    out << "breaker:           " << stats.breaker.trips << " trips, "
+        << stats.rejected_overloaded << " overloaded, "
+        << stats.shed_low_priority << " shed\n";
   out << "deadline expired:  " << stats.deadline_expired << '\n';
   out << "wall:              " << run.wall_ms << " ms\n";
   out << "throughput:        "
@@ -377,6 +405,7 @@ int cmdServe(const kin::Chain& chain,
   service_config.queue_capacity = static_cast<std::size_t>(
       std::stoul(optional(opts, "queue-capacity", "1024")));
   service_config.enable_seed_cache = cache_flag == "on";
+  service_config.breaker = parseBreakerOptions(opts);
 
   net::ServerConfig server_config;
   server_config.bind_address = optional(opts, "address", "127.0.0.1");

@@ -1,0 +1,166 @@
+#include "dadu/fault/fault.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace dadu::fault {
+namespace {
+
+/// splitmix64: tiny, full-period, and the classic seed expander —
+/// exactly what a reproducible per-rule stream needs.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double nextUnit(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string toString(Action a) {
+  switch (a) {
+    case Action::kNone: return "none";
+    case Action::kDelay: return "delay";
+    case Action::kError: return "error";
+    case Action::kDrop: return "drop";
+    case Action::kCorrupt: return "corrupt";
+    case Action::kTruncate: return "truncate";
+    case Action::kEintr: return "eintr";
+  }
+  return "unknown";
+}
+
+std::atomic<bool> FaultInjector::armed_flag_{false};
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  points_.clear();
+  total_fires_ = 0;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    const Rule& rule = plan_.rules[i];
+    RuleState state;
+    state.rule_index = i;
+    state.rng = plan_.seed ^ fnv1a(rule.point) ^
+                (0x9e3779b97f4a7c15ull * (i + 1));
+    points_[rule.point].rules.push_back(state);
+  }
+  armed_flag_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_flag_.store(false, std::memory_order_release);
+  plan_.rules.clear();
+  // points_ is kept: tests assert hit/fire counters after disarming.
+}
+
+Decision FaultInjector::decide(const char* point) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // decide() can race a concurrent disarm(): the armed() fast path is
+  // deliberately unlocked, so re-check under the lock.
+  if (!armed_flag_.load(std::memory_order_relaxed)) return {};
+
+  PointState& ps = points_[point];
+  ps.hits++;
+  for (RuleState& rs : ps.rules) {
+    const Rule& rule = plan_.rules[rs.rule_index];
+    const Trigger& t = rule.trigger;
+    if (t.after != 0 && ps.hits <= t.after) continue;
+    if (t.nth != 0 && ps.hits != t.nth) continue;
+    if (t.limit != 0 && rs.fired >= t.limit) continue;
+    if (t.probability < 1.0 && nextUnit(rs.rng) >= t.probability) continue;
+
+    rs.fired++;
+    ps.fires++;
+    total_fires_++;
+
+    Decision d;
+    d.action = rule.action;
+    d.delay_ms = rule.delay_ms;
+    d.max_bytes = rule.max_bytes;
+    d.corrupt_seed = splitmix64(rs.rng);
+    d.message = rule.message;
+    return d;
+  }
+  return {};
+}
+
+std::uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::totalFires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_fires_;
+}
+
+Decision inject(const char* point) {
+  if (!FaultInjector::armed()) return {};
+  Decision d = FaultInjector::global().decide(point);
+  switch (d.action) {
+    case Action::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(d.delay_ms));
+      break;
+    case Action::kError:
+      throw std::runtime_error(d.message);
+    default:
+      break;
+  }
+  return d;
+}
+
+void corruptBytes(std::uint8_t* data, std::size_t len, std::uint64_t seed) {
+  if (len == 0) return;
+  // Flip 1..4 bytes at deterministic offsets; XOR with a nonzero mask
+  // so a flip never leaves the byte unchanged.
+  const std::size_t flips = 1 + (splitmix64(seed) % 4);
+  for (std::size_t i = 0; i < flips; ++i) {
+    const std::size_t at = splitmix64(seed) % len;
+    std::uint8_t mask = static_cast<std::uint8_t>(splitmix64(seed));
+    if (mask == 0) mask = 0xa5;
+    data[at] ^= mask;
+  }
+}
+
+void corruptDoubles(double* data, std::size_t len, std::uint64_t seed) {
+  if (len == 0) return;
+  const std::size_t hits = 1 + (splitmix64(seed) % len);
+  for (std::size_t i = 0; i < hits; ++i) {
+    const std::size_t at = splitmix64(seed) % len;
+    // Large-but-finite garbage in [-100, 100): poisoned joint angles
+    // far outside any sane configuration, yet valid solver input.
+    data[at] = (nextUnit(seed) - 0.5) * 200.0;
+  }
+}
+
+}  // namespace dadu::fault

@@ -1,0 +1,225 @@
+// dadu_fault: deterministic, seed-reproducible fault injection.
+//
+// The serving stack (IkService -> IkServer -> IkClient) is validated
+// under failure by *injecting* faults at named points rather than
+// hoping production discovers them.  A FaultPlan is a list of rules —
+// each names an injection point, an action, and a trigger — armed on
+// the process-wide FaultInjector.  Code under test declares points
+// with one call:
+//
+//     fault::inject("service.worker.solve");          // may sleep/throw
+//     if (fault::decide("net.server.read")) { ... }   // site interprets
+//
+// Production cost: when no plan is armed, every injection point is a
+// single relaxed atomic load and a predictable branch — no lock, no
+// allocation, no map lookup.  Sites stay in release builds so test
+// binaries and production binaries exercise identical code paths.
+//
+// Determinism: every rule owns a splitmix64 RNG seeded from
+// plan.seed ^ fnv1a(point) ^ rule-index.  Probability draws and
+// corruption streams therefore replay exactly for a given seed and
+// per-point hit order (single-threaded sites such as the net event
+// loop replay bit-for-bit; multi-threaded sites replay per-point
+// counts deterministically and per-hit assignment up to scheduling).
+// A chaos run's seed is all that is needed to reproduce it.
+//
+// Actions are interpreted by the site (documented per point below):
+//   kDelay     sleep for delay_ms (inject() performs it)
+//   kError     throw std::runtime_error(message) (inject() performs it)
+//   kDrop      site discards the operation (close a socket, drop a frame)
+//   kCorrupt   site corrupts its payload via corrupt_seed
+//   kTruncate  site limits this I/O operation to max_bytes
+//   kEintr     site behaves as if the syscall returned EINTR
+//
+// Injection points threaded through the stack:
+//   solver.iterate            head of every JT-family solver iteration:
+//                             kDelay = slow iterations (exercises the
+//                             cooperative deadline watchdog), kError =
+//                             solver failure mid-solve
+//   service.worker.stall      worker pause before deadline check (kDelay)
+//   service.worker.solve      before the solver runs: kDelay = slow
+//                             solve (counted in solve_ms), kError =
+//                             solver throw
+//   service.seed_cache.seed   after a cache hit: kCorrupt poisons the
+//                             warm-start seed (finite garbage)
+//   net.server.read           kTruncate/kEintr on recv, kCorrupt flips
+//                             received bytes, kDrop aborts the
+//                             connection, kDelay stalls the loop
+//   net.server.write          kTruncate/kEintr on send, kDrop aborts
+//   net.client.write          kTruncate on send, kCorrupt flips the
+//                             outgoing frame, kDrop closes the socket
+//   net.client.read           kTruncate on recv, kDrop closes
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace dadu::fault {
+
+enum class Action : std::uint8_t {
+  kNone,
+  kDelay,
+  kError,
+  kDrop,
+  kCorrupt,
+  kTruncate,
+  kEintr,
+};
+
+std::string toString(Action a);
+
+/// When a rule fires.  All conditions must hold; `probability` is
+/// evaluated last (so it only consumes an RNG draw when the structural
+/// conditions pass, keeping nth-hit plans deterministic).
+struct Trigger {
+  double probability = 1.0;  ///< chance per eligible hit
+  std::uint64_t nth = 0;     ///< fire only on hit #nth of the point (1-based; 0 = any)
+  std::uint64_t after = 0;   ///< eligible only once the point has seen this many hits
+  std::uint64_t limit = 0;   ///< max fires for this rule (0 = unlimited; 1 = once)
+};
+
+/// One injection rule: at `point`, under `trigger`, perform `action`.
+struct Rule {
+  std::string point;
+  Action action = Action::kError;
+  Trigger trigger;
+  double delay_ms = 1.0;                   ///< kDelay sleep
+  std::size_t max_bytes = 1;               ///< kTruncate I/O cap
+  std::string message = "injected fault";  ///< kError exception text
+};
+
+/// What a site should do for this hit.  kNone (operator bool false)
+/// means proceed normally.
+struct Decision {
+  Action action = Action::kNone;
+  double delay_ms = 0.0;
+  std::size_t max_bytes = 0;
+  std::uint64_t corrupt_seed = 0;  ///< deterministic corruption stream
+  std::string message;
+
+  explicit operator bool() const { return action != Action::kNone; }
+};
+
+/// A reproducible failure scenario: a seed plus rules.  Fluent helpers
+/// cover the common shapes; `rules` may also be filled directly.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<Rule> rules;
+
+  FaultPlan& add(Rule rule) {
+    rules.push_back(std::move(rule));
+    return *this;
+  }
+  FaultPlan& delayAt(std::string point, double ms, Trigger t = {}) {
+    return add({std::move(point), Action::kDelay, t, ms, 1, {}});
+  }
+  FaultPlan& errorAt(std::string point, std::string message, Trigger t = {}) {
+    return add({std::move(point), Action::kError, t, 0.0, 1,
+                std::move(message)});
+  }
+  FaultPlan& dropAt(std::string point, Trigger t = {}) {
+    return add({std::move(point), Action::kDrop, t, 0.0, 1, {}});
+  }
+  FaultPlan& corruptAt(std::string point, Trigger t = {}) {
+    return add({std::move(point), Action::kCorrupt, t, 0.0, 1, {}});
+  }
+  FaultPlan& truncateAt(std::string point, std::size_t max_bytes,
+                        Trigger t = {}) {
+    return add({std::move(point), Action::kTruncate, t, 0.0, max_bytes, {}});
+  }
+  FaultPlan& eintrAt(std::string point, Trigger t = {}) {
+    return add({std::move(point), Action::kEintr, t, 0.0, 1, {}});
+  }
+};
+
+/// Process-wide injector.  Disarmed by default; arm() installs a plan,
+/// disarm() restores the zero-cost path.  Hit/fire counters survive
+/// disarm() until the next arm() so tests can assert after tearing the
+/// plan down.
+class FaultInjector {
+ public:
+  /// The singleton every injection point consults.
+  static FaultInjector& global();
+
+  /// True iff a plan is armed anywhere in the process.  This is the
+  /// whole production cost of an injection point: one relaxed load.
+  static bool armed() {
+    return armed_flag_.load(std::memory_order_relaxed);
+  }
+
+  void arm(FaultPlan plan);
+  void disarm();
+
+  /// Decide what happens at `point` for this hit: counts the hit,
+  /// walks the point's rules in plan order, and returns the first
+  /// firing rule's decision (kNone when nothing fires).  Thread-safe;
+  /// only ever called with a plan armed.
+  Decision decide(const char* point);
+
+  /// Test observability: hits seen / rules fired at one point, and
+  /// fires across all points, since the last arm().
+  std::uint64_t hits(const std::string& point) const;
+  std::uint64_t fires(const std::string& point) const;
+  std::uint64_t totalFires() const;
+
+ private:
+  struct RuleState {
+    std::size_t rule_index = 0;   ///< into plan_.rules
+    std::uint64_t rng = 0;        ///< splitmix64 state
+    std::uint64_t fired = 0;
+  };
+  struct PointState {
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    std::vector<RuleState> rules;  ///< rules matching this point, plan order
+  };
+
+  static std::atomic<bool> armed_flag_;
+
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  std::unordered_map<std::string, PointState> points_;
+  std::uint64_t total_fires_ = 0;
+};
+
+/// Injection-point spelling for sites that can tolerate an exception:
+/// executes kDelay (sleeps) and kError (throws std::runtime_error)
+/// internally, returns everything else for the site to interpret.
+/// Disarmed: one branch, returns kNone.
+Decision inject(const char* point);
+
+/// Injection-point spelling for sites that must not throw (socket
+/// loops): never sleeps or throws, pure decision.
+inline Decision decide(const char* point) {
+  if (!FaultInjector::armed()) return {};
+  return FaultInjector::global().decide(point);
+}
+
+/// Deterministically flip a few bytes of `data` (at least one when
+/// len > 0) from the `seed` stream — the kCorrupt helper for byte
+/// payloads (wire frames).
+void corruptBytes(std::uint8_t* data, std::size_t len, std::uint64_t seed);
+
+/// Deterministically overwrite doubles with large-but-finite garbage —
+/// the kCorrupt helper for numeric payloads (poisoned seeds).  Never
+/// produces NaN/inf: a poisoned seed must reach the solver, not trip
+/// input validation.
+void corruptDoubles(double* data, std::size_t len, std::uint64_t seed);
+
+/// RAII plan for tests: arms on construction, disarms on destruction.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(FaultPlan plan) {
+    FaultInjector::global().arm(std::move(plan));
+  }
+  ~ScopedFaultPlan() { FaultInjector::global().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace dadu::fault

@@ -8,16 +8,27 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "dadu/fault/fault.hpp"
+
 namespace dadu::net {
 namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
 
 [[noreturn]] void throwErrno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
@@ -79,7 +90,12 @@ IkClient::IkClient(IkClient&& other) noexcept
       next_id_(other.next_id_),
       config_(other.config_),
       in_(std::move(other.in_)),
-      strays_(std::move(other.strays_)) {}
+      strays_(std::move(other.strays_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      retry_rng_(other.retry_rng_),
+      retry_budget_(other.retry_budget_),
+      retry_stats_(other.retry_stats_) {}
 
 IkClient& IkClient::operator=(IkClient&& other) noexcept {
   if (this != &other) {
@@ -89,6 +105,11 @@ IkClient& IkClient::operator=(IkClient&& other) noexcept {
     config_ = other.config_;
     in_ = std::move(other.in_);
     strays_ = std::move(other.strays_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    retry_rng_ = other.retry_rng_;
+    retry_budget_ = other.retry_budget_;
+    retry_stats_ = other.retry_stats_;
   }
   return *this;
 }
@@ -97,11 +118,20 @@ void IkClient::connect(const std::string& host, std::uint16_t port,
                        ClientConfig config) {
   close();
   config_ = config;
+  host_ = host;
+  port_ = port;
+  retry_rng_ = config_.retry.seed;
+  retry_budget_ = config_.retry.budget;
+  retry_stats_ = {};
+  dial();
+}
+
+void IkClient::dial() {
   for (int attempt = 0; attempt < config_.connect_attempts; ++attempt) {
     if (attempt > 0)
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
           config_.retry_backoff_ms));
-    const int fd = tryConnect(host, port, config_.connect_timeout_ms);
+    const int fd = tryConnect(host_, port_, config_.connect_timeout_ms);
     if (fd < 0) continue;
     // Blocking mode from here on: the client's contract is synchronous
     // I/O with per-syscall timeouts.
@@ -113,10 +143,16 @@ void IkClient::connect(const std::string& host, std::uint16_t port,
     fd_ = fd;
     return;
   }
-  throw std::runtime_error("IkClient: cannot connect to " + host + ":" +
-                           std::to_string(port) + " after " +
+  throw std::runtime_error("IkClient: cannot connect to " + host_ + ":" +
+                           std::to_string(port_) + " after " +
                            std::to_string(config_.connect_attempts) +
                            " attempts");
+}
+
+void IkClient::reconnect() {
+  close();
+  dial();
+  ++retry_stats_.reconnects;
 }
 
 void IkClient::close() {
@@ -130,8 +166,31 @@ void IkClient::close() {
 
 void IkClient::sendAll(const std::uint8_t* data, std::size_t len) {
   std::size_t sent = 0;
+  std::uint8_t scratch[512];  ///< kCorrupt works on a copy, not the frame
   while (sent < len) {
-    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    std::size_t want = len - sent;
+    const std::uint8_t* src = data + sent;
+    if (fault::FaultInjector::armed()) {
+      const fault::Decision injected = fault::decide("net.client.write");
+      if (injected.action == fault::Action::kDrop) {
+        close();
+        throw std::runtime_error("IkClient: connection dropped (injected)");
+      }
+      if (injected.action == fault::Action::kEintr)
+        continue;  // as if send() returned EINTR: hit counted, loop retries
+      if (injected.action == fault::Action::kDelay)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(injected.delay_ms));
+      if (injected.action == fault::Action::kTruncate)
+        want = std::min(want, std::max<std::size_t>(injected.max_bytes, 1));
+      if (injected.action == fault::Action::kCorrupt) {
+        want = std::min(want, sizeof scratch);
+        std::memcpy(scratch, src, want);
+        fault::corruptBytes(scratch, want, injected.corrupt_seed);
+        src = scratch;
+      }
+    }
+    const ssize_t n = ::send(fd_, src, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       throwErrno("IkClient send");
@@ -146,6 +205,7 @@ std::uint64_t IkClient::sendRequest(const service::Request& request) {
   wire.id = next_id_++;
   wire.spec_id = config_.spec_id;
   wire.use_seed_cache = request.use_seed_cache;
+  wire.priority = request.priority;
   wire.target[0] = request.target.x;
   wire.target[1] = request.target.y;
   wire.target[2] = request.target.z;
@@ -188,7 +248,28 @@ ClientReply IkClient::receiveAny() {
       case DecodeStatus::kNeedMore:
         break;
     }
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    std::size_t want = sizeof chunk;
+    bool corrupt_read = false;
+    std::uint64_t corrupt_seed = 0;
+    if (fault::FaultInjector::armed()) {
+      const fault::Decision injected = fault::decide("net.client.read");
+      if (injected.action == fault::Action::kDrop) {
+        close();
+        throw std::runtime_error("IkClient: connection dropped (injected)");
+      }
+      if (injected.action == fault::Action::kEintr)
+        continue;  // as if recv() returned EINTR
+      if (injected.action == fault::Action::kDelay)
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(injected.delay_ms));
+      if (injected.action == fault::Action::kTruncate)
+        want = std::min(want, std::max<std::size_t>(injected.max_bytes, 1));
+      if (injected.action == fault::Action::kCorrupt) {
+        corrupt_read = true;
+        corrupt_seed = injected.corrupt_seed;
+      }
+    }
+    const ssize_t n = ::recv(fd_, chunk, want, 0);
     if (n == 0)
       throw std::runtime_error("IkClient: connection closed by server");
     if (n < 0) {
@@ -197,6 +278,8 @@ ClientReply IkClient::receiveAny() {
         throw std::runtime_error("IkClient: receive timeout");
       throwErrno("IkClient recv");
     }
+    if (corrupt_read)
+      fault::corruptBytes(chunk, static_cast<std::size_t>(n), corrupt_seed);
     in_.append(chunk, static_cast<std::size_t>(n));
   }
 }
@@ -221,6 +304,56 @@ service::Response IkClient::call(const service::Request& request) {
   if (reply.type == MsgType::kError)
     throw WireErrorException(std::move(reply.error));
   return toServiceResponse(reply.response);
+}
+
+bool IkClient::scheduleRetry(int attempt) {
+  const RetryPolicy& policy = config_.retry;
+  if (attempt >= policy.max_attempts) return false;
+  if (retry_budget_ == 0) {
+    ++retry_stats_.budget_exhausted;
+    return false;
+  }
+  --retry_budget_;
+  ++retry_stats_.retries;
+  double backoff = policy.base_backoff_ms *
+                   std::ldexp(1.0, std::min(attempt - 1, 30));
+  backoff = std::min(backoff, policy.max_backoff_ms);
+  // Deterministic jitter: scale backoff by a uniform draw from
+  // [1 - jitter, 1] so retrying clients desynchronize instead of
+  // stampeding the recovering server in lockstep.
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double u = static_cast<double>(splitmix64(retry_rng_) >> 11) *
+                   0x1p-53;  // uniform [0, 1)
+  backoff *= (1.0 - jitter) + jitter * u;
+  if (backoff > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff));
+  return true;
+}
+
+service::Response IkClient::callWithRetry(const service::Request& request) {
+  for (int attempt = 1;; ++attempt) {
+    ++retry_stats_.attempts;
+    try {
+      if (fd_ < 0) reconnect();
+      service::Response response = call(request);
+      // Transient server-state rejections (queue full, breaker open,
+      // draining) are worth another try; terminal rejections and
+      // kDeadlineExceeded (the caller's latency budget — spending more
+      // time violates it) return as-is.
+      if (response.status == service::ResponseStatus::kRejected &&
+          isRetryable(response.reject_reason) && scheduleRetry(attempt))
+        continue;
+      return response;
+    } catch (const WireErrorException& e) {
+      if (!isRetryable(e.error().code) || !scheduleRetry(attempt)) throw;
+    } catch (const std::runtime_error&) {
+      // Transport failure (EOF, timeout, reset, injected drop): the
+      // socket's framing state is unknown, so rebuild it next attempt.
+      close();
+      if (!scheduleRetry(attempt)) throw;
+    }
+  }
 }
 
 }  // namespace dadu::net

@@ -29,6 +29,23 @@
 
 namespace dadu::net {
 
+/// Request-level retry knobs for callWithRetry().  Retries are
+/// at-least-once: a transport failure after the frame left the socket
+/// may mean the server solved the request and the reply was lost, so
+/// the retried solve runs again.  IK solves are idempotent, which is
+/// why this is the default policy and not an option to agonize over.
+struct RetryPolicy {
+  int max_attempts = 3;          ///< total tries per call (1 = no retry)
+  double base_backoff_ms = 10.0; ///< first retry sleep; doubles per retry
+  double max_backoff_ms = 500.0; ///< backoff ceiling
+  double jitter = 0.5;           ///< fraction of backoff randomized [0,1]
+  /// Retries (not first attempts) allowed across the client's lifetime.
+  /// A retry storm against a dying server burns this out and turns
+  /// every failure terminal instead of amplifying the outage.
+  std::uint64_t budget = 1000;
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< jitter RNG seed
+};
+
 struct ClientConfig {
   double connect_timeout_ms = 1000.0;  ///< per connect() attempt
   int connect_attempts = 20;           ///< total tries before giving up
@@ -36,6 +53,15 @@ struct ClientConfig {
   double io_timeout_ms = 30000.0;      ///< per send/recv syscall
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   std::uint32_t spec_id = 0;           ///< stamped into every request
+  RetryPolicy retry;                   ///< callWithRetry() behavior
+};
+
+/// What callWithRetry() has done so far (cumulative per client).
+struct RetryStats {
+  std::uint64_t attempts = 0;          ///< every try, including firsts
+  std::uint64_t retries = 0;           ///< tries after a retryable failure
+  std::uint64_t reconnects = 0;        ///< sockets rebuilt mid-call
+  std::uint64_t budget_exhausted = 0;  ///< failures gone terminal on budget
 };
 
 /// One reply off the wire: either a response or an error frame.
@@ -95,16 +121,35 @@ class IkClient {
   /// answered with an error frame.
   service::Response call(const service::Request& request);
 
+  /// call() wrapped in the config's RetryPolicy: retries transport
+  /// failures (EOF, timeout, reset — reconnecting first) and *retryable*
+  /// wire errors (see isRetryable); terminal wire errors rethrow
+  /// immediately.  Exponential backoff with deterministic jitter;
+  /// stops early when the retry budget is spent.  At-least-once — see
+  /// RetryPolicy.
+  service::Response callWithRetry(const service::Request& request);
+
   const ClientConfig& config() const { return config_; }
+  const RetryStats& retryStats() const { return retry_stats_; }
 
  private:
   void sendAll(const std::uint8_t* data, std::size_t len);
+  void dial();  ///< the connect-attempt loop (fills fd_ or throws)
+  void reconnect();
+  bool scheduleRetry(int attempt);  ///< false = go terminal; true = slept
 
   int fd_ = -1;
   std::uint64_t next_id_ = 1;
   ClientConfig config_;
   ByteBuffer in_;
   std::unordered_map<std::uint64_t, ClientReply> strays_;
+
+  // Reconnect target (remembered by connect()) and retry machinery.
+  std::string host_;
+  std::uint16_t port_ = 0;
+  std::uint64_t retry_rng_ = 0;       ///< splitmix64 state for jitter
+  std::uint64_t retry_budget_ = 0;    ///< retries left (from policy)
+  RetryStats retry_stats_;
 };
 
 }  // namespace dadu::net

@@ -7,11 +7,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
+#include <csignal>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
+
+#include "dadu/fault/fault.hpp"
 
 namespace dadu::net {
 namespace {
@@ -24,6 +30,18 @@ double msBetween(Clock::time_point from, Clock::time_point to) {
 
 [[noreturn]] void throwErrno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Every write path here and in IkClient uses MSG_NOSIGNAL, but any
+/// future write that forgets it would kill the whole process with
+/// SIGPIPE on a dead peer — ignore it once, process-wide, at the first
+/// server start (the standard belt-and-braces for socket daemons).
+void ignoreSigpipeOnce() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
 }
 
 /// Frame payloads are bytes, not milliseconds: give their histogram a
@@ -40,10 +58,17 @@ obs::LatencyHistogram::Config frameBytesLadder() {
 
 void IkServer::CompletionSink::push(PendingCompletion item) {
   std::lock_guard<std::mutex> lock(mutex);
+  if (!loop) {
+    // The loop is gone (drain timed out and stop() returned before
+    // this solve finished): the reply has nowhere to go.  Count it —
+    // an orphaned completion is an operator signal, not a silent drop.
+    ++orphaned;
+    return;
+  }
   items.push_back(std::move(item));
   // Poke under the lock: stop() nulls `loop` under the same lock after
   // joining the loop thread, so the EventLoop we poke is always alive.
-  if (loop) loop->wakeup();
+  loop->wakeup();
 }
 
 IkServer::IkServer(service::IkService& service, ServerConfig config)
@@ -64,6 +89,7 @@ IkServer::~IkServer() {
 void IkServer::start() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   if (started_.load()) throw std::runtime_error("IkServer: already started");
+  ignoreSigpipeOnce();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
                         0);
@@ -119,9 +145,13 @@ void IkServer::stop() {
   if (thread_.joinable()) thread_.join();
   {
     // From here no loop thread exists; late completions (drain timed
-    // out) must not poke a dead loop.
+    // out) must not poke a dead loop.  Anything still parked in the
+    // sink was pushed after the loop's last drain — those replies are
+    // orphaned too.
     std::lock_guard<std::mutex> sink_lock(sink_->mutex);
     sink_->loop = nullptr;
+    sink_->orphaned += sink_->items.size();
+    sink_->items.clear();
   }
   stopped_.store(true, std::memory_order_release);
 }
@@ -194,26 +224,55 @@ void IkServer::onReadable(Connection& conn) {
   read_chunk_.resize(config_.read_chunk_bytes);
   bool saw_eof = false;
   for (;;) {
-    const ssize_t n =
-        ::recv(conn.fd, read_chunk_.data(), read_chunk_.size(), 0);
-    if (n > 0) {
-      conn.in.append(read_chunk_.data(), static_cast<std::size_t>(n));
-      counters_.add(kBytesRead, static_cast<std::uint64_t>(n));
-      conn.last_activity = Clock::now();
-      if (static_cast<std::size_t>(n) < read_chunk_.size()) break;
-      continue;
+    std::size_t want = read_chunk_.size();
+    fault::Decision injected;
+    if (fault::FaultInjector::armed()) {
+      injected = fault::decide("net.server.read");
+      switch (injected.action) {
+        case fault::Action::kDrop:  // peer vanishes mid-stream
+          closeConnection(conn.id, CloseReason::kError);
+          return;
+        case fault::Action::kEintr:  // as if recv() returned EINTR
+          goto done_reading;
+        case fault::Action::kTruncate:  // short read
+          want = std::min(want, std::max<std::size_t>(injected.max_bytes, 1));
+          break;
+        case fault::Action::kDelay:  // stall the whole loop
+          std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+              injected.delay_ms));
+          break;
+        default:
+          break;
+      }
     }
-    if (n == 0) {
-      saw_eof = true;
-      break;
+    {
+      const ssize_t n = ::recv(conn.fd, read_chunk_.data(), want, 0);
+      if (n > 0) {
+        if (injected.action == fault::Action::kCorrupt)
+          fault::corruptBytes(read_chunk_.data(), static_cast<std::size_t>(n),
+                              injected.corrupt_seed);
+        conn.in.append(read_chunk_.data(), static_cast<std::size_t>(n));
+        counters_.add(kBytesRead, static_cast<std::uint64_t>(n));
+        conn.last_activity = Clock::now();
+        if (static_cast<std::size_t>(n) < want) break;
+        continue;
+      }
+      if (n == 0) {
+        saw_eof = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      closeConnection(conn.id, CloseReason::kError);
+      return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
-    closeConnection(conn.id, CloseReason::kError);
-    return;
   }
+done_reading:
 
-  parseFrames(conn);  // may close `conn`; do not touch it after unless found
-  const auto it = conns_.find(conn.id);
+  // parseFrames may close (and erase) `conn`, so the id must be read
+  // out *before* the call — conn.id afterwards would be use-after-free.
+  const std::uint64_t conn_id = conn.id;
+  parseFrames(conn);
+  const auto it = conns_.find(conn_id);
   if (it == conns_.end()) return;
   Connection& live = it->second;
 
@@ -278,6 +337,16 @@ void IkServer::handleRequest(Connection& conn, const WireRequest& request) {
     queueError(conn, request.id, WireErrorCode::kUnknownSpec,
                "server serves spec " + std::to_string(config_.robot_spec_id) +
                    ", not " + std::to_string(request.spec_id));
+    return;
+  }
+  // Content validation before burning a dispatch: a non-finite target
+  // or negative deadline would only make the solver throw later — the
+  // terminal kBadRequest verdict is cheaper for everyone up front.
+  if (!std::isfinite(request.target[0]) || !std::isfinite(request.target[1]) ||
+      !std::isfinite(request.target[2]) ||
+      !std::isfinite(request.deadline_ms) || request.deadline_ms < 0.0) {
+    queueError(conn, request.id, WireErrorCode::kBadRequest,
+               "non-finite target or bad deadline");
     return;
   }
 
@@ -357,8 +426,19 @@ void IkServer::afterEnqueue(Connection& conn) {
 
 void IkServer::onWritable(Connection& conn) {
   while (!conn.out.empty()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    std::size_t want = conn.out.size();
+    if (fault::FaultInjector::armed()) {
+      const fault::Decision injected = fault::decide("net.server.write");
+      if (injected.action == fault::Action::kDrop) {
+        closeConnection(conn.id, CloseReason::kError);
+        return;
+      }
+      if (injected.action == fault::Action::kEintr)
+        break;  // as if send() returned EINTR; level-triggered retry
+      if (injected.action == fault::Action::kTruncate)
+        want = std::min(want, std::max<std::size_t>(injected.max_bytes, 1));
+    }
+    const ssize_t n = ::send(conn.fd, conn.out.data(), want, MSG_NOSIGNAL);
     if (n > 0) {
       conn.out.consume(static_cast<std::size_t>(n));
       counters_.add(kBytesWritten, static_cast<std::uint64_t>(n));
@@ -491,6 +571,10 @@ NetStats IkServer::stats() const {
   snapshot.requests_completed = totals[kRequestsCompleted];
   snapshot.shed_draining = totals[kShedDraining];
   snapshot.read_pauses = totals[kReadPauses];
+  {
+    std::lock_guard<std::mutex> lock(sink_->mutex);
+    snapshot.orphaned_completions = sink_->orphaned;
+  }
   snapshot.frame_bytes_hist = frame_hist_.snapshot();
   snapshot.wire_e2e_hist = e2e_hist_.snapshot();
   return snapshot;

@@ -156,11 +156,15 @@ class IkServer {
 
   /// The worker->loop hand-off: a locked vector plus the eventfd that
   /// pokes the loop.  shared_ptr-held by every in-flight completion
-  /// callback so it outlives the server on a drain timeout.
+  /// callback so it outlives the server on a drain timeout.  A
+  /// completion arriving after the loop died (a solve that outlived
+  /// drain_timeout_ms) is *orphaned*: counted, never delivered — the
+  /// silent-drop the dadu_net_orphaned_completions counter replaces.
   struct CompletionSink {
     std::mutex mutex;
     std::vector<PendingCompletion> items;
     EventLoop* loop = nullptr;  ///< nulled under mutex when loop dies
+    std::uint64_t orphaned = 0;  ///< completions into a dead sink
 
     void push(PendingCompletion item);
   };

@@ -39,6 +39,10 @@ struct NetStats {
   std::uint64_t requests_completed = 0;   ///< completions written back
   std::uint64_t shed_draining = 0;        ///< refused: server draining
   std::uint64_t read_pauses = 0;   ///< times a slow reader paused reads
+  /// Solves that outlived the drain timeout and completed into a dead
+  /// sink: the reply had nowhere to go.  Nonzero after a stop() means
+  /// drain_timeout_ms is shorter than the worst-case solve.
+  std::uint64_t orphaned_completions = 0;
 
   // Distributions: received-frame payload sizes (bytes) and wire-level
   // end-to-end latency (frame parsed -> response queued for write, ms).

@@ -119,7 +119,33 @@ bool decodeRequestBody(Reader& r, WireRequest& out) {
       !r.f64Array(out.seed, seed_len))
     return false;
   out.use_seed_cache = (flags & 0x01u) != 0;
+  switch ((flags >> 1) & 0x03u) {
+    case 1:
+      out.priority = service::Priority::kLow;
+      break;
+    case 2:
+      out.priority = service::Priority::kHigh;
+      break;
+    default:  // 0 = normal; 3 reserved, decodes as normal
+      out.priority = service::Priority::kNormal;
+      break;
+  }
   return r.remaining() == 0;
+}
+
+std::uint8_t encodeFlags(const WireRequest& request) {
+  std::uint8_t flags = request.use_seed_cache ? 0x01u : 0x00u;
+  switch (request.priority) {
+    case service::Priority::kLow:
+      flags |= 1u << 1;
+      break;
+    case service::Priority::kHigh:
+      flags |= 2u << 1;
+      break;
+    case service::Priority::kNormal:
+      break;  // 0 on the wire, so v1 encoders stay bit-identical
+  }
+  return flags;
 }
 
 bool decodeResponseBody(Reader& r, WireResponse& out) {
@@ -157,15 +183,43 @@ std::string toString(WireErrorCode code) {
       return "internal";
     case WireErrorCode::kShuttingDown:
       return "shutting-down";
+    case WireErrorCode::kBadRequest:
+      return "bad-request";
   }
   return "unknown";
+}
+
+bool isRetryable(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kShuttingDown:
+      return true;  // this server is draining; another (or a restart) serves
+    case WireErrorCode::kUnsupportedVersion:
+    case WireErrorCode::kUnknownSpec:
+    case WireErrorCode::kInternal:
+    case WireErrorCode::kBadRequest:
+      return false;
+  }
+  return false;  // unknown codes: fail fast rather than retry blindly
+}
+
+bool isRetryable(service::RejectReason reason) {
+  switch (reason) {
+    case service::RejectReason::kQueueFull:
+    case service::RejectReason::kOverloaded:
+    case service::RejectReason::kShutdown:
+      return true;  // transient server state — back off and retry
+    case service::RejectReason::kNone:
+    case service::RejectReason::kInternalError:
+      return false;
+  }
+  return false;
 }
 
 void encodeRequest(const WireRequest& request, std::vector<std::uint8_t>& out) {
   encodeFrame(out, MsgType::kRequest, request.id,
               [&](std::vector<std::uint8_t>& o) {
                 putU32(o, request.spec_id);
-                putU8(o, request.use_seed_cache ? 0x01u : 0x00u);
+                putU8(o, encodeFlags(request));
                 for (double t : request.target) putF64(o, t);
                 putF64(o, request.deadline_ms);
                 putU32(o, static_cast<std::uint32_t>(request.seed.size()));
@@ -257,6 +311,7 @@ service::Request toServiceRequest(const WireRequest& request) {
   if (!request.seed.empty()) out.seed = linalg::VecX(request.seed);
   out.deadline_ms = request.deadline_ms;
   out.use_seed_cache = request.use_seed_cache;
+  out.priority = request.priority;
   return out;
 }
 

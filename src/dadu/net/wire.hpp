@@ -13,6 +13,8 @@
 // Request body (kRequest, client -> server):
 //   u32 spec id  — which robot the server must be serving
 //   u8  flags    — bit 0: allow the warm-start seed cache
+//                  bits 1-2: priority (0 = normal, 1 = low, 2 = high;
+//                  3 reserved, decodes as normal)
 //   f64 target x, y, z
 //   f64 deadline ms (0 = none)
 //   u32 seed length S, then S f64 joint angles (S = 0: solver default)
@@ -65,20 +67,40 @@ enum class MsgType : std::uint8_t {
   kError = 3,
 };
 
+/// Error-frame codes, classified retryable vs terminal (see
+/// isRetryable below and the ARCHITECTURE.md wire table).  Retryable
+/// means the same request may succeed later against the same (or a
+/// replacement) server: the condition is about the server's current
+/// state, not about the request.  Terminal means retrying the
+/// identical request is pointless — the request itself (or the
+/// protocol pairing) is wrong.
 enum class WireErrorCode : std::uint16_t {
-  kUnsupportedVersion = 1,  ///< version byte != kWireVersion
-  kUnknownSpec = 2,         ///< request's spec id is not served here
-  kInternal = 3,            ///< solver threw; message carries what()
-  kShuttingDown = 4,        ///< server is draining, request not accepted
+  kUnsupportedVersion = 1,  ///< version byte != kWireVersion (terminal)
+  kUnknownSpec = 2,         ///< spec id not served here (terminal)
+  kInternal = 3,            ///< solver threw; message carries what() (terminal)
+  kShuttingDown = 4,        ///< server is draining (retryable)
+  kBadRequest = 5,          ///< well-framed but invalid content, e.g.
+                            ///< non-finite target or negative deadline
+                            ///< (terminal; rejected before dispatch)
 };
 
 std::string toString(WireErrorCode code);
+
+/// Retryable vs terminal taxonomy for the client retry policy.
+bool isRetryable(WireErrorCode code);
+
+/// Same taxonomy for service-level rejections travelling inside a
+/// kResponse frame: kQueueFull / kOverloaded / kShutdown describe a
+/// transient server state (retry with backoff); kInternalError means
+/// this request makes the solver throw (terminal).
+bool isRetryable(service::RejectReason reason);
 
 /// Decoded kRequest frame.
 struct WireRequest {
   std::uint64_t id = 0;
   std::uint32_t spec_id = 0;
   bool use_seed_cache = true;
+  service::Priority priority = service::Priority::kNormal;
   double target[3] = {0.0, 0.0, 0.0};
   double deadline_ms = 0.0;
   std::vector<double> seed;

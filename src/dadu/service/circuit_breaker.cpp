@@ -1,0 +1,128 @@
+#include "dadu/service/circuit_breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dadu::service {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {
+  if (config_.latency_window == 0) config_.latency_window = 1;
+  if (config_.min_samples == 0) config_.min_samples = 1;
+  if (config_.half_open_probes == 0) config_.half_open_probes = 1;
+  window_.resize(config_.latency_window, 0.0);
+}
+
+CircuitBreaker::Admit CircuitBreaker::admit(Priority priority,
+                                            std::size_t queue_depth,
+                                            Clock::time_point now) {
+  if (!config_.enabled) return Admit::kAccept;
+  std::lock_guard<std::mutex> lock(mutex_);
+
+  if (state_ == State::kOpen) {
+    const auto open_for = std::chrono::duration<double, std::milli>(
+        now - opened_at_);
+    if (open_for.count() < config_.open_ms) return Admit::kRejectOpen;
+    // Cool-down elapsed: start probing.
+    state_ = State::kHalfOpen;
+    probes_outstanding_ = 0;
+    probe_successes_ = 0;
+  }
+
+  if (state_ == State::kHalfOpen) {
+    if (probes_outstanding_ < config_.half_open_probes) {
+      ++probes_outstanding_;
+      ++probes_issued_;
+      return Admit::kProbe;
+    }
+    return Admit::kRejectOpen;
+  }
+
+  // Closed: depth-based trip first (a deep queue means latency is
+  // already lost — no point admitting more), then low-priority shed.
+  if (config_.trip_queue_depth > 0 &&
+      queue_depth >= config_.trip_queue_depth) {
+    tripLocked(now);
+    return Admit::kRejectOpen;
+  }
+  if (priority == Priority::kLow && config_.shed_queue_depth > 0 &&
+      queue_depth >= config_.shed_queue_depth)
+    return Admit::kShedLow;
+  return Admit::kAccept;
+}
+
+void CircuitBreaker::recordSolve(double solve_ms, Clock::time_point now) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  window_[window_next_] = solve_ms;
+  window_next_ = (window_next_ + 1) % window_.size();
+  window_count_ = std::min(window_count_ + 1, window_.size());
+
+  // The p99 criterion only trips a Closed breaker: half-open probe
+  // latencies are judged by onProbeResult, and an Open breaker is
+  // already tripped.
+  if (state_ == State::kClosed && config_.trip_p99_ms > 0.0 &&
+      window_count_ >= config_.min_samples &&
+      p99Locked() > config_.trip_p99_ms)
+    tripLocked(now);
+}
+
+void CircuitBreaker::onProbeResult(bool success, Clock::time_point now) {
+  if (!config_.enabled) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A probe completing after its half-open episode ended (the breaker
+  // reopened or closed meanwhile) carries no information about the
+  // current state.
+  if (state_ != State::kHalfOpen) return;
+  if (probes_outstanding_ > 0) --probes_outstanding_;
+  if (!success) {
+    tripLocked(now);  // fresh open window
+    return;
+  }
+  if (++probe_successes_ >= config_.half_open_probes) {
+    state_ = State::kClosed;
+    // Forget pre-trip latencies so the stale window cannot instantly
+    // re-trip a recovered service.
+    window_next_ = 0;
+    window_count_ = 0;
+  }
+}
+
+void CircuitBreaker::tripLocked(Clock::time_point now) {
+  state_ = State::kOpen;
+  opened_at_ = now;
+  probes_outstanding_ = 0;
+  probe_successes_ = 0;
+  ++trips_;
+}
+
+double CircuitBreaker::p99Locked() const {
+  // nth_element over <=window samples; runs once per completed solve,
+  // which is negligible next to the solve itself.
+  std::vector<double> samples(window_.begin(),
+                              window_.begin() +
+                                  static_cast<std::ptrdiff_t>(window_count_));
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(0.99 * static_cast<double>(samples.size())));
+  const std::size_t index = rank == 0 ? 0 : rank - 1;
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(index),
+                   samples.end());
+  return samples[index];
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+CircuitBreakerSnapshot CircuitBreaker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CircuitBreakerSnapshot snap;
+  snap.state = state_ == State::kClosed ? 0 : state_ == State::kOpen ? 1 : 2;
+  snap.trips = trips_;
+  snap.probes_issued = probes_issued_;
+  return snap;
+}
+
+}  // namespace dadu::service

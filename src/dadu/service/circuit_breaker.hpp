@@ -1,0 +1,118 @@
+// Overload circuit breaker for the IK serving layer.
+//
+// Admission control (the bounded queue) protects the service from a
+// *burst*; the breaker protects it from *sustained* overload, where
+// rejecting at capacity still leaves every accepted request with
+// pathological latency.  Classic three-state machine:
+//
+//   Closed ──(queue depth >= trip_queue_depth, or rolling solve-latency
+//             p99 > trip_p99_ms)──▶ Open
+//   Open ──(open_ms elapsed)──▶ HalfOpen
+//   HalfOpen ──(half_open_probes consecutive probe successes)──▶ Closed
+//   HalfOpen ──(any probe failure)──▶ Open          (fresh open window)
+//
+// While Open every submit is fast-rejected (Rejected{kOverloaded})
+// without touching the queue — callers hear "back off" in microseconds
+// instead of waiting out a doomed deadline.  While HalfOpen up to
+// `half_open_probes` requests are admitted as probes; their outcomes
+// decide whether the service has recovered.  Independently of the trip
+// machinery, Closed-state admission sheds Priority::kLow work once the
+// queue passes `shed_queue_depth` — low-priority traffic is the first
+// ballast overboard, before the breaker ever trips.
+//
+// All transitions happen under one mutex taken at submit time and once
+// per completed solve; against solves that are hundreds of microseconds
+// the lock is noise, and it keeps the state machine trivially
+// TSan-clean (same trade the BoundedQueue makes).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "dadu/service/request.hpp"
+
+namespace dadu::service {
+
+struct CircuitBreakerConfig {
+  bool enabled = false;  ///< disabled = zero overhead, always admit
+  /// Trip to Open when the queue depth observed at submit reaches this
+  /// (0 = queue-depth tripping off).
+  std::size_t trip_queue_depth = 0;
+  /// Trip to Open when the rolling p99 of solve latency exceeds this
+  /// (0 = latency tripping off).
+  double trip_p99_ms = 0.0;
+  std::size_t latency_window = 128;  ///< rolling solve-latency samples
+  std::size_t min_samples = 32;      ///< window fill required before p99 trips
+  double open_ms = 100.0;            ///< fast-reject period before probing
+  std::size_t half_open_probes = 4;  ///< consecutive successes to close
+  /// Shed Priority::kLow requests while Closed once the queue depth
+  /// reaches this (0 = shedding off).  Should sit below
+  /// trip_queue_depth so shedding engages first.
+  std::size_t shed_queue_depth = 0;
+};
+
+/// Exported breaker state (see ServiceStats / the metrics dump).
+struct CircuitBreakerSnapshot {
+  int state = 0;  ///< 0 = Closed, 1 = Open, 2 = HalfOpen
+  std::uint64_t trips = 0;          ///< Closed/HalfOpen -> Open transitions
+  std::uint64_t probes_issued = 0;  ///< HalfOpen admissions
+};
+
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// Submit-time verdict.
+  enum class Admit {
+    kAccept,      ///< pass through to the queue
+    kProbe,       ///< pass through, flagged as a half-open probe
+    kRejectOpen,  ///< fast-reject: breaker is (or just tripped) Open
+    kShedLow,     ///< reject: low-priority load shed while Closed
+  };
+
+  explicit CircuitBreaker(CircuitBreakerConfig config);
+
+  /// Decide admission for one request.  `queue_depth` is the depth the
+  /// submitter observed; `now` its submission timestamp.  May trip the
+  /// breaker (depth criterion) or transition Open -> HalfOpen.
+  Admit admit(Priority priority, std::size_t queue_depth,
+              Clock::time_point now);
+
+  /// Feed one completed solve's latency into the rolling window (may
+  /// trip on the p99 criterion, Closed state only).
+  void recordSolve(double solve_ms, Clock::time_point now);
+
+  /// Report the fate of a request admitted as kProbe.  Failure (solver
+  /// exception, watchdog timeout, or the probe never executing) reopens
+  /// the breaker; `half_open_probes` successes close it.  Stale
+  /// results from a previous half-open episode are ignored.
+  void onProbeResult(bool success, Clock::time_point now);
+
+  State state() const;
+  CircuitBreakerSnapshot snapshot() const;
+  bool enabled() const { return config_.enabled; }
+  const CircuitBreakerConfig& config() const { return config_; }
+
+ private:
+  void tripLocked(Clock::time_point now);
+  double p99Locked() const;
+
+  CircuitBreakerConfig config_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  Clock::time_point opened_at_{};
+  std::vector<double> window_;  ///< ring buffer of solve latencies
+  std::size_t window_next_ = 0;
+  std::size_t window_count_ = 0;
+  std::size_t probes_outstanding_ = 0;
+  std::size_t probe_successes_ = 0;
+  std::uint64_t trips_ = 0;
+  std::uint64_t probes_issued_ = 0;
+};
+
+}  // namespace dadu::service

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "dadu/fault/fault.hpp"
 #include "dadu/platform/timer.hpp"
 
 namespace dadu::service {
@@ -23,6 +24,7 @@ IkService::IkService(SolverFactory factory, ServiceConfig config)
       factory_(std::move(factory)),
       queue_(config.queue_capacity),
       cache_(config.cache),
+      breaker_(config.breaker),
       counters_(kCounterCount, config.stat_shards),
       queue_hist_(config.latency),
       solve_hist_(config.latency),
@@ -83,6 +85,29 @@ void IkService::submitInternal(Request request, JobCompletion finish) {
 
   Job job;
   job.enqueued = Clock::now();
+
+  // Overload brownout gate: the breaker fast-rejects while Open and
+  // sheds low-priority work while the queue is deep — both *before*
+  // the queue is touched, so an overloaded service answers "back off"
+  // in microseconds.  Disabled breaker = one branch.
+  if (breaker_.enabled()) {
+    switch (breaker_.admit(request.priority, queue_.size(), job.enqueued)) {
+      case CircuitBreaker::Admit::kAccept:
+        break;
+      case CircuitBreaker::Admit::kProbe:
+        job.probe = true;
+        break;
+      case CircuitBreaker::Admit::kRejectOpen:
+        counters_.add(kRejectedOverloaded);
+        rejectNow(finish, RejectReason::kOverloaded);
+        return;
+      case CircuitBreaker::Admit::kShedLow:
+        counters_.add(kShedLowPriority);
+        rejectNow(finish, RejectReason::kOverloaded);
+        return;
+    }
+  }
+
   if (request.deadline_ms > 0.0) {
     job.deadline =
         job.enqueued + std::chrono::duration_cast<Clock::duration>(
@@ -98,21 +123,35 @@ void IkService::submitInternal(Request request, JobCompletion finish) {
       break;
     case PushResult::kFull:
       // tryPush did not move from `job` — fail its completion here.
-      rejectNow(job.finish, RejectReason::kQueueFull);
+      rejectJob(job, RejectReason::kQueueFull);
       break;
     case PushResult::kClosed:
-      rejectNow(job.finish, RejectReason::kShutdown);
+      rejectJob(job, RejectReason::kShutdown);
       break;
   }
 }
 
 void IkService::rejectNow(JobCompletion& finish, RejectReason reason) {
-  counters_.add(reason == RejectReason::kQueueFull ? kRejectedQueueFull
-                                                   : kRejectedShutdown);
+  switch (reason) {
+    case RejectReason::kQueueFull:
+      counters_.add(kRejectedQueueFull);
+      break;
+    case RejectReason::kShutdown:
+      counters_.add(kRejectedShutdown);
+      break;
+    default:
+      break;  // kOverloaded counted at the admission site
+  }
   Response response;
   response.status = ResponseStatus::kRejected;
   response.reject_reason = reason;
   finish(std::move(response), nullptr);
+}
+
+void IkService::rejectJob(Job& job, RejectReason reason) {
+  // A probe that never executes tells the breaker nothing good.
+  if (job.probe) breaker_.onProbeResult(false, Clock::now());
+  rejectNow(job.finish, reason);
 }
 
 void IkService::workerLoop() {
@@ -124,7 +163,7 @@ void IkService::workerLoop() {
     // racing stop()'s close()->drain() window could still execute
     // pending work the caller asked to be dropped.
     if (discard_.load(std::memory_order_acquire)) {
-      rejectNow(job.finish, RejectReason::kShutdown);
+      rejectJob(job, RejectReason::kShutdown);
       continue;
     }
     process(*solver, std::move(job));
@@ -132,6 +171,10 @@ void IkService::workerLoop() {
 }
 
 void IkService::process(ik::IkSolver& solver, Job job) {
+  // Fault point: a worker pausing between dequeue and the deadline
+  // check — the stall that turns a healthy queue wait into an expiry.
+  if (fault::FaultInjector::armed()) fault::inject("service.worker.stall");
+
   const Clock::time_point picked_up = Clock::now();
   const double queue_ms = msBetween(job.enqueued, picked_up);
   obs::ObsSink* const sink = config_.sink.get();
@@ -139,6 +182,7 @@ void IkService::process(ik::IkSolver& solver, Job job) {
   if (job.has_deadline && picked_up > job.deadline) {
     counters_.add(kDeadlineExpired);
     if (sink) sink->onCount("deadline_expired", 1);
+    if (job.probe) breaker_.onProbeResult(false, picked_up);
     Response response;
     response.status = ResponseStatus::kDeadlineExceeded;
     response.queue_ms = queue_ms;
@@ -154,23 +198,50 @@ void IkService::process(ik::IkSolver& solver, Job job) {
   bool from_cache = false;
   if (cache_allowed && cache_.lookup(job.request.target, seed)) {
     from_cache = true;
+    // Fault point: a poisoned warm-start seed — finite garbage that
+    // must degrade to a slow solve, never a crash or NaN result.
+    if (fault::FaultInjector::armed()) {
+      const fault::Decision d = fault::decide("service.seed_cache.seed");
+      if (d.action == fault::Action::kCorrupt)
+        fault::corruptDoubles(seed.data(), seed.size(), d.corrupt_seed);
+    }
   } else if (!job.request.seed.empty()) {
     seed = std::move(job.request.seed);
   } else {
     seed = solver.chain().zeroConfiguration();
   }
 
+  // Watchdog: arm (or clear) the solver's cooperative deadline so a
+  // runaway solve surfaces kTimedOut with its best-so-far iterate
+  // instead of outliving the request's deadline unbounded.
+  solver.setDeadline(job.has_deadline ? job.deadline
+                                      : Clock::time_point{});
+
   try {
     platform::WallTimer timer;
+    // Fault point: a slow solve (kDelay, charged to solve_ms) or a
+    // solver throw (kError) — inside the try so the error takes the
+    // exact path a real solver exception takes.
+    if (fault::FaultInjector::armed()) fault::inject("service.worker.solve");
     ik::SolveResult result = solver.solve(job.request.target, seed);
     const double solve_ms = timer.elapsedMs();
 
     if (result.converged() && cache_allowed)
       cache_.insert(job.request.target, result.theta);
 
+    const bool timed_out = result.status == ik::Status::kTimedOut;
+    if (breaker_.enabled()) {
+      breaker_.recordSolve(solve_ms, Clock::now());
+      // A probe that ran to a verdict is a success unless the watchdog
+      // had to kill it — a timed-out probe means the service is still
+      // drowning.
+      if (job.probe) breaker_.onProbeResult(!timed_out, Clock::now());
+    }
+
     // Lock-free bookkeeping: relaxed sharded counters + histograms.
     counters_.add(kSolved);
     if (result.converged()) counters_.add(kConverged);
+    if (timed_out) counters_.add(kTimedOutSolves);
     counters_.add(kIterations, static_cast<std::uint64_t>(result.iterations));
     counters_.add(kFkEvaluations,
                   static_cast<std::uint64_t>(result.fk_evaluations));
@@ -200,6 +271,8 @@ void IkService::process(ik::IkSolver& solver, Job job) {
   } catch (...) {
     // Solver precondition failures (seed-size mismatch, non-finite
     // target) surface through the completion, not the worker thread.
+    if (job.probe) breaker_.onProbeResult(false, Clock::now());
+    counters_.add(kInternalErrors);
     Response failed;
     job.finish(std::move(failed), std::current_exception());
   }
@@ -219,7 +292,7 @@ void IkService::stop(Drain mode) {
   if (config_.after_close_hook) config_.after_close_hook();
   if (mode == Drain::kDiscardPending) {
     for (Job& job : queue_.drain())
-      rejectNow(job.finish, RejectReason::kShutdown);
+      rejectJob(job, RejectReason::kShutdown);
   }
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();
@@ -231,9 +304,13 @@ ServiceStats IkService::stats() const {
   snapshot.submitted = totals[kSubmitted];
   snapshot.rejected_queue_full = totals[kRejectedQueueFull];
   snapshot.rejected_shutdown = totals[kRejectedShutdown];
+  snapshot.rejected_overloaded = totals[kRejectedOverloaded];
+  snapshot.shed_low_priority = totals[kShedLowPriority];
   snapshot.deadline_expired = totals[kDeadlineExpired];
   snapshot.solved = totals[kSolved];
   snapshot.converged = totals[kConverged];
+  snapshot.timed_out = totals[kTimedOutSolves];
+  snapshot.internal_errors = totals[kInternalErrors];
   snapshot.total_iterations = static_cast<long long>(totals[kIterations]);
   snapshot.total_fk_evaluations =
       static_cast<long long>(totals[kFkEvaluations]);
@@ -245,6 +322,8 @@ ServiceStats IkService::stats() const {
   snapshot.e2e_hist = e2e_hist_.snapshot();
   snapshot.total_queue_ms = snapshot.queue_hist.sum;
   snapshot.total_solve_ms = snapshot.solve_hist.sum;
+
+  snapshot.breaker = breaker_.snapshot();
 
   const SeedCacheStats cache = cache_.stats();
   snapshot.cache_hits = cache.hits;

@@ -54,6 +54,7 @@
 #include "dadu/obs/histogram.hpp"
 #include "dadu/obs/sharded_counters.hpp"
 #include "dadu/obs/sink.hpp"
+#include "dadu/service/circuit_breaker.hpp"
 #include "dadu/service/queue.hpp"
 #include "dadu/service/request.hpp"
 #include "dadu/service/seed_cache.hpp"
@@ -80,6 +81,9 @@ struct ServiceConfig {
   /// Optional per-event sink (trace spans + solver counters).  Null =
   /// no per-event overhead beyond one branch.  Must be thread-safe.
   std::shared_ptr<obs::ObsSink> sink;
+  /// Overload circuit breaker (disabled by default — zero overhead).
+  /// See circuit_breaker.hpp for the state machine and thresholds.
+  CircuitBreakerConfig breaker;
   /// Test seam: invoked by stop() between closing the queue and
   /// draining it — the race window the discard path must tolerate.
   /// Never set in production.
@@ -134,6 +138,7 @@ class IkService {
   /// stats() flattened for the exporters (Prometheus / JSON / text).
   obs::MetricsSnapshot metrics() const { return toMetricsSnapshot(stats()); }
   const SeedCache& seedCache() const { return cache_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
   std::size_t workerCount() const { return workers_.size(); }
   std::size_t queueDepth() const { return queue_.size(); }
   const ServiceConfig& config() const { return config_; }
@@ -144,9 +149,13 @@ class IkService {
     kSubmitted,
     kRejectedQueueFull,
     kRejectedShutdown,
+    kRejectedOverloaded,
+    kShedLowPriority,
     kDeadlineExpired,
     kSolved,
     kConverged,
+    kTimedOutSolves,
+    kInternalErrors,
     kIterations,
     kFkEvaluations,
     kSpeculationLoad,
@@ -157,11 +166,15 @@ class IkService {
   void workerLoop();
   void process(ik::IkSolver& solver, Job job);
   void rejectNow(JobCompletion& finish, RejectReason reason);
+  /// Reject a job that may be a half-open probe: the breaker hears a
+  /// probe failure ("never executed"), then the completion fires.
+  void rejectJob(Job& job, RejectReason reason);
 
   ServiceConfig config_;
   SolverFactory factory_;
   BoundedQueue queue_;
   SeedCache cache_;
+  CircuitBreaker breaker_;
   std::vector<std::thread> workers_;
 
   std::atomic<bool> stopped_{false};

@@ -42,6 +42,10 @@ struct Job {
   std::chrono::steady_clock::time_point enqueued{};
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
+  /// Admitted as a half-open circuit-breaker probe: its fate must be
+  /// reported back to the breaker exactly once (success, failure, or
+  /// "never executed" = failure).
+  bool probe = false;
 };
 
 /// Outcome of a push attempt.

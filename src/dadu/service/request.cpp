@@ -2,6 +2,18 @@
 
 namespace dadu::service {
 
+std::string toString(Priority p) {
+  switch (p) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
 std::string toString(ResponseStatus s) {
   switch (s) {
     case ResponseStatus::kSolved:
@@ -24,6 +36,8 @@ std::string toString(RejectReason r) {
       return "shutdown";
     case RejectReason::kInternalError:
       return "internal-error";
+    case RejectReason::kOverloaded:
+      return "overloaded";
   }
   return "unknown";
 }

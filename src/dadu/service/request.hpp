@@ -8,6 +8,7 @@
 // solver ran and reported; Rejected means the solver never ran).
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "dadu/linalg/vec.hpp"
@@ -15,6 +16,17 @@
 #include "dadu/solvers/types.hpp"
 
 namespace dadu::service {
+
+/// Request priority class: under overload the circuit breaker sheds
+/// kLow work first (before tripping), so latency-tolerant background
+/// traffic is the first ballast overboard.
+enum class Priority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+std::string toString(Priority p);
 
 /// One IK request.  `seed` may be left empty to start from the chain's
 /// zero configuration (or a seed-cache hit, when enabled).
@@ -29,6 +41,8 @@ struct Request {
   /// Allow warm-starting from (and inserting into) the service's seed
   /// cache.  Off = solve exactly from `seed`, touch nothing shared.
   bool use_seed_cache = true;
+  /// Shed class under overload (see Priority).
+  Priority priority = Priority::kNormal;
 };
 
 /// Service-level outcome of a request.
@@ -48,6 +62,10 @@ enum class RejectReason {
   /// future path rethrows the original exception instead.  See
   /// Response::message for the exception text.
   kInternalError,
+  /// Overload brownout: the circuit breaker is Open (fast-reject) or
+  /// this request's priority class was shed while the queue is deep.
+  /// Retryable — back off and try again.
+  kOverloaded,
 };
 
 std::string toString(ResponseStatus s);

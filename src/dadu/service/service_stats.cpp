@@ -10,9 +10,15 @@ obs::MetricsSnapshot toMetricsSnapshot(const ServiceStats& stats) {
   counter("submitted", stats.submitted);
   counter("rejected_queue_full", stats.rejected_queue_full);
   counter("rejected_shutdown", stats.rejected_shutdown);
+  counter("rejected_overloaded", stats.rejected_overloaded);
+  counter("shed_low_priority", stats.shed_low_priority);
   counter("deadline_expired", stats.deadline_expired);
   counter("solved", stats.solved);
   counter("converged", stats.converged);
+  counter("timed_out", stats.timed_out);
+  counter("internal_errors", stats.internal_errors);
+  counter("breaker_trips", stats.breaker.trips);
+  counter("breaker_probes", stats.breaker.probes_issued);
   counter("iterations", static_cast<std::uint64_t>(stats.total_iterations));
   counter("fk_evaluations",
           static_cast<std::uint64_t>(stats.total_fk_evaluations));
@@ -29,6 +35,8 @@ obs::MetricsSnapshot toMetricsSnapshot(const ServiceStats& stats) {
       {"dadu_service_cache_hit_rate", stats.cacheHitRate(), "ratio"});
   snap.gauges.push_back(
       {"dadu_service_mean_iterations", stats.meanIterations(), "iters"});
+  snap.gauges.push_back({"dadu_service_breaker_state",
+                         static_cast<double>(stats.breaker.state), "state"});
 
   snap.histograms.push_back(
       {"dadu_service_queue_ms", stats.queue_hist, "ms"});

@@ -12,6 +12,7 @@
 
 #include "dadu/obs/export.hpp"
 #include "dadu/obs/histogram.hpp"
+#include "dadu/service/circuit_breaker.hpp"
 
 namespace dadu::service {
 
@@ -20,11 +21,23 @@ struct ServiceStats {
   std::uint64_t submitted = 0;           ///< submit() calls
   std::uint64_t rejected_queue_full = 0; ///< shed by admission control
   std::uint64_t rejected_shutdown = 0;   ///< submitted after / pending at stop
+  std::uint64_t rejected_overloaded = 0; ///< breaker Open fast-rejects
+  std::uint64_t shed_low_priority = 0;   ///< Priority::kLow shed while Closed
   std::uint64_t deadline_expired = 0;    ///< dropped unexecuted
 
   // Execution.
   std::uint64_t solved = 0;     ///< solver ran (any ik::Status)
   std::uint64_t converged = 0;  ///< ... and converged
+  std::uint64_t timed_out = 0;  ///< watchdog stops (ik::Status::kTimedOut)
+  std::uint64_t internal_errors = 0;  ///< solver threw mid-request
+  /// Every submit ends in exactly one terminal bucket; this is that
+  /// sum, so `submitted == accounted()` is the no-lost-request
+  /// invariant the chaos soak asserts.
+  std::uint64_t accounted() const {
+    return solved + rejected_queue_full + rejected_shutdown +
+           rejected_overloaded + shed_low_priority + deadline_expired +
+           internal_errors;
+  }
   long long total_iterations = 0;  ///< summed over solved requests
   long long total_fk_evaluations = 0;   ///< FK passes incl. speculative
   long long total_speculation_load = 0; ///< Fig. 5b load, summed
@@ -35,6 +48,9 @@ struct ServiceStats {
   obs::HistogramSnapshot queue_hist;
   obs::HistogramSnapshot solve_hist;
   obs::HistogramSnapshot e2e_hist;
+
+  // Overload circuit breaker (mirrored from CircuitBreaker::snapshot()).
+  CircuitBreakerSnapshot breaker;
 
   // Warm-start cache (mirrored from SeedCache::stats()).
   std::uint64_t cache_hits = 0;

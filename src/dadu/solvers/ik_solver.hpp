@@ -29,6 +29,13 @@ class IkSolver {
   /// and reports.
   virtual std::string name() const = 0;
 
+  /// Arm (or clear, with the default time_point) the cooperative
+  /// watchdog deadline for subsequent solve() calls — the per-request
+  /// hook the serving layer uses on its per-worker solver instances.
+  /// The base implementation ignores it: solvers without an iteration
+  /// loop to check from simply run unbounded.
+  virtual void setDeadline(std::chrono::steady_clock::time_point) {}
+
   virtual const kin::Chain& chain() const = 0;
   virtual const SolveOptions& options() const = 0;
 };

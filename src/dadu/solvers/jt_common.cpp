@@ -3,11 +3,20 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dadu/fault/fault.hpp"
+
 namespace dadu::ik {
 
 JtIterationHead jtIterationHead(const kin::Chain& chain,
                                 const linalg::VecX& theta,
                                 const linalg::Vec3& target, JtWorkspace& ws) {
+  // Every Jacobian-transpose-family solver funnels through this head
+  // once per iteration, so one named point lets chaos plans slow down
+  // (or blow up) any solve mid-flight — the only way to exercise the
+  // cooperative watchdog deterministically.  Disarmed this is a single
+  // relaxed atomic load.
+  fault::inject("solver.iterate");
+
   JtIterationHead head;
 
   linalg::Vec3 ee;

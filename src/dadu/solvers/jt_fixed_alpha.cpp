@@ -24,6 +24,11 @@ SolveResult JtFixedAlphaSolver::solve(const linalg::Vec3& target,
       result.status = Status::kStalled;
       return result;
     }
+    // Watchdog: bail with the best-so-far iterate.
+    if (options_.hasDeadline() && options_.deadlineExpired()) {
+      result.status = Status::kTimedOut;
+      return result;
+    }
 
     linalg::axpy(alpha_, ws_.dtheta_base, result.theta);
     if (options_.clamp_to_limits)

@@ -21,6 +21,9 @@ class JtFixedAlphaSolver final : public IkSolver {
   std::string name() const override { return "jt-fixed-alpha"; }
   const kin::Chain& chain() const override { return chain_; }
   const SolveOptions& options() const override { return options_; }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    options_.deadline = d;
+  }
   double alpha() const { return alpha_; }
 
  private:

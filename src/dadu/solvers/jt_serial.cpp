@@ -24,6 +24,12 @@ SolveResult JtSerialSolver::solve(const linalg::Vec3& target,
       result.status = Status::kStalled;
       return result;
     }
+    // Watchdog: the classical method's thousands of tiny iterations
+    // are exactly where an unbounded solve hides — check every head.
+    if (options_.hasDeadline() && options_.deadlineExpired()) {
+      result.status = Status::kTimedOut;
+      return result;
+    }
 
     // The original method's fixed-gain update (Eq. 7 with constant
     // alpha); the Eq. 8 value computed by the head is ignored here.

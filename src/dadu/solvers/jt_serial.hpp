@@ -33,6 +33,9 @@ class JtSerialSolver final : public IkSolver {
   std::string name() const override { return "jt-serial"; }
   const kin::Chain& chain() const override { return chain_; }
   const SolveOptions& options() const override { return options_; }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    options_.deadline = d;
+  }
   double alpha() const { return alpha_; }
 
  private:

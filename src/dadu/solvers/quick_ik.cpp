@@ -76,6 +76,12 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
       result.status = Status::kStalled;
       return result;
     }
+    // Watchdog: bail with the best-so-far iterate before paying for
+    // another speculative sweep.
+    if (options_.hasDeadline() && options_.deadlineExpired()) {
+      result.status = Status::kTimedOut;
+      return result;
+    }
 
     // Speculative search (Algorithm 1, lines 6-15): all Max candidates
     // advance through one batched chain walk.  Serial execution is a

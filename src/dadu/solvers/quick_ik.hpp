@@ -55,6 +55,9 @@ class QuickIkSolver final : public IkSolver {
   }
   const kin::Chain& chain() const override { return chain_; }
   const SolveOptions& options() const override { return options_; }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    options_.deadline = d;
+  }
   Execution execution() const { return execution_; }
 
  private:

@@ -49,6 +49,11 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
       result.status = Status::kStalled;
       return result;
     }
+    // Watchdog: bail with the best-so-far iterate before the sweep.
+    if (options_.hasDeadline() && options_.deadlineExpired()) {
+      result.status = Status::kTimedOut;
+      return result;
+    }
 
     // Batched sweep over the iteration's speculation count: the kernel
     // is reshaped to `spec` lanes (allocation-free below the maximum)

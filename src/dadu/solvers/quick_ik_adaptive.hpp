@@ -32,6 +32,9 @@ class QuickIkAdaptiveSolver final : public IkSolver {
   std::string name() const override { return "quick-ik-adaptive"; }
   const kin::Chain& chain() const override { return chain_; }
   const SolveOptions& options() const override { return options_; }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    options_.deadline = d;
+  }
 
  private:
   kin::Chain chain_;

@@ -44,6 +44,11 @@ SolveResult QuickIkF32Solver::solve(const linalg::Vec3& target,
       result.status = Status::kStalled;
       return result;
     }
+    // Watchdog: bail with the best-so-far iterate before the sweep.
+    if (options_.hasDeadline() && options_.deadlineExpired()) {
+      result.status = Status::kTimedOut;
+      return result;
+    }
 
     // Speculative searches on the float datapath (SSU/FKU array): one
     // batched chain walk with every FK intermediate held in float.

@@ -27,6 +27,9 @@ class QuickIkF32Solver final : public IkSolver {
   std::string name() const override { return "quick-ik-f32"; }
   const kin::Chain& chain() const override { return chain_; }
   const SolveOptions& options() const override { return options_; }
+  void setDeadline(std::chrono::steady_clock::time_point d) override {
+    options_.deadline = d;
+  }
 
  private:
   kin::Chain chain_;

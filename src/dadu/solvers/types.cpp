@@ -10,6 +10,7 @@ std::string toString(Status s) {
     case Status::kConverged: return "converged";
     case Status::kMaxIterations: return "max-iterations";
     case Status::kStalled: return "stalled";
+    case Status::kTimedOut: return "timed-out";
   }
   return "unknown";
 }

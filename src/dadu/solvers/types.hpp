@@ -1,6 +1,7 @@
 // Common option/result types shared by every IK solver.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,21 @@ struct SolveOptions {
   int speculations = 64;      ///< Quick-IK speculation count ("Max" in Alg. 1)
   bool record_history = false;  ///< keep per-iteration error in the result
   bool clamp_to_limits = false; ///< project theta onto joint limits each step
+  /// Cooperative watchdog: absolute wall-clock deadline for one solve.
+  /// The default (the epoch) means unbounded.  Watchdog-capable solvers
+  /// check this at each iteration head and stop with Status::kTimedOut,
+  /// returning the best-so-far theta/error instead of running the full
+  /// iteration budget — the serving layer's defence against a runaway
+  /// solve outliving its request deadline.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool hasDeadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+  /// One clock read; only called when hasDeadline().
+  bool deadlineExpired() const {
+    return std::chrono::steady_clock::now() >= deadline;
+  }
 };
 
 /// Why a solve ended.
@@ -24,6 +40,7 @@ enum class Status {
   kConverged,       ///< error below accuracy
   kMaxIterations,   ///< iteration budget exhausted
   kStalled,         ///< update direction vanished (J^T e ~ 0 away from target)
+  kTimedOut,        ///< SolveOptions::deadline passed mid-solve (watchdog)
 };
 
 std::string toString(Status s);

@@ -175,6 +175,24 @@ TEST(Cli, ServeBenchCacheOffReportsNoHits) {
   EXPECT_NE(r.out.find("cache:             off"), std::string::npos);
 }
 
+TEST(Cli, ServeBenchAcceptsBreakerFlags) {
+  // A generous depth never trips on 10 requests: the run must succeed
+  // and every request must still be accounted for.
+  const auto r = runCli({"serve-bench", "--robot", "serpentine:10",
+                         "--requests", "10", "--clusters", "2", "--workers",
+                         "2", "--max-iter", "2000", "--breaker-queue-depth",
+                         "10000", "--shed-queue-depth", "5000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("throughput:"), std::string::npos);
+}
+
+TEST(Cli, ServeBenchRejectsNegativeBreakerP99) {
+  const auto r = runCli({"serve-bench", "--robot", "serpentine:10",
+                         "--breaker-p99-ms", "-1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--breaker-p99-ms"), std::string::npos);
+}
+
 TEST(Cli, ServeBenchRejectsBadCacheFlag) {
   const auto r = runCli({"serve-bench", "--robot", "serpentine:10", "--cache",
                          "maybe"});

@@ -1,0 +1,193 @@
+// Unit tests for dadu_fault: the deterministic fault-injection
+// framework itself.  Every trigger shape must replay exactly for a
+// fixed seed — reproducibility is the whole point of the framework —
+// and the disarmed path must stay a no-op.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "dadu/fault/fault.hpp"
+
+namespace dadu::fault {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedIsInert) {
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_FALSE(decide("any.point"));
+  EXPECT_FALSE(inject("any.point"));
+  EXPECT_EQ(FaultInjector::global().totalFires(), 0u);
+}
+
+TEST(FaultInjectorTest, UnrelatedPointNeverFires) {
+  ScopedFaultPlan plan(FaultPlan{}.errorAt("a.point", "boom"));
+  EXPECT_TRUE(FaultInjector::armed());
+  EXPECT_FALSE(decide("another.point"));
+  EXPECT_EQ(FaultInjector::global().hits("another.point"), 1u);
+  EXPECT_EQ(FaultInjector::global().fires("another.point"), 0u);
+}
+
+TEST(FaultInjectorTest, ProbabilityOneFiresEveryHit) {
+  ScopedFaultPlan plan(FaultPlan{}.dropAt("p"));
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(decide("p").action, Action::kDrop);
+  EXPECT_EQ(FaultInjector::global().hits("p"), 10u);
+  EXPECT_EQ(FaultInjector::global().fires("p"), 10u);
+  EXPECT_EQ(FaultInjector::global().totalFires(), 10u);
+}
+
+TEST(FaultInjectorTest, ProbabilityZeroNeverFires) {
+  ScopedFaultPlan plan(FaultPlan{}.dropAt("p", {.probability = 0.0}));
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(decide("p"));
+  EXPECT_EQ(FaultInjector::global().fires("p"), 0u);
+}
+
+/// The reproducibility contract: same seed, same hit sequence => same
+/// fire pattern, bit for bit.
+TEST(FaultInjectorTest, SameSeedReplaysExactly) {
+  const auto run = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.dropAt("p", {.probability = 0.3});
+    ScopedFaultPlan armed(plan);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(bool(decide("p")));
+    return fired;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));  // and the seed actually matters
+}
+
+TEST(FaultInjectorTest, NthTriggerFiresOnExactHit) {
+  ScopedFaultPlan plan(FaultPlan{}.dropAt("p", {.nth = 3}));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_TRUE(decide("p"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_EQ(FaultInjector::global().fires("p"), 1u);
+}
+
+TEST(FaultInjectorTest, AfterTriggerSkipsWarmup) {
+  ScopedFaultPlan plan(FaultPlan{}.dropAt("p", {.after = 2}));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_TRUE(decide("p"));
+  EXPECT_TRUE(decide("p"));
+}
+
+TEST(FaultInjectorTest, LimitTriggerCapsFires) {
+  ScopedFaultPlan plan(FaultPlan{}.dropAt("p", {.limit = 2}));
+  EXPECT_TRUE(decide("p"));
+  EXPECT_TRUE(decide("p"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_EQ(FaultInjector::global().fires("p"), 2u);
+}
+
+TEST(FaultInjectorTest, FirstMatchingRuleWinsPerHit) {
+  // Rule 0 fires only on hit 1; rule 1 fires always.  Hit 1 must see
+  // the kDelay (plan order), every later hit the kDrop.
+  FaultPlan plan;
+  plan.delayAt("p", 7.0, {.nth = 1});
+  plan.dropAt("p");
+  ScopedFaultPlan armed(plan);
+  const Decision first = decide("p");
+  EXPECT_EQ(first.action, Action::kDelay);
+  EXPECT_DOUBLE_EQ(first.delay_ms, 7.0);
+  EXPECT_EQ(decide("p").action, Action::kDrop);
+}
+
+TEST(FaultInjectorTest, ErrorActionThrowsFromInject) {
+  ScopedFaultPlan plan(FaultPlan{}.errorAt("p", "injected boom"));
+  try {
+    inject("p");
+    FAIL() << "inject() should have thrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "injected boom");
+  }
+}
+
+TEST(FaultInjectorTest, DecideNeverThrowsOnError) {
+  ScopedFaultPlan plan(FaultPlan{}.errorAt("p", "boom"));
+  const Decision d = decide("p");  // pure: site interprets
+  EXPECT_EQ(d.action, Action::kError);
+  EXPECT_EQ(d.message, "boom");
+}
+
+TEST(FaultInjectorTest, TruncatePropagatesMaxBytes) {
+  ScopedFaultPlan plan(FaultPlan{}.truncateAt("p", 5));
+  const Decision d = decide("p");
+  EXPECT_EQ(d.action, Action::kTruncate);
+  EXPECT_EQ(d.max_bytes, 5u);
+}
+
+TEST(FaultInjectorTest, CountersSurviveDisarm) {
+  {
+    ScopedFaultPlan plan(FaultPlan{}.dropAt("p"));
+    decide("p");
+    decide("p");
+  }
+  EXPECT_FALSE(FaultInjector::armed());
+  EXPECT_EQ(FaultInjector::global().hits("p"), 2u);
+  EXPECT_EQ(FaultInjector::global().fires("p"), 2u);
+  // ... until the next arm() resets them.
+  ScopedFaultPlan next(FaultPlan{});
+  EXPECT_EQ(FaultInjector::global().hits("p"), 0u);
+}
+
+TEST(FaultInjectorTest, RearmReplacesPlan) {
+  FaultInjector::global().arm(FaultPlan{}.dropAt("p"));
+  EXPECT_TRUE(decide("p"));
+  FaultInjector::global().arm(FaultPlan{}.dropAt("q"));
+  EXPECT_FALSE(decide("p"));
+  EXPECT_TRUE(decide("q"));
+  FaultInjector::global().disarm();
+  EXPECT_FALSE(FaultInjector::armed());
+}
+
+TEST(CorruptionTest, CorruptBytesIsDeterministicAndNonTrivial) {
+  std::vector<std::uint8_t> a(64, 0xAB), b(64, 0xAB), c(64, 0xAB);
+  corruptBytes(a.data(), a.size(), 7);
+  corruptBytes(b.data(), b.size(), 7);
+  corruptBytes(c.data(), c.size(), 8);
+  EXPECT_EQ(a, b);                              // same seed, same damage
+  EXPECT_NE(a, std::vector<std::uint8_t>(64, 0xAB));  // damage happened
+  EXPECT_NE(a, c);                              // seed selects the damage
+}
+
+TEST(CorruptionTest, CorruptBytesTouchesShortBuffers) {
+  std::uint8_t one = 0x5A;
+  corruptBytes(&one, 1, 123);
+  EXPECT_NE(one, 0x5A);  // at least one byte flips when len > 0
+  corruptBytes(nullptr, 0, 123);  // len == 0 must be a safe no-op
+}
+
+TEST(CorruptionTest, CorruptDoublesStaysFinite) {
+  std::vector<double> v(16, 0.25), w(16, 0.25);
+  corruptDoubles(v.data(), v.size(), 99);
+  corruptDoubles(w.data(), w.size(), 99);
+  EXPECT_EQ(v, w);
+  bool changed = false;
+  for (double x : v) {
+    EXPECT_TRUE(std::isfinite(x));  // poison must pass input validation
+    changed = changed || x != 0.25;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(FaultInjectorTest, InjectPerformsDelay) {
+  ScopedFaultPlan plan(FaultPlan{}.delayAt("p", 20.0, {.limit = 1}));
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_TRUE(inject("p"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - before)
+          .count();
+  EXPECT_GE(elapsed_ms, 15.0);  // slack for coarse sleep granularity
+}
+
+}  // namespace
+}  // namespace dadu::fault
