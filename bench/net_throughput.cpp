@@ -11,10 +11,14 @@
 //
 // Usage: net_throughput [--quick] [--connections C] [--requests N]
 //                       [--window W] [--workers K] [--dof D]
-//                       [--json PATH]
-//   --quick     small workload for CI smoke runs
-//   --requests  total requests across all connections
-//   --json P    write BENCH_net.json metric records to P
+//                       [--max-batch M] [--batch-wait-us U]
+//                       [--require-batched] [--json PATH]
+//   --quick            small workload for CI smoke runs
+//   --requests         total requests across all connections
+//   --max-batch M      queue-drain burst bound (1 = per-request dispatch)
+//   --batch-wait-us U  coalescing linger for under-filled bursts
+//   --require-batched  exit nonzero unless batch occupancy > 1 (CI smoke)
+//   --json P           write BENCH_net.json metric records to P
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -36,6 +40,9 @@ struct Options {
   std::size_t window = 8;  ///< pipelined requests in flight per connection
   std::size_t workers = 0;
   std::size_t dof = 12;
+  std::size_t max_batch = 16;
+  std::uint32_t batch_wait_us = 100;
+  bool require_batched = false;
   std::string json_path;
 };
 
@@ -123,6 +130,12 @@ int main(int argc, char** argv) {
       opt.workers = std::stoul(next());
     } else if (arg == "--dof") {
       opt.dof = std::stoul(next());
+    } else if (arg == "--max-batch") {
+      opt.max_batch = std::stoul(next());
+    } else if (arg == "--batch-wait-us") {
+      opt.batch_wait_us = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--require-batched") {
+      opt.require_batched = true;
     } else if (arg == "--json") {
       opt.json_path = next();
     } else {
@@ -139,6 +152,8 @@ int main(int argc, char** argv) {
   service_config.workers = opt.workers;
   service_config.queue_capacity = 4096;
   service_config.enable_seed_cache = true;
+  service_config.max_batch = opt.max_batch;
+  service_config.batch_wait_us = opt.batch_wait_us;
   service::IkService svc(
       [&] { return dadu::ik::makeSolver("quick-ik", chain, {}); },
       service_config);
@@ -151,7 +166,8 @@ int main(int argc, char** argv) {
   std::cout << "net_throughput: " << opt.connections << " connections, "
             << opt.requests << " requests, window " << opt.window << ", "
             << svc.workerCount() << " workers, serpentine:" << opt.dof
-            << " (port " << server.port() << ")\n";
+            << ", max batch " << opt.max_batch << " (wait "
+            << opt.batch_wait_us << " us, port " << server.port() << ")\n";
 
   const std::size_t per_conn =
       std::max<std::size_t>(1, opt.requests / opt.connections);
@@ -205,12 +221,30 @@ int main(int argc, char** argv) {
             << shed_rate << '\n'
             << "service:        " << svc_stats.solved << " solved, "
             << svc_stats.rejected_queue_full << " queue-full, cache hit rate "
-            << svc_stats.cacheHitRate() << '\n';
+            << svc_stats.cacheHitRate() << '\n'
+            << "batching:       " << svc_stats.meanBatchOccupancy()
+            << " mean occupancy, " << svc_stats.batch_occupancy_hist.p50()
+            << " / " << svc_stats.batch_occupancy_hist.p99() << " p50/p99 ("
+            << svc_stats.batches << " bursts)\n"
+            << "offered vs achieved: closed loop, "
+            << opt.connections * opt.window << " requests in flight ("
+            << opt.connections << " conns x window " << opt.window
+            << "); achieved " << rps << " req/s, queue p50 "
+            << svc_stats.queue_hist.p50() << " ms\n";
 
   // Sanity for the acceptance gate: every reply accounted for.
   if (solved + rejected + wire_errors != latencies.size()) {
     std::cerr << "reply accounting mismatch\n";
     return 1;
+  }
+  if (opt.require_batched) {
+    const double occupancy = svc_stats.meanBatchOccupancy();
+    if (!(occupancy > 1.0)) {
+      std::cerr << "require-batched: mean batch occupancy " << occupancy
+                << " is not > 1 — coalescing did not engage\n";
+      return 1;
+    }
+    std::cout << "require-batched: OK (mean occupancy " << occupancy << ")\n";
   }
 
   if (!opt.json_path.empty()) {
@@ -225,6 +259,15 @@ int main(int argc, char** argv) {
         {"net_malformed_frames",
          static_cast<double>(net_stats.malformed_frames), "count"},
         {"net_connections", static_cast<double>(opt.connections), "count"},
+        {"net_max_batch", static_cast<double>(opt.max_batch), "count"},
+        {"net_batch_mean_occupancy", svc_stats.meanBatchOccupancy(),
+         "requests"},
+        {"net_batch_occupancy_p50", svc_stats.batch_occupancy_hist.p50(),
+         "requests"},
+        {"net_batch_occupancy_p99", svc_stats.batch_occupancy_hist.p99(),
+         "requests"},
+        {"net_service_queue_p50_ms", svc_stats.queue_hist.p50(), "ms"},
+        {"net_service_queue_p99_ms", svc_stats.queue_hist.p99(), "ms"},
     };
     if (!bench::writeMetricsJson(opt.json_path, records)) {
       std::cerr << "cannot write " << opt.json_path << '\n';

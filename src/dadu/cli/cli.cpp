@@ -45,12 +45,14 @@ constexpr const char* kUsage =
     "  serve-bench --robot <spec> [--requests n] [--clusters c] [--workers w]\n"
     "        [--queue-capacity n] [--rate req-per-s] [--deadline ms]\n"
     "        [--cache on|off] [--solver name] [--max-iter n]\n"
+    "        [--max-batch n] [--batch-wait-us us]\n"
     "        [--stats-out FILE] [--stats-format auto|prom|json]\n"
     "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
     "        [--shed-queue-depth n]\n"
     "  serve --robot <spec> --port <p> [--address a] [--workers w]\n"
     "        [--queue-capacity n] [--solver name] [--max-iter n]\n"
     "        [--cache on|off] [--max-connections n] [--idle-timeout ms]\n"
+    "        [--max-batch n] [--batch-wait-us us]\n"
     "        [--stats-format text|prom|json] [--max-runtime-ms n]\n"
     "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
     "        [--shed-queue-depth n]\n"
@@ -229,6 +231,19 @@ service::CircuitBreakerConfig parseBreakerOptions(
   return breaker;
 }
 
+/// Batch-coalescer flags shared by serve / serve-bench / stats.
+/// Batching is on by default (--max-batch 16, --batch-wait-us 100);
+/// `--max-batch 1` restores per-request dispatch.
+void applyBatchOptions(service::ServiceConfig& config,
+                       const std::map<std::string, std::string>& opts) {
+  config.max_batch = static_cast<std::size_t>(
+      std::stoul(optional(opts, "max-batch", "16")));
+  if (config.max_batch == 0)
+    throw std::invalid_argument("--max-batch must be >= 1");
+  config.batch_wait_us = static_cast<std::uint32_t>(
+      std::stoul(optional(opts, "batch-wait-us", "100")));
+}
+
 /// Open-loop arrival run against a live IkService: submit `requests`
 /// clustered targets at a fixed arrival rate (0 = all at once).  Open
 /// loop means arrivals do not wait for completions — exactly the
@@ -257,6 +272,7 @@ ServeRun runServeWorkload(const kin::Chain& chain,
       std::stoul(optional(opts, "queue-capacity", "1024")));
   config.enable_seed_cache = run.cache_flag == "on";
   config.breaker = parseBreakerOptions(opts);
+  applyBatchOptions(config, opts);
 
   const auto tasks =
       workload::generateClusteredTasks(chain, requests, run.clusters);
@@ -360,6 +376,11 @@ int cmdServeBench(const kin::Chain& chain,
   out << "solve ms p50/p99:  " << stats.solve_hist.p50() << " / "
       << stats.solve_hist.p99() << '\n';
   out << "mean iterations:   " << stats.meanIterations() << '\n';
+  if (stats.batches > 0)
+    out << "batch occupancy:   " << stats.meanBatchOccupancy() << " mean, "
+        << stats.batch_occupancy_hist.p50() << " / "
+        << stats.batch_occupancy_hist.p99() << " p50/p99 ("
+        << stats.batches << " bursts)\n";
   out << "cache:             " << run.cache_flag << ", hit rate "
       << stats.cacheHitRate() << " (" << stats.cache_hits << "/"
       << (stats.cache_hits + stats.cache_misses) << ")\n";
@@ -406,6 +427,7 @@ int cmdServe(const kin::Chain& chain,
       std::stoul(optional(opts, "queue-capacity", "1024")));
   service_config.enable_seed_cache = cache_flag == "on";
   service_config.breaker = parseBreakerOptions(opts);
+  applyBatchOptions(service_config, opts);
 
   net::ServerConfig server_config;
   server_config.bind_address = optional(opts, "address", "127.0.0.1");

@@ -70,6 +70,33 @@ class BatchedForward {
                      const linalg::Vec3& target, bool clamp_to_limits,
                      std::size_t lane_begin, std::size_t lane_end);
 
+  /// One request's slice of a fused multi-target sweep: lanes
+  /// [lane_begin, lane_end) form candidates theta + alpha[k] * dtheta
+  /// and score them against `target`.  theta/dtheta are borrowed — the
+  /// caller keeps them alive across evaluateGrouped.
+  struct LaneGroup {
+    const linalg::VecX* theta = nullptr;
+    const linalg::VecX* dtheta = nullptr;
+    linalg::Vec3 target{};
+    std::size_t lane_begin = 0;
+    std::size_t lane_end = 0;
+  };
+
+  /// Fused multi-request sweep: evaluate every group's lanes through
+  /// one shared SoA workspace in a single call.  Per-joint constants
+  /// (link-twist trig, DH offsets) come from the table reset()
+  /// precomputed, so no group recomputes them; the walk itself is
+  /// group-major — each group's accumulator slice stays L1-resident
+  /// across the whole chain walk, which measures faster than a
+  /// joint-major pass that streams every group's lanes through cache
+  /// at each joint.  Each lane's values depend only on its own group's
+  /// theta/dtheta/alpha slice, so results are bit-identical to calling
+  /// evaluateLanes once per group over the same lane ranges.  Groups
+  /// must occupy disjoint lane ranges within [0, lanes()).
+  void evaluateGrouped(const Chain& chain, const LaneGroup* groups,
+                       std::size_t group_count, const double* alpha,
+                       bool clamp_to_limits);
+
   /// Per-candidate errors e_k; valid after evaluateLanes covered lane k.
   const std::vector<double>& errors() const { return errors_; }
 
@@ -90,6 +117,13 @@ class BatchedForward {
   std::vector<double> ct_, st_;  ///< per-lane cos/sin scratch (f64)
   std::vector<float> ctf_, stf_;  ///< per-lane cos/sin scratch (f32)
   std::vector<double> errors_;
+  // Per-joint DH trig constants, 4 per joint (cos/sin of the link
+  // twist alpha, cos/sin of the fixed theta offset), precomputed by
+  // reset() in each datapath's own precision so walks spend their trig
+  // budget on candidates only.  Values match the inline computations
+  // of the scalar chain walks bit-for-bit.
+  std::vector<double> trig_d_;
+  std::vector<float> trig_f_;
 };
 
 }  // namespace dadu::kin

@@ -84,6 +84,19 @@ struct ServiceConfig {
   /// Overload circuit breaker (disabled by default — zero overhead).
   /// See circuit_breaker.hpp for the state machine and thresholds.
   CircuitBreakerConfig breaker;
+  /// Batch coalescer: each worker drains up to `max_batch` queued
+  /// requests in one BoundedQueue::popMany and runs them through the
+  /// solver's fused solveMany path (one grouped SoA speculation sweep
+  /// for the whole burst).  1 = per-request dispatch (the legacy
+  /// one-pop-one-solve loop).  Per-request semantics are identical
+  /// either way — same Response statuses, per-lane deadlines and fault
+  /// points — batching only changes how work is amortized.
+  std::size_t max_batch = 1;
+  /// Nagle-style coalescing window in microseconds: an under-filled
+  /// burst lingers up to this long for stragglers before solving.
+  /// Whatever is already queued is taken without any added latency; 0
+  /// disables the wait entirely.  Only meaningful with max_batch > 1.
+  std::uint32_t batch_wait_us = 0;
   /// Test seam: invoked by stop() between closing the queue and
   /// draining it — the race window the discard path must tolerate.
   /// Never set in production.
@@ -159,12 +172,33 @@ class IkService {
     kIterations,
     kFkEvaluations,
     kSpeculationLoad,
+    kBatches,       ///< coalesced bursts dispatched (batched path only)
+    kBatchedLanes,  ///< requests carried by those bursts
     kCounterCount,
+  };
+
+  /// Per-worker scratch for the batched dispatch path, reused across
+  /// bursts so a warm worker allocates nothing per burst.
+  struct BatchScratch {
+    std::vector<Job> burst;
+    std::vector<unsigned char> live;  ///< still headed for the solver
+    std::vector<double> queue_ms;
+    std::vector<double> fault_ms;  ///< service.worker.solve delay charge
+    std::vector<linalg::VecX> seeds;
+    std::vector<unsigned char> from_cache;
+    std::vector<linalg::Vec3> cache_targets;
+    std::vector<std::size_t> cache_slots;
+    std::vector<unsigned char> cache_hits;
+    std::vector<linalg::VecX> probe_seeds;
+    std::vector<ik::BatchLane> lanes;
+    std::vector<ik::BatchLaneResult> outcomes;
+    std::vector<std::size_t> lane_job;  ///< lane index -> burst index
   };
 
   void submitInternal(Request request, JobCompletion finish);
   void workerLoop();
   void process(ik::IkSolver& solver, Job job);
+  void processBatch(ik::IkSolver& solver, BatchScratch& scratch);
   void rejectNow(JobCompletion& finish, RejectReason reason);
   /// Reject a job that may be a half-open probe: the breaker hears a
   /// probe failure ("never executed"), then the completion fires.
@@ -193,6 +227,11 @@ class IkService {
   obs::LatencyHistogram queue_hist_;
   obs::LatencyHistogram solve_hist_;
   obs::LatencyHistogram e2e_hist_;
+  /// Burst occupancy (requests per popMany, batched path only): the
+  /// one distribution that says whether coalescing is actually
+  /// happening — p50 stuck at 1 under load means the window is too
+  /// short or the queue never backs up.
+  obs::LatencyHistogram batch_hist_;
 };
 
 }  // namespace dadu::service

@@ -28,6 +28,39 @@ bool BoundedQueue::pop(Job& out) {
   return true;
 }
 
+std::size_t BoundedQueue::popMany(std::vector<Job>& out,
+                                  std::size_t max_items,
+                                  std::chrono::microseconds max_wait) {
+  out.clear();
+  if (max_items == 0) return 0;
+  const auto take = [&] {
+    while (!jobs_.empty() && out.size() < max_items) {
+      out.push_back(std::move(jobs_.front()));
+      jobs_.pop_front();
+    }
+  };
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+  if (jobs_.empty()) return 0;  // closed and drained
+  take();
+
+  // Coalescing window: whatever was ready went first (no added latency
+  // for a deep queue); only an under-filled burst waits for company.
+  // Taking immediately before any further wait keeps the usual
+  // condition-variable invariant — nobody sleeps while work is queued.
+  if (out.size() < max_items && max_wait.count() > 0 && !closed_) {
+    const auto deadline = std::chrono::steady_clock::now() + max_wait;
+    while (out.size() < max_items && !closed_) {
+      if (!cv_.wait_until(lock, deadline,
+                          [&] { return closed_ || !jobs_.empty(); }))
+        break;  // window expired with nothing new
+      take();
+    }
+  }
+  return out.size();
+}
+
 void BoundedQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);

@@ -71,6 +71,19 @@ class BoundedQueue {
   /// shutdown can drain.
   bool pop(Job& out);
 
+  /// Bulk pop: block exactly like pop() until at least one job is
+  /// available (or the queue is closed and drained — returns 0), then
+  /// move up to `max_items` jobs into `out` in FIFO order.  The whole
+  /// burst happens under ONE lock acquisition instead of one per item.
+  /// If fewer than `max_items` are on hand and `max_wait` is positive,
+  /// lingers up to that long for stragglers (the Nagle-style
+  /// coalescing window), taking arrivals as they land and returning
+  /// early once full or closed.  A woken consumer always consumes, so
+  /// popMany never strands a producer's notify while work is queued.
+  /// `out` is cleared first; the return value is out.size().
+  std::size_t popMany(std::vector<Job>& out, std::size_t max_items,
+                      std::chrono::microseconds max_wait);
+
   /// Stop accepting pushes and wake every blocked consumer.  Queued
   /// jobs remain poppable.  Idempotent.
   void close();

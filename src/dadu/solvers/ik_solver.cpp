@@ -1,0 +1,24 @@
+#include "dadu/solvers/ik_solver.hpp"
+
+namespace dadu::ik {
+
+void IkSolver::solveMany(const BatchLane* lanes, BatchLaneResult* out,
+                         std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    out[i] = BatchLaneResult{};
+    try {
+      setDeadline(lanes[i].deadline);
+      out[i].result = solve(lanes[i].target, *lanes[i].seed);
+    } catch (...) {
+      out[i].error = std::current_exception();
+    }
+    out[i].solve_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+  }
+  setDeadline({});
+}
+
+}  // namespace dadu::ik

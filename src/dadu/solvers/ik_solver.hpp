@@ -5,6 +5,9 @@
 // per-solve allocation) and then solves any number of targets.
 #pragma once
 
+#include <chrono>
+#include <cstddef>
+#include <exception>
 #include <memory>
 #include <string>
 
@@ -15,6 +18,30 @@
 
 namespace dadu::ik {
 
+/// One request's slot in a multi-target solveMany() call.  `seed` is
+/// borrowed — the caller keeps it alive for the duration of the call.
+struct BatchLane {
+  linalg::Vec3 target;
+  const linalg::VecX* seed = nullptr;
+  /// Per-lane cooperative watchdog deadline; the default (the epoch)
+  /// means unbounded, mirroring SolveOptions::deadline.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+/// Outcome of one solveMany() lane.
+struct BatchLaneResult {
+  SolveResult result;
+  /// Wall time attributed to this lane in milliseconds.  The looping
+  /// fallback times each lane's own solve; a fused implementation
+  /// reports time from batch start to lane retirement (the latency the
+  /// lane's caller actually observed).
+  double solve_ms = 0.0;
+  /// Set when the lane failed instead of producing a result (invalid
+  /// inputs, injected fault).  Failures are per lane: batchmates still
+  /// complete normally.
+  std::exception_ptr error;
+};
+
 class IkSolver {
  public:
   virtual ~IkSolver() = default;
@@ -24,6 +51,18 @@ class IkSolver {
   /// target.
   virtual SolveResult solve(const linalg::Vec3& target,
                             const linalg::VecX& seed) = 0;
+
+  /// Solve `n` independent lanes.  Per-lane semantics are identical to
+  /// calling setDeadline(lanes[i].deadline) + solve(...) per lane —
+  /// same statuses, same thetas bit-for-bit — but implementations may
+  /// fuse the lanes into shared batched kernels to amortize per-solve
+  /// overhead (QuickIkSolver runs all lanes' speculation sweeps through
+  /// one grouped SoA chain walk).  Exceptions are captured per lane
+  /// into BatchLaneResult::error, never thrown, so one bad request
+  /// cannot poison its batchmates.  The base implementation is the
+  /// sequential loop; it leaves the solver's watchdog deadline cleared.
+  virtual void solveMany(const BatchLane* lanes, BatchLaneResult* out,
+                         std::size_t n);
 
   /// Stable identifier ("jt-serial", "quick-ik", ...) used by benches
   /// and reports.

@@ -127,7 +127,11 @@ fault::FaultPlan chaosPlan(std::uint64_t seed) {
   return plan;
 }
 
-TEST(ChaosSoak, EveryRequestGetsExactlyOneOutcome) {
+// Body of the exactly-once soak, shared by the per-request and
+// batched-dispatch variants: the coalescer must preserve the
+// exactly-one-outcome and conservation invariants under the same
+// randomized fault plan.
+void runExactlyOnceSoak(std::size_t max_batch, std::uint32_t batch_wait_us) {
   const std::uint64_t seed = envU64("DADU_CHAOS_SEED", 0xDADBull);
   const std::uint64_t total = envU64("DADU_CHAOS_REQUESTS", 10'000);
   constexpr int kThreads = 4;
@@ -145,6 +149,8 @@ TEST(ChaosSoak, EveryRequestGetsExactlyOneOutcome) {
   svc_config.breaker.trip_p99_ms = 250.0;
   svc_config.breaker.open_ms = 10.0;
   svc_config.breaker.half_open_probes = 2;
+  svc_config.max_batch = max_batch;
+  svc_config.batch_wait_us = batch_wait_us;
   Harness h(svc_config);
 
   fault::ScopedFaultPlan plan(chaosPlan(seed));
@@ -195,17 +201,37 @@ TEST(ChaosSoak, EveryRequestGetsExactlyOneOutcome) {
             << " injected_fires="
             << fault::FaultInjector::global().totalFires() << std::endl;
 
-  // Conservation on the service side: every submit landed in exactly
-  // one terminal counter bucket.
-  const service::ServiceStats svc_stats = h.service->stats();
-  EXPECT_EQ(svc_stats.submitted, svc_stats.accounted());
-
-  // And on the wire side after a full drain: every dispatched request
+  // On the wire side after a full drain: every dispatched request
   // either completed back through the loop or was counted orphaned.
   h.server->stop();
   const NetStats net_stats = h.server->stats();
   EXPECT_EQ(net_stats.requests_dispatched,
             net_stats.requests_completed + net_stats.orphaned_completions);
+
+  // Conservation on the service side, read only after both stops so no
+  // request is still in flight (requests whose *client* gave up keep
+  // running server-side until the drain finishes them): every submit
+  // landed in exactly one terminal counter bucket.
+  h.service->stop();
+  const service::ServiceStats svc_stats = h.service->stats();
+  EXPECT_EQ(svc_stats.submitted, svc_stats.accounted());
+
+  if (max_batch > 1) {
+    // The coalescer actually ran, and every lane that entered a
+    // counted burst landed in exactly one of its terminal buckets.
+    EXPECT_GT(svc_stats.batches, 0u);
+    EXPECT_EQ(svc_stats.batched_lanes,
+              svc_stats.solved + svc_stats.deadline_expired +
+                  svc_stats.internal_errors);
+  }
+}
+
+TEST(ChaosSoak, EveryRequestGetsExactlyOneOutcome) {
+  runExactlyOnceSoak(1, 0);
+}
+
+TEST(ChaosSoak, EveryRequestGetsExactlyOneOutcomeBatched) {
+  runExactlyOnceSoak(8, 200);
 }
 
 /// Deterministic heavy-interference run: EINTR and 1-to-3-byte

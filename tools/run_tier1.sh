@@ -23,8 +23,10 @@
 # are all concurrent — with:
 #
 #   cmake -B build-tsan -S . -DDADU_SANITIZE=thread -DDADU_BUILD_BENCH=OFF
-#   cmake --build build-tsan -j --target service_test service_stress_test parallel_test
+#   cmake --build build-tsan -j --target service_test service_batch_test \
+#       service_stress_test parallel_test
 #   ./build-tsan/tests/service_test
+#   ./build-tsan/tests/service_batch_test
 #   ./build-tsan/tests/service_stress_test
 #   ./build-tsan/tests/parallel_test
 set -euo pipefail
@@ -40,8 +42,10 @@ ctest --test-dir "${build_dir}" --output-on-failure -j
 # Optional perf-trajectory step: DADU_RUN_BENCH=1 runs the wire-level
 # load generator (64 pipelined TCP connections against a loopback
 # IkServer) and leaves BENCH_net.json next to the build dir for later
-# PRs to diff against.
+# PRs to diff against.  --require-batched doubles as the batching
+# smoke: the run fails unless queue coalescing actually engaged (mean
+# batch occupancy > 1).
 if [[ "${DADU_RUN_BENCH:-0}" == "1" ]]; then
-  "${build_dir}/bench/net_throughput" --quick \
+  "${build_dir}/bench/net_throughput" --quick --require-batched \
     --json "${build_dir}/BENCH_net.json"
 fi
