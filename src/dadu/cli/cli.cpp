@@ -26,6 +26,7 @@
 #include "dadu/obs/export.hpp"
 #include "dadu/platform/timer.hpp"
 #include "dadu/service/ik_service.hpp"
+#include "dadu/sim/scenario.hpp"
 #include "dadu/solvers/factory.hpp"
 #include "dadu/solvers/pose_solvers.hpp"
 #include "dadu/workload/targets.hpp"
@@ -57,6 +58,9 @@ constexpr const char* kUsage =
     "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
     "        [--shed-queue-depth n]\n"
     "  stats --robot <spec> [--format text|prom|json] [serve-bench options]\n"
+    "  sim   [--scenario baseline|burst|chaos|overload] [--seed n]\n"
+    "        [--requests n] [--clients n] [--workers n] [--max-batch n]\n"
+    "        [--batch-wait-us us] [--trace-out FILE] [--trace-keep n]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n";
 
@@ -508,6 +512,68 @@ int cmdStats(const kin::Chain& chain,
   return run.stats.solved == run.stats.submitted ? 0 : 1;
 }
 
+/// Deterministic whole-stack simulation: run a scenario under a seed,
+/// print the outcome summary and trace digest, exit nonzero if any
+/// conservation invariant broke.  Two runs with the same seed print
+/// the same digest and write byte-identical trace files — the CI
+/// determinism gate diffs exactly that.
+int cmdSim(const std::map<std::string, std::string>& opts, std::ostream& out,
+           std::ostream& err) {
+  sim::ScenarioConfig config =
+      sim::presetScenario(optional(opts, "scenario", "baseline"));
+  config.seed = std::stoull(optional(opts, "seed", "1"));
+  config.requests = std::stoull(
+      optional(opts, "requests", std::to_string(config.requests)));
+  config.clients =
+      std::stoull(optional(opts, "clients", std::to_string(config.clients)));
+  config.workers =
+      std::stoull(optional(opts, "workers", std::to_string(config.workers)));
+  config.max_batch = std::stoull(
+      optional(opts, "max-batch", std::to_string(config.max_batch)));
+  config.batch_wait_us = static_cast<std::uint32_t>(std::stoul(optional(
+      opts, "batch-wait-us", std::to_string(config.batch_wait_us))));
+  config.trace_keep = std::stoull(
+      optional(opts, "trace-keep", std::to_string(config.trace_keep)));
+
+  const sim::ScenarioResult result = sim::runScenario(config);
+
+  const auto trace_out = opts.find("trace-out");
+  if (trace_out != opts.end()) {
+    std::ofstream file(trace_out->second);
+    if (!file) throw std::runtime_error("cannot write " + trace_out->second);
+    result.trace.writeTo(file);
+  }
+
+  char digest[24];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(result.trace.digest()));
+  out << "scenario:    " << config.name << " (seed " << config.seed << ")\n";
+  out << "requests:    " << config.requests << " over " << config.clients
+      << " clients, " << config.workers << " workers, batch "
+      << config.max_batch << "/" << config.batch_wait_us << "us\n";
+  out << "virtual:     " << result.virtual_ms << " ms simulated in "
+      << result.wall_ms << " ms wall (" << result.tasks_executed
+      << " tasks)\n";
+  out << "outcomes:    " << result.responses << " responses, "
+      << result.wire_errors << " errors, " << result.conn_closed
+      << " lost, " << result.unsent << " unsent\n";
+  out << "verdicts:    " << result.solved << " solved, " << result.rejected
+      << " rejected, " << result.deadline_exceeded << " deadline\n";
+  out << "service:     " << result.service.submitted << " submitted, "
+      << result.service.converged << " converged, mean batch "
+      << result.service.meanBatchOccupancy() << ", cache hit rate "
+      << result.service.cacheHitRate() << '\n';
+  out << "trace:       " << result.trace.events() << " events, digest "
+      << digest << '\n';
+  if (!result.ok()) {
+    for (const std::string& v : result.violations)
+      err << "invariant violated: " << v << '\n';
+    return 1;
+  }
+  out << "invariants:  ok\n";
+  return 0;
+}
+
 }  // namespace
 
 std::vector<double> parseNumberList(const std::string& csv) {
@@ -560,6 +626,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     const std::string& command = args[0];
     const auto opts = parseOptions(args, 1);
+    // The simulator models its own robot; no --robot required.
+    if (command == "sim") return cmdSim(opts, out, err);
     const kin::Chain chain = resolveRobot(require(opts, "robot"));
 
     if (command == "info") return cmdInfo(chain, out);

@@ -123,13 +123,14 @@ std::uint64_t FaultInjector::totalFires() const {
   return total_fires_;
 }
 
-Decision inject(const char* point) {
+Decision inject(const char* point) { return inject(point, nullptr); }
+
+Decision inject(const char* point, const platform::Clock* clock) {
   if (!FaultInjector::armed()) return {};
   Decision d = FaultInjector::global().decide(point);
   switch (d.action) {
     case Action::kDelay:
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(d.delay_ms));
+      platform::sleepOn(clock, d.delay_ms);
       break;
     case Action::kError:
       throw std::runtime_error(d.message);

@@ -59,6 +59,8 @@
 #include <utility>
 #include <vector>
 
+#include "dadu/platform/clock.hpp"
+
 namespace dadu::fault {
 
 enum class Action : std::uint8_t {
@@ -192,6 +194,13 @@ class FaultInjector {
 /// internally, returns everything else for the site to interpret.
 /// Disarmed: one branch, returns kNone.
 Decision inject(const char* point);
+
+/// Clock-aware spelling: identical to inject() except kDelay sleeps on
+/// the Clock seam — a real clock blocks the thread, a virtual clock
+/// charges the delay to simulated time (the deterministic simulation
+/// harness runs chaos delays for free in wall time).  Null clock is
+/// exactly inject().
+Decision inject(const char* point, const platform::Clock* clock);
 
 /// Injection-point spelling for sites that must not throw (socket
 /// loops): never sleeps or throws, pure decision.

@@ -22,7 +22,7 @@ namespace {
 
 }  // namespace
 
-EventLoop::EventLoop() {
+EventLoop::EventLoop(const platform::Clock* clock) : clock_(clock) {
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) throwErrno("epoll_create1");
   wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
@@ -71,7 +71,7 @@ void EventLoop::remove(int fd) {
 void EventLoop::setTick(double interval_ms, std::function<void()> handler) {
   tick_interval_ms_ = interval_ms;
   tick_handler_ = std::move(handler);
-  next_tick_ = std::chrono::steady_clock::now() +
+  next_tick_ = platform::clockNow(clock_) +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                    std::chrono::duration<double, std::milli>(interval_ms));
 }
@@ -82,7 +82,7 @@ void EventLoop::setWakeupHandler(std::function<void()> handler) {
 
 void EventLoop::maybeTick() {
   if (!tick_handler_) return;
-  const auto now = std::chrono::steady_clock::now();
+  const auto now = platform::clockNow(clock_);
   if (now < next_tick_) return;
   next_tick_ = now +
                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -93,7 +93,7 @@ void EventLoop::maybeTick() {
 
 int EventLoop::runOnce(int timeout_ms) {
   if (tick_handler_) {
-    const auto now = std::chrono::steady_clock::now();
+    const auto now = platform::clockNow(clock_);
     const double until_tick =
         std::chrono::duration<double, std::milli>(next_tick_ - now).count();
     const int capped = until_tick <= 0.0

@@ -17,6 +17,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "dadu/platform/clock.hpp"
+
 namespace dadu::net {
 
 class EventLoop {
@@ -25,8 +27,13 @@ class EventLoop {
   using FdHandler = std::function<void(std::uint32_t events)>;
 
   /// Creates the epoll instance and the internal wakeup eventfd.
-  /// Throws std::runtime_error if either cannot be created.
-  EventLoop();
+  /// Throws std::runtime_error if either cannot be created.  `clock`
+  /// is the Clock seam for tick scheduling (null = real steady clock);
+  /// with a virtual clock, tests drive runOnce(0) and advance the
+  /// clock to fire ticks without sleeping.  epoll_wait itself always
+  /// blocks in real time — the simulation harness replaces the socket
+  /// layer (SimTransport), not epoll.
+  explicit EventLoop(const platform::Clock* clock = nullptr);
   ~EventLoop();
 
   EventLoop(const EventLoop&) = delete;
@@ -72,6 +79,7 @@ class EventLoop {
  private:
   void maybeTick();
 
+  const platform::Clock* clock_ = nullptr;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   std::atomic<bool> stop_{false};

@@ -74,6 +74,7 @@ void IkServer::CompletionSink::push(PendingCompletion item) {
 IkServer::IkServer(service::IkService& service, ServerConfig config)
     : service_(service),
       config_(std::move(config)),
+      loop_(config_.clock),
       sink_(std::make_shared<CompletionSink>()),
       counters_(kCounterCount, config_.stat_shards),
       frame_hist_(frameBytesLadder()),
@@ -179,7 +180,7 @@ void IkServer::onAcceptable() {
     Connection conn;
     conn.id = conn_id;
     conn.fd = fd;
-    conn.last_activity = Clock::now();
+    conn.last_activity = platform::clockNow(config_.clock);
     conns_.emplace(conn_id, std::move(conn));
     loop_.add(fd, EPOLLIN, [this, conn_id](std::uint32_t events) {
       onConnectionEvent(conn_id, events);
@@ -253,7 +254,7 @@ void IkServer::onReadable(Connection& conn) {
                               injected.corrupt_seed);
         conn.in.append(read_chunk_.data(), static_cast<std::size_t>(n));
         counters_.add(kBytesRead, static_cast<std::uint64_t>(n));
-        conn.last_activity = Clock::now();
+        conn.last_activity = platform::clockNow(config_.clock);
         if (static_cast<std::size_t>(n) < want) break;
         continue;
       }
@@ -357,7 +358,7 @@ void IkServer::handleRequest(Connection& conn, const WireRequest& request) {
   PendingCompletion pending;
   pending.conn_id = conn.id;
   pending.request_id = request.id;
-  pending.dispatched = Clock::now();
+  pending.dispatched = platform::clockNow(config_.clock);
   service_.submit(
       toServiceRequest(request),
       // The callback runs on a service worker (or inline on admission
@@ -375,7 +376,7 @@ void IkServer::drainCompletions() {
     std::lock_guard<std::mutex> lock(sink_->mutex);
     done.swap(sink_->items);
   }
-  const auto now = Clock::now();
+  const auto now = platform::clockNow(config_.clock);
   for (PendingCompletion& item : done) {
     dispatched_pending_--;
     counters_.add(kRequestsCompleted);
@@ -442,7 +443,7 @@ void IkServer::onWritable(Connection& conn) {
     if (n > 0) {
       conn.out.consume(static_cast<std::size_t>(n));
       counters_.add(kBytesWritten, static_cast<std::uint64_t>(n));
-      conn.last_activity = Clock::now();
+      conn.last_activity = platform::clockNow(config_.clock);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR))
@@ -499,7 +500,7 @@ void IkServer::closeConnection(std::uint64_t conn_id, CloseReason reason) {
 
 void IkServer::beginDrain() {
   if (drain_deadline_set_) {
-    if (drainComplete() || Clock::now() >= drain_deadline_) {
+    if (drainComplete() || platform::clockNow(config_.clock) >= drain_deadline_) {
       std::vector<std::uint64_t> ids;
       ids.reserve(conns_.size());
       for (const auto& [id, conn] : conns_) ids.push_back(id);
@@ -514,7 +515,7 @@ void IkServer::beginDrain() {
   // what is already dispatched gets to finish and flush.
   drain_deadline_set_ = true;
   drain_deadline_ =
-      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+      platform::clockNow(config_.clock) + std::chrono::duration_cast<Clock::duration>(
                          std::chrono::duration<double, std::milli>(
                              config_.drain_timeout_ms));
   if (listen_fd_ >= 0) {
@@ -539,7 +540,7 @@ void IkServer::onTick() {
     return;
   }
   if (config_.idle_timeout_ms <= 0.0) return;
-  const auto now = Clock::now();
+  const auto now = platform::clockNow(config_.clock);
   std::vector<std::uint64_t> idle;
   for (const auto& [id, conn] : conns_)
     if (conn.in_flight == 0 && conn.out.empty() &&

@@ -71,6 +71,11 @@ struct ServerConfig {
   /// Bucket ladder for the frame-size / wire-latency histograms.
   obs::LatencyHistogram::Config latency;
   std::size_t stat_shards = 0;  ///< 0 = hardware concurrency
+  /// Time source for idle sweeps, drain deadlines and wire-latency
+  /// timestamps (null = real steady clock).  Sockets and epoll always
+  /// run in real time; the clock seam only moves the *timestamps* so
+  /// tests can pin idle/drain arithmetic.
+  const platform::Clock* clock = nullptr;
 };
 
 class IkServer {

@@ -1,0 +1,91 @@
+// The one time abstraction in the tree.
+//
+// Every component that reads time — the serving layer's queue-wait and
+// solve stamps, the circuit breaker's trip windows, the net layer's
+// idle sweep and drain deadline, the solver watchdog — takes a
+// `const Clock*` (null = the real steady clock) instead of calling
+// std::chrono::steady_clock::now() directly.  Production passes
+// nothing and pays one predictable branch on paths that already pay a
+// syscall; the deterministic simulation harness (src/dadu/sim/)
+// passes a SimClock so the whole stack runs under virtual time and a
+// million-request scheduling experiment costs milliseconds.
+//
+// The time_point type is steady_clock's everywhere: a virtual clock
+// manufactures time_points on the same representation, so threading
+// the seam changes no struct layouts and no public signatures beyond
+// the optional clock itself.
+#pragma once
+
+#include <chrono>
+#include <thread>
+
+namespace dadu::platform {
+
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+  using duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+  virtual time_point now() const = 0;
+
+  /// Put the calling context to sleep for `d`.  The real clock blocks
+  /// the OS thread; a virtual clock advances itself instead — under
+  /// cooperative single-threaded execution the "sleeping" task is the
+  /// only runnable one, so jumping time forward IS the sleep.  Used by
+  /// fault-injected delays and the sim's modeled solve costs, so both
+  /// charge simulated time instead of stalling the test process.
+  virtual void sleepFor(duration d) const = 0;
+};
+
+/// Production clock: a thin virtual shim over steady_clock.
+class RealClock final : public Clock {
+ public:
+  time_point now() const override { return std::chrono::steady_clock::now(); }
+  void sleepFor(duration d) const override {
+    if (d > duration::zero()) std::this_thread::sleep_for(d);
+  }
+};
+
+/// The shared production instance (stateless, safe from any thread).
+inline const Clock& realClock() {
+  static const RealClock clock;
+  return clock;
+}
+
+/// One clock read through the seam: the spelling every call site uses.
+inline Clock::time_point clockNow(const Clock* clock) {
+  return clock ? clock->now() : std::chrono::steady_clock::now();
+}
+
+/// Sleep `ms` on the seam (null clock = real thread sleep).
+inline void sleepOn(const Clock* clock, double ms) {
+  if (ms <= 0.0) return;
+  const auto d = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(ms));
+  if (clock)
+    clock->sleepFor(d);
+  else
+    std::this_thread::sleep_for(d);
+}
+
+/// Elapsed-time stopwatch over the seam (formerly platform/timer.hpp's
+/// wall-clock-only WallTimer).  Null clock = real steady clock with no
+/// virtual call on either read.
+class WallTimer {
+ public:
+  explicit WallTimer(const Clock* clock = nullptr)
+      : clock_(clock), start_(clockNow(clock_)) {}
+  void reset() { start_ = clockNow(clock_); }
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(clockNow(clock_) -
+                                                     start_)
+        .count();
+  }
+
+ private:
+  const Clock* clock_;
+  Clock::time_point start_;
+};
+
+}  // namespace dadu::platform

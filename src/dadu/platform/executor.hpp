@@ -1,0 +1,39 @@
+// Execution seam: where deferred work runs.
+//
+// Production components run their work on OS threads they own (the
+// IkService worker pool, the net reactor thread).  Handing them an
+// Executor instead lets the deterministic simulation harness
+// (src/dadu/sim/) run the same components as cooperatively-scheduled
+// tasks on one thread under a virtual clock: `post` enqueues a task
+// for "now", `postAt` schedules one for a virtual instant, and the
+// sim's event loop decides the interleaving from a seed.
+//
+// Contract: tasks posted from a single thread run in a deterministic
+// order decided by the executor (SimExecutor: due time, then a seeded
+// tie-break, then FIFO).  An executor never runs tasks concurrently
+// unless its concrete type documents otherwise — components written
+// for the sim assume cooperative single-threaded execution and take
+// no locks.
+#pragma once
+
+#include <functional>
+
+#include "dadu/platform/clock.hpp"
+
+namespace dadu::platform {
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueue `task` to run as soon as the executor gets to it.
+  virtual void post(std::function<void()> task) = 0;
+
+  /// Enqueue `task` to run once the executor's clock reaches `due`.
+  virtual void postAt(Clock::time_point due, std::function<void()> task) = 0;
+
+  /// The clock this executor schedules against.
+  virtual const Clock& clock() const = 0;
+};
+
+}  // namespace dadu::platform

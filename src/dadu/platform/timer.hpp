@@ -1,22 +1,6 @@
-// Wall-clock timer for the measured-CPU rows of Table 2.
+// WallTimer moved to platform/clock.hpp, unified with the Clock seam
+// (one time abstraction in the tree).  This header remains for the
+// measured-CPU rows of Table 2 and other long-standing includers.
 #pragma once
 
-#include <chrono>
-
-namespace dadu::platform {
-
-class WallTimer {
- public:
-  WallTimer() : start_(clock::now()) {}
-  void reset() { start_ = clock::now(); }
-  double elapsedMs() const {
-    return std::chrono::duration<double, std::milli>(clock::now() - start_)
-        .count();
-  }
-
- private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
-};
-
-}  // namespace dadu::platform
+#include "dadu/platform/clock.hpp"  // IWYU pragma: export

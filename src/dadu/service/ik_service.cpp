@@ -22,7 +22,7 @@ double msBetween(Clock::time_point from, Clock::time_point to) {
 IkService::IkService(SolverFactory factory, ServiceConfig config)
     : config_(config),
       factory_(std::move(factory)),
-      queue_(config.queue_capacity),
+      queue_(config.queue_capacity, config.clock),
       cache_(config.cache),
       breaker_(config.breaker),
       counters_(kCounterCount, config.stat_shards),
@@ -36,6 +36,13 @@ IkService::IkService(SolverFactory factory, ServiceConfig config)
   std::size_t workers = config_.workers;
   if (workers == 0)
     workers = std::max(1u, std::thread::hardware_concurrency());
+  if (config_.executor) {
+    // Cooperative mode: no threads.  Workers are dispatch-step state
+    // machines driven by the executor; the vector never reallocates
+    // (steps capture indices, not iterators).
+    coop_workers_ = std::vector<CoopWorker>(workers);
+    return;
+  }
   workers_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
     workers_.emplace_back([this] { workerLoop(); });
@@ -87,7 +94,7 @@ void IkService::submitInternal(Request request, JobCompletion finish) {
   counters_.add(kSubmitted);
 
   Job job;
-  job.enqueued = Clock::now();
+  job.enqueued = now();
 
   // Overload brownout gate: the breaker fast-rejects while Open and
   // sheds low-priority work while the queue is deep — both *before*
@@ -123,6 +130,9 @@ void IkService::submitInternal(Request request, JobCompletion finish) {
 
   switch (queue_.tryPush(std::move(job))) {
     case PushResult::kAccepted:
+      // Cooperative mode has no parked threads to notify: posting the
+      // dispatch steps here is the notify_one().
+      if (config_.executor) scheduleCoopWorkers();
       break;
     case PushResult::kFull:
       // tryPush did not move from `job` — fail its completion here.
@@ -153,12 +163,13 @@ void IkService::rejectNow(JobCompletion& finish, RejectReason reason) {
 
 void IkService::rejectJob(Job& job, RejectReason reason) {
   // A probe that never executes tells the breaker nothing good.
-  if (job.probe) breaker_.onProbeResult(false, Clock::now());
+  if (job.probe) breaker_.onProbeResult(false, now());
   rejectNow(job.finish, reason);
 }
 
 void IkService::workerLoop() {
   const std::unique_ptr<ik::IkSolver> solver = factory_();
+  solver->setClock(config_.clock);
   if (config_.max_batch <= 1) {
     Job job;
     while (queue_.pop(job)) {
@@ -189,6 +200,99 @@ void IkService::workerLoop() {
   }
 }
 
+ik::IkSolver& IkService::coopSolver(CoopWorker& w) {
+  if (!w.solver) {
+    w.solver = factory_();
+    w.solver->setClock(config_.clock);
+  }
+  return *w.solver;
+}
+
+void IkService::scheduleCoopWorkers() {
+  // Single-threaded by the executor-mode contract: no locking needed
+  // around the worker state machines.
+  for (std::size_t i = 0; i < coop_workers_.size(); ++i) {
+    if (queue_.size() == 0) return;
+    CoopWorker& w = coop_workers_[i];
+    if (w.busy) {
+      // A lingering worker parked on its coalescing timer is woken
+      // early the moment a full burst is ready — the discrete-event
+      // mirror of popMany's "return early once full".
+      if (w.lingering && queue_.size() >= config_.max_batch) {
+        w.lingering = false;
+        const std::uint64_t gen = ++w.generation;
+        config_.executor->post([this, i, gen] { coopStep(i, gen); });
+      }
+      continue;
+    }
+    w.busy = true;
+    w.lingering = false;
+    const std::uint64_t gen = ++w.generation;
+    config_.executor->post([this, i, gen] { coopStep(i, gen); });
+  }
+}
+
+void IkService::coopStep(std::size_t worker, std::uint64_t generation) {
+  CoopWorker& w = coop_workers_[worker];
+  if (generation != w.generation) return;  // superseded or stopped
+  const bool discarding = discard_.load(std::memory_order_acquire);
+
+  if (config_.max_batch <= 1) {
+    Job job;
+    if (!queue_.tryPop(job)) {
+      w.busy = false;
+      return;
+    }
+    if (discarding)
+      rejectJob(job, RejectReason::kShutdown);
+    else
+      process(coopSolver(w), std::move(job));
+  } else {
+    const std::size_t depth = queue_.size();
+    if (depth == 0) {
+      w.busy = false;
+      w.lingering = false;
+      return;
+    }
+    // The Nagle-style coalescing window, modeled as a timer: an
+    // under-filled burst parks for batch_wait_us (or until
+    // scheduleCoopWorkers wakes it early with a full queue) before
+    // taking whatever is on hand.  Same observable semantics as
+    // popMany's condition-variable linger — the burst dispatches at
+    // linger end, and every lane's queue_ms includes the wait.
+    if (!w.lingering && depth < config_.max_batch &&
+        config_.batch_wait_us > 0 && !discarding && !queue_.closed()) {
+      w.lingering = true;
+      const std::uint64_t gen = ++w.generation;
+      config_.executor->postAt(
+          now() + std::chrono::microseconds(config_.batch_wait_us),
+          [this, worker, gen] { coopStep(worker, gen); });
+      return;
+    }
+    w.lingering = false;
+    if (queue_.tryPopMany(w.scratch.burst, config_.max_batch) == 0) {
+      w.busy = false;
+      return;
+    }
+    if (discarding) {
+      for (Job& job : w.scratch.burst)
+        rejectJob(job, RejectReason::kShutdown);
+    } else {
+      processBatch(coopSolver(w), w.scratch);
+    }
+  }
+
+  if (queue_.size() > 0) {
+    // Yield through the executor between bursts (rather than looping
+    // inline) so submissions and other workers interleave exactly as
+    // the scheduler's seed decides.
+    const std::uint64_t gen = ++w.generation;
+    config_.executor->post([this, worker, gen] { coopStep(worker, gen); });
+  } else {
+    w.busy = false;
+  }
+}
+
 void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
   const std::size_t m = s.burst.size();
   counters_.add(kBatches);
@@ -207,8 +311,8 @@ void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
   // head of process(), just applied lane by lane before any solving.
   for (std::size_t i = 0; i < m; ++i) {
     Job& job = s.burst[i];
-    if (fault::FaultInjector::armed()) fault::inject("service.worker.stall");
-    const Clock::time_point picked_up = Clock::now();
+    if (fault::FaultInjector::armed()) fault::inject("service.worker.stall", config_.clock);
+    const Clock::time_point picked_up = now();
     s.queue_ms[i] = msBetween(job.enqueued, picked_up);
     if (job.has_deadline && picked_up > job.deadline) {
       counters_.add(kDeadlineExpired);
@@ -273,12 +377,12 @@ void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
   if (fault::FaultInjector::armed()) {
     for (std::size_t i = 0; i < m; ++i) {
       if (!s.live[i]) continue;
-      platform::WallTimer fault_timer;
+      platform::WallTimer fault_timer(config_.clock);
       try {
-        fault::inject("service.worker.solve");
+        fault::inject("service.worker.solve", config_.clock);
       } catch (...) {
         Job& job = s.burst[i];
-        if (job.probe) breaker_.onProbeResult(false, Clock::now());
+        if (job.probe) breaker_.onProbeResult(false, now());
         counters_.add(kInternalErrors);
         Response failed;
         job.finish(std::move(failed), std::current_exception());
@@ -314,7 +418,7 @@ void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
     const double queue_ms = s.queue_ms[i];
 
     if (outcome.error) {
-      if (job.probe) breaker_.onProbeResult(false, Clock::now());
+      if (job.probe) breaker_.onProbeResult(false, now());
       counters_.add(kInternalErrors);
       Response failed;
       job.finish(std::move(failed), outcome.error);
@@ -330,8 +434,8 @@ void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
 
     const bool timed_out = result.status == ik::Status::kTimedOut;
     if (breaker_.enabled()) {
-      breaker_.recordSolve(solve_ms, Clock::now());
-      if (job.probe) breaker_.onProbeResult(!timed_out, Clock::now());
+      breaker_.recordSolve(solve_ms, now());
+      if (job.probe) breaker_.onProbeResult(!timed_out, now());
     }
 
     counters_.add(kSolved);
@@ -369,9 +473,9 @@ void IkService::processBatch(ik::IkSolver& solver, BatchScratch& s) {
 void IkService::process(ik::IkSolver& solver, Job job) {
   // Fault point: a worker pausing between dequeue and the deadline
   // check — the stall that turns a healthy queue wait into an expiry.
-  if (fault::FaultInjector::armed()) fault::inject("service.worker.stall");
+  if (fault::FaultInjector::armed()) fault::inject("service.worker.stall", config_.clock);
 
-  const Clock::time_point picked_up = Clock::now();
+  const Clock::time_point picked_up = now();
   const double queue_ms = msBetween(job.enqueued, picked_up);
   obs::ObsSink* const sink = config_.sink.get();
 
@@ -414,11 +518,11 @@ void IkService::process(ik::IkSolver& solver, Job job) {
                                       : Clock::time_point{});
 
   try {
-    platform::WallTimer timer;
+    platform::WallTimer timer(config_.clock);
     // Fault point: a slow solve (kDelay, charged to solve_ms) or a
     // solver throw (kError) — inside the try so the error takes the
     // exact path a real solver exception takes.
-    if (fault::FaultInjector::armed()) fault::inject("service.worker.solve");
+    if (fault::FaultInjector::armed()) fault::inject("service.worker.solve", config_.clock);
     ik::SolveResult result = solver.solve(job.request.target, seed);
     const double solve_ms = timer.elapsedMs();
 
@@ -427,11 +531,11 @@ void IkService::process(ik::IkSolver& solver, Job job) {
 
     const bool timed_out = result.status == ik::Status::kTimedOut;
     if (breaker_.enabled()) {
-      breaker_.recordSolve(solve_ms, Clock::now());
+      breaker_.recordSolve(solve_ms, now());
       // A probe that ran to a verdict is a success unless the watchdog
       // had to kill it — a timed-out probe means the service is still
       // drowning.
-      if (job.probe) breaker_.onProbeResult(!timed_out, Clock::now());
+      if (job.probe) breaker_.onProbeResult(!timed_out, now());
     }
 
     // Lock-free bookkeeping: relaxed sharded counters + histograms.
@@ -467,7 +571,7 @@ void IkService::process(ik::IkSolver& solver, Job job) {
   } catch (...) {
     // Solver precondition failures (seed-size mismatch, non-finite
     // target) surface through the completion, not the worker thread.
-    if (job.probe) breaker_.onProbeResult(false, Clock::now());
+    if (job.probe) breaker_.onProbeResult(false, now());
     counters_.add(kInternalErrors);
     Response failed;
     job.finish(std::move(failed), std::current_exception());
@@ -489,6 +593,23 @@ void IkService::stop(Drain mode) {
   if (mode == Drain::kDiscardPending) {
     for (Job& job : queue_.drain())
       rejectJob(job, RejectReason::kShutdown);
+  }
+  if (config_.executor) {
+    // Cooperative mode: no threads to join.  Invalidate every posted
+    // dispatch step (a stale step firing after stop must be a no-op),
+    // then finish whatever is still queued inline — drain semantics
+    // solve it, discard already rejected it above.
+    for (CoopWorker& w : coop_workers_) {
+      ++w.generation;
+      w.busy = false;
+      w.lingering = false;
+    }
+    if (mode == Drain::kDrainPending && !coop_workers_.empty()) {
+      Job job;
+      while (queue_.tryPop(job))
+        process(coopSolver(coop_workers_[0]), std::move(job));
+    }
+    return;
   }
   for (std::thread& worker : workers_)
     if (worker.joinable()) worker.join();

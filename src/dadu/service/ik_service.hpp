@@ -54,6 +54,8 @@
 #include "dadu/obs/histogram.hpp"
 #include "dadu/obs/sharded_counters.hpp"
 #include "dadu/obs/sink.hpp"
+#include "dadu/platform/clock.hpp"
+#include "dadu/platform/executor.hpp"
 #include "dadu/service/circuit_breaker.hpp"
 #include "dadu/service/queue.hpp"
 #include "dadu/service/request.hpp"
@@ -101,6 +103,24 @@ struct ServiceConfig {
   /// draining it — the race window the discard path must tolerate.
   /// Never set in production.
   std::function<void()> after_close_hook;
+  /// Clock seam (null = real steady clock).  Every timestamp the
+  /// service takes — enqueue stamps, deadline arithmetic, breaker
+  /// feeds, queue/solve/e2e latencies, the solver watchdog — reads
+  /// this clock, so the whole service runs under virtual time when the
+  /// deterministic simulation harness provides a SimClock.  Production
+  /// cost: one branch + virtual call on paths that already pay a
+  /// syscall for the real clock read.
+  const platform::Clock* clock = nullptr;
+  /// Execution seam (null = OS worker threads, the production path).
+  /// With an executor the service spawns NO threads: `workers` becomes
+  /// a count of cooperative logical workers whose dispatch steps are
+  /// posted as executor tasks, and the popMany linger window becomes a
+  /// postAt timer instead of a parked condition variable.  Per-request
+  /// semantics (admission, deadlines, breaker, batching, statuses) are
+  /// identical.  Single-threaded by contract: submit/stop must be
+  /// called from the executor's thread, and the executor must outlive
+  /// the service.
+  platform::Executor* executor = nullptr;
 };
 
 class IkService {
@@ -152,7 +172,9 @@ class IkService {
   obs::MetricsSnapshot metrics() const { return toMetricsSnapshot(stats()); }
   const SeedCache& seedCache() const { return cache_; }
   const CircuitBreaker& breaker() const { return breaker_; }
-  std::size_t workerCount() const { return workers_.size(); }
+  std::size_t workerCount() const {
+    return config_.executor ? coop_workers_.size() : workers_.size();
+  }
   std::size_t queueDepth() const { return queue_.size(); }
   const ServiceConfig& config() const { return config_; }
 
@@ -195,6 +217,23 @@ class IkService {
     std::vector<std::size_t> lane_job;  ///< lane index -> burst index
   };
 
+  /// One cooperative logical worker (executor mode): the state a
+  /// workerLoop() thread keeps on its stack, parked in a struct
+  /// between posted dispatch steps.
+  struct CoopWorker {
+    std::unique_ptr<ik::IkSolver> solver;  ///< created on first step
+    BatchScratch scratch;
+    bool busy = false;       ///< a step is posted or running
+    bool lingering = false;  ///< parked on the batch_wait_us timer
+    /// Invalidates stale posted steps (a lingering worker woken early
+    /// by a full queue must ignore its original timer firing).
+    std::uint64_t generation = 0;
+  };
+
+  platform::Clock::time_point now() const {
+    return platform::clockNow(config_.clock);
+  }
+
   void submitInternal(Request request, JobCompletion finish);
   void workerLoop();
   void process(ik::IkSolver& solver, Job job);
@@ -203,6 +242,13 @@ class IkService {
   /// Reject a job that may be a half-open probe: the breaker hears a
   /// probe failure ("never executed"), then the completion fires.
   void rejectJob(Job& job, RejectReason reason);
+  /// Executor mode: post dispatch steps for idle workers while work is
+  /// queued (and wake a lingering worker once a full burst is ready).
+  void scheduleCoopWorkers();
+  /// Executor mode: one worker dispatch step — the body of one
+  /// workerLoop() wakeup, re-posting itself while work remains.
+  void coopStep(std::size_t worker, std::uint64_t generation);
+  ik::IkSolver& coopSolver(CoopWorker& w);
 
   ServiceConfig config_;
   SolverFactory factory_;
@@ -210,6 +256,7 @@ class IkService {
   SeedCache cache_;
   CircuitBreaker breaker_;
   std::vector<std::thread> workers_;
+  std::vector<CoopWorker> coop_workers_;  ///< executor mode only
 
   std::atomic<bool> stopped_{false};
   /// Discard-mode shutdown: set (before the queue closes) to tell

@@ -22,6 +22,7 @@
 #include <mutex>
 #include <vector>
 
+#include "dadu/platform/clock.hpp"
 #include "dadu/service/request.hpp"
 
 namespace dadu::service {
@@ -58,7 +59,13 @@ enum class PushResult {
 class BoundedQueue {
  public:
   /// `capacity` = maximum queued (not yet popped) jobs; at least 1.
-  explicit BoundedQueue(std::size_t capacity);
+  /// `clock` parameterizes the popMany linger deadline (null = real
+  /// steady clock).  The blocking waits are only ever exercised with a
+  /// real clock: under the deterministic simulation harness consumers
+  /// use the non-blocking tryPop/tryPopMany and the linger is modeled
+  /// as an executor timer instead of a parked condition variable.
+  explicit BoundedQueue(std::size_t capacity,
+                        const platform::Clock* clock = nullptr);
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -84,6 +91,18 @@ class BoundedQueue {
   std::size_t popMany(std::vector<Job>& out, std::size_t max_items,
                       std::chrono::microseconds max_wait);
 
+  /// Non-blocking pop: false when the queue is momentarily empty (or
+  /// closed and drained) — never waits.  The cooperative-executor
+  /// consumers' spelling of pop().
+  bool tryPop(Job& out);
+
+  /// Non-blocking bulk pop: move up to `max_items` immediately
+  /// available jobs into `out` (cleared first), FIFO, one lock for the
+  /// burst.  Returns out.size(); 0 when nothing is queued.  Never
+  /// waits — the cooperative-executor spelling of popMany(), with the
+  /// linger window modeled by the caller's scheduler.
+  std::size_t tryPopMany(std::vector<Job>& out, std::size_t max_items);
+
   /// Stop accepting pushes and wake every blocked consumer.  Queued
   /// jobs remain poppable.  Idempotent.
   void close();
@@ -98,6 +117,7 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
+  const platform::Clock* clock_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Job> jobs_;

@@ -1,0 +1,69 @@
+#include "dadu/sim/sim_executor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dadu::sim {
+namespace {
+
+/// splitmix64 — same generator as dadu_fault's rule streams, so the
+/// whole sim shares one reproducibility story.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+SimExecutor::SimExecutor(SimClock& clock, std::uint64_t seed)
+    : clock_(clock), seed_(seed), rng_(seed ^ 0x6a09e667f3bcc909ull) {}
+
+bool SimExecutor::later(const Entry& a, const Entry& b) {
+  if (a.due != b.due) return a.due > b.due;
+  if (a.jitter != b.jitter) return a.jitter > b.jitter;
+  return a.seq > b.seq;
+}
+
+std::uint64_t SimExecutor::nextJitter() { return splitmix64(rng_); }
+
+void SimExecutor::post(std::function<void()> task) {
+  postAt(clock_.now(), std::move(task));
+}
+
+void SimExecutor::postAt(platform::Clock::time_point due,
+                         std::function<void()> task) {
+  // A due instant in the past is scheduled "now": virtual time never
+  // rewinds, and a component computing now() + 0 must not starve.
+  if (due < clock_.now()) due = clock_.now();
+  heap_.push_back(Entry{due, nextJitter(), next_seq_++, std::move(task)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+bool SimExecutor::runOne() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Entry entry = std::move(heap_.back());
+  heap_.pop_back();
+  clock_.advanceTo(entry.due);
+  ++executed_;
+  entry.task();
+  return true;
+}
+
+std::size_t SimExecutor::drain(std::size_t max_tasks) {
+  std::size_t ran = 0;
+  while (ran < max_tasks && runOne()) ++ran;
+  return ran;
+}
+
+std::size_t SimExecutor::runUntil(platform::Clock::time_point until) {
+  std::size_t ran = 0;
+  while (!heap_.empty() && heap_.front().due <= until && runOne()) ++ran;
+  clock_.advanceTo(until);
+  return ran;
+}
+
+}  // namespace dadu::sim

@@ -1,0 +1,40 @@
+#include "dadu/sim/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <ostream>
+
+namespace dadu::sim {
+
+void Trace::record(std::uint64_t t_us, const char* format, ...) {
+  char line[256];
+  int n = std::snprintf(line, sizeof line, "%" PRIu64 " ", t_us);
+  va_list args;
+  va_start(args, format);
+  const int body = std::vsnprintf(line + n, sizeof line - n - 1,
+                                  format, args);
+  va_end(args);
+  if (body > 0)
+    n += std::min(body, static_cast<int>(sizeof line) - n - 2);
+  line[n++] = '\n';
+  line[n] = '\0';
+
+  for (int i = 0; i < n; ++i) {
+    digest_ ^= static_cast<std::uint8_t>(line[i]);
+    digest_ *= 0x100000001b3ull;
+  }
+  ++events_;
+  if (retained_.size() < keep_)
+    retained_.emplace_back(line, static_cast<std::size_t>(n));
+}
+
+void Trace::writeTo(std::ostream& out) const {
+  for (const std::string& line : retained_) out << line;
+  char trailer[96];
+  std::snprintf(trailer, sizeof trailer,
+                "# events=%" PRIu64 " digest=%016" PRIx64 "\n", events_,
+                digest_);
+  out << trailer;
+}
+
+}  // namespace dadu::sim

@@ -1,0 +1,60 @@
+// Event trace of one simulation run: the determinism witness.
+//
+// Every observable event — a submit, a response, a connection death —
+// is recorded as one text line stamped with its virtual time.  The
+// whole line stream is folded into an FNV-1a digest as it is recorded,
+// so "same seed => byte-identical run" is checkable in O(1) by
+// comparing digests, and a bounded prefix of lines is retained for
+// humans and for file diffs.  At a million requests the full trace
+// would be hundreds of megabytes; the digest still covers every event
+// while memory stays flat.
+//
+// Lines are formatted with snprintf into a stack buffer (no allocation
+// past the retention limit) and use only integers and fixed-precision
+// decimals, so formatting is bit-stable across runs and platforms.
+#pragma once
+
+#include <cstdarg>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dadu::sim {
+
+class Trace {
+ public:
+  /// Retain at most `keep` formatted lines (every line is digested
+  /// regardless).
+  explicit Trace(std::size_t keep = 1 << 16) : keep_(keep) {}
+
+  /// Record one event at virtual microsecond `t_us` with a
+  /// printf-formatted body.  The digested/retained line is
+  /// "<t_us> <body>\n"; bodies longer than ~200 chars are clipped.
+  void record(std::uint64_t t_us, const char* format, ...)
+#if defined(__GNUC__)
+      __attribute__((format(printf, 3, 4)))
+#endif
+      ;
+
+  /// FNV-1a over every line recorded so far.
+  std::uint64_t digest() const { return digest_; }
+  std::uint64_t events() const { return events_; }
+  /// Events digested but not retained (beyond the keep limit).
+  std::uint64_t dropped() const { return events_ - retained_.size(); }
+  const std::vector<std::string>& lines() const { return retained_; }
+
+  /// Write the retained lines, then a trailer with the total event
+  /// count and digest (so two trace files diff equal iff the *full*
+  /// runs matched, even when lines were dropped).
+  void writeTo(std::ostream& out) const;
+
+ private:
+  std::size_t keep_;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;
+  std::uint64_t events_ = 0;
+  std::vector<std::string> retained_;
+};
+
+}  // namespace dadu::sim

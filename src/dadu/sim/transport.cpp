@@ -1,0 +1,148 @@
+#include "dadu/sim/transport.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "dadu/fault/fault.hpp"
+
+namespace dadu::sim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double nextUnit(std::uint64_t& state) {
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+constexpr std::size_t index(Side side) {
+  return static_cast<std::size_t>(side);
+}
+constexpr std::size_t peer(Side side) { return 1 - index(side); }
+
+}  // namespace
+
+struct SimConnection::State {
+  SimExecutor* executor = nullptr;
+  LinkConfig link;
+  std::uint64_t rng = 0;
+  bool open = true;
+  /// Last scheduled delivery instant per direction (sender-indexed):
+  /// the FIFO floor that keeps the stream in order under jittered
+  /// latency.
+  platform::Clock::time_point last_delivery[2] = {};
+  std::uint64_t bytes_sent[2] = {0, 0};
+  ReceiveHandler on_receive[2];
+  CloseHandler on_close[2];
+
+  void shutdown() {
+    if (!open) return;
+    open = false;
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (!on_close[s]) continue;
+      CloseHandler handler = std::move(on_close[s]);
+      on_close[s] = nullptr;
+      executor->post(std::move(handler));
+    }
+  }
+};
+
+SimConnection::SimConnection(SimExecutor& executor, LinkConfig link,
+                             std::uint64_t seed)
+    : state_(std::make_shared<State>()) {
+  state_->executor = &executor;
+  state_->link = link;
+  state_->rng = seed ^ 0xe7037ed1a0b428dbull;
+}
+
+void SimConnection::onReceive(Side side, ReceiveHandler handler) {
+  state_->on_receive[index(side)] = std::move(handler);
+}
+
+void SimConnection::onClose(Side side, CloseHandler handler) {
+  state_->on_close[index(side)] = std::move(handler);
+}
+
+bool SimConnection::send(Side side, const std::uint8_t* data,
+                         std::size_t len) {
+  State& st = *state_;
+  if (!st.open || len == 0) return false;
+
+  std::vector<std::uint8_t> payload(data, data + len);
+  double extra_us = 0.0;
+  bool kill_after = false;
+
+  const char* point = side == Side::kClient ? st.link.client_fault_point
+                                            : st.link.server_fault_point;
+  if (point != nullptr && point[0] != '\0') {
+    const fault::Decision d = fault::decide(point);
+    switch (d.action) {
+      case fault::Action::kDrop:
+        st.shutdown();
+        return false;
+      case fault::Action::kCorrupt:
+        fault::corruptBytes(payload.data(), payload.size(), d.corrupt_seed);
+        break;
+      case fault::Action::kDelay:
+        extra_us = d.delay_ms * 1000.0;
+        break;
+      case fault::Action::kTruncate:
+        payload.resize(std::min(payload.size(), d.max_bytes));
+        kill_after = true;
+        break;
+      default:
+        break;  // kNone / kEintr / kError: deliver normally
+    }
+  }
+
+  const std::size_t from = index(side);
+  const std::size_t to = peer(side);
+  const double latency_us =
+      std::max(0.0, st.link.latency_us +
+                        st.link.jitter_us * (2.0 * nextUnit(st.rng) - 1.0) +
+                        extra_us);
+  auto due = st.executor->clock().now() +
+             std::chrono::duration_cast<platform::Clock::duration>(
+                 std::chrono::duration<double, std::micro>(latency_us));
+  // FIFO: a later send never overtakes an earlier one.
+  due = std::max(due, st.last_delivery[from]);
+  st.last_delivery[from] = due;
+  st.bytes_sent[from] += payload.size();
+
+  std::shared_ptr<State> state = state_;
+  st.executor->postAt(due, [state, to, payload = std::move(payload)] {
+    if (!state->open) return;  // connection died while in flight
+    if (state->on_receive[to])
+      state->on_receive[to](payload.data(), payload.size());
+  });
+
+  if (kill_after) st.shutdown();
+  return !kill_after;
+}
+
+void SimConnection::close() { state_->shutdown(); }
+
+void SimConnection::closeAfterFlush() {
+  State& st = *state_;
+  if (!st.open) return;
+  // One microsecond past the last scheduled delivery: strictly later,
+  // so same-instant jitter ordering cannot run the close first.
+  auto due = std::max(st.last_delivery[0], st.last_delivery[1]);
+  due = std::max(due, st.executor->clock().now()) +
+        std::chrono::microseconds(1);
+  std::shared_ptr<State> state = state_;
+  st.executor->postAt(due, [state] { state->shutdown(); });
+}
+
+bool SimConnection::open() const { return state_->open; }
+
+std::uint64_t SimConnection::bytesSent(Side side) const {
+  return state_->bytes_sent[index(side)];
+}
+
+}  // namespace dadu::sim

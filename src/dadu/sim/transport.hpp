@@ -1,0 +1,89 @@
+// SimTransport: in-memory byte pipes standing in for TCP sockets.
+//
+// A SimConnection is one duplex client<->server byte stream.  send()
+// schedules the bytes for delivery on the peer side after a modeled
+// one-way latency (seeded jitter, FIFO-preserving: a later send never
+// overtakes an earlier one, exactly like a TCP stream).  Delivery is a
+// SimExecutor task, so transport interleaves deterministically with
+// everything else under the run's seed.
+//
+// What is and is not simulated: framing, ordering, backpressure-free
+// delivery and connection teardown are; epoll, partial reads/writes
+// and kernel socket buffers are NOT — those belong to dadu_net's real
+// reactor, which keeps its own tests.  The sim exercises the protocol
+// and serving semantics *above* the socket, not the syscalls.
+//
+// Fault points (consulted per send when a plan is armed, reusing the
+// dadu_net point names so existing FaultPlans port over):
+//   kDrop     connection dies (both sides see onClose)
+//   kCorrupt  payload bytes flipped via the rule's deterministic stream
+//   kDelay    extra one-way latency for this send
+//   kTruncate the send is cut to max_bytes and the connection dies (a
+//             peer that vanished mid-write; in-flight bytes are lost)
+//   kEintr    meaningless without syscalls; ignored
+//
+// Handles are shared_ptr-backed: delivery tasks already queued when a
+// connection closes or the handle dies resolve against the shared
+// state and become no-ops, never dangling pointers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dadu/sim/sim_executor.hpp"
+
+namespace dadu::sim {
+
+/// Which side of a connection is acting.
+enum class Side : std::size_t { kClient = 0, kServer = 1 };
+
+struct LinkConfig {
+  double latency_us = 50.0;  ///< mean one-way delivery latency
+  double jitter_us = 20.0;   ///< uniform +/- around the mean
+  /// Fault point consulted when the CLIENT side sends (empty = none).
+  const char* client_fault_point = "net.client.write";
+  /// Fault point consulted when the SERVER side sends.
+  const char* server_fault_point = "net.server.write";
+};
+
+class SimConnection {
+ public:
+  using ReceiveHandler =
+      std::function<void(const std::uint8_t* data, std::size_t len)>;
+  using CloseHandler = std::function<void()>;
+
+  /// `executor` must outlive every delivery (i.e. the whole run).
+  SimConnection(SimExecutor& executor, LinkConfig link, std::uint64_t seed);
+
+  /// Install the handler invoked (as an executor task) when bytes
+  /// reach `side`.  Replacing a handler affects undelivered sends too.
+  void onReceive(Side side, ReceiveHandler handler);
+  /// Invoked exactly once on each side when the connection dies.
+  void onClose(Side side, CloseHandler handler);
+
+  /// Queue `len` bytes from `side` toward its peer.  Returns false if
+  /// the connection is closed or the send was consumed by a fault
+  /// (kDrop/kTruncate also kill the connection).
+  bool send(Side side, const std::uint8_t* data, std::size_t len);
+
+  /// Tear the connection down: both sides' close handlers run (as
+  /// executor tasks), in-flight deliveries are discarded.  Idempotent.
+  void close();
+
+  /// Close once every delivery queued so far has landed — the sim's
+  /// spelling of the reactor's close_after_flush (send an error frame,
+  /// then hang up).  Sends after this call are still accepted until
+  /// the deferred close fires.
+  void closeAfterFlush();
+
+  bool open() const;
+  std::uint64_t bytesSent(Side side) const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace dadu::sim

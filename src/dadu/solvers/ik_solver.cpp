@@ -5,7 +5,7 @@ namespace dadu::ik {
 void IkSolver::solveMany(const BatchLane* lanes, BatchLaneResult* out,
                          std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    const auto start = std::chrono::steady_clock::now();
+    const auto start = clockNow();
     out[i] = BatchLaneResult{};
     try {
       setDeadline(lanes[i].deadline);
@@ -14,9 +14,7 @@ void IkSolver::solveMany(const BatchLane* lanes, BatchLaneResult* out,
       out[i].error = std::current_exception();
     }
     out[i].solve_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+        std::chrono::duration<double, std::milli>(clockNow() - start).count();
   }
   setDeadline({});
 }

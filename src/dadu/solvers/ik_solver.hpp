@@ -14,6 +14,7 @@
 #include "dadu/kinematics/chain.hpp"
 #include "dadu/linalg/vec.hpp"
 #include "dadu/linalg/vecx.hpp"
+#include "dadu/platform/clock.hpp"
 #include "dadu/solvers/types.hpp"
 
 namespace dadu::ik {
@@ -75,8 +76,25 @@ class IkSolver {
   /// loop to check from simply run unbounded.
   virtual void setDeadline(std::chrono::steady_clock::time_point) {}
 
+  /// Point the solver at a Clock (null = real steady clock).  Watchdog
+  /// deadline checks and solveMany per-lane timing read this clock, so
+  /// a solver handed a SimClock times out and stamps latencies on
+  /// simulated time.  Owned by the caller; must outlive the solver's
+  /// use of it.
+  void setClock(const platform::Clock* clock) { clock_ = clock; }
+  const platform::Clock* clock() const { return clock_; }
+
   virtual const kin::Chain& chain() const = 0;
   virtual const SolveOptions& options() const = 0;
+
+ protected:
+  /// One read of the solver's clock through the seam.
+  platform::Clock::time_point clockNow() const {
+    return platform::clockNow(clock_);
+  }
+
+ private:
+  const platform::Clock* clock_ = nullptr;
 };
 
 }  // namespace dadu::ik

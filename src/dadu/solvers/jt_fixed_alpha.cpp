@@ -25,7 +25,7 @@ SolveResult JtFixedAlphaSolver::solve(const linalg::Vec3& target,
       return result;
     }
     // Watchdog: bail with the best-so-far iterate.
-    if (options_.hasDeadline() && options_.deadlineExpired()) {
+    if (options_.hasDeadline() && options_.deadlineExpired(clock())) {
       result.status = Status::kTimedOut;
       return result;
     }

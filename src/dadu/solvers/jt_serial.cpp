@@ -26,7 +26,7 @@ SolveResult JtSerialSolver::solve(const linalg::Vec3& target,
     }
     // Watchdog: the classical method's thousands of tiny iterations
     // are exactly where an unbounded solve hides — check every head.
-    if (options_.hasDeadline() && options_.deadlineExpired()) {
+    if (options_.hasDeadline() && options_.deadlineExpired(clock())) {
       result.status = Status::kTimedOut;
       return result;
     }

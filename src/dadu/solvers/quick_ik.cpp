@@ -78,7 +78,7 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
     }
     // Watchdog: bail with the best-so-far iterate before paying for
     // another speculative sweep.
-    if (options_.hasDeadline() && options_.deadlineExpired()) {
+    if (options_.hasDeadline() && options_.deadlineExpired(clock())) {
       result.status = Status::kTimedOut;
       return result;
     }
@@ -167,7 +167,7 @@ void QuickIkSolver::solveMany(const BatchLane* lanes, BatchLaneResult* out,
 void QuickIkSolver::solveManyFused(const BatchLane* lanes,
                                    BatchLaneResult* out, std::size_t n) {
   using Clock = std::chrono::steady_clock;
-  const Clock::time_point batch_start = Clock::now();
+  const Clock::time_point batch_start = clockNow();
   const int max_spec = options_.speculations;
   const auto K = static_cast<std::size_t>(max_spec);
 
@@ -182,7 +182,7 @@ void QuickIkSolver::solveManyFused(const BatchLane* lanes,
   const auto retire = [&](std::size_t g) {
     many_active_[g] = 0;
     out[g].solve_ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - batch_start)
+        std::chrono::duration<double, std::milli>(clockNow() - batch_start)
             .count();
   };
   const auto fail = [&](std::size_t g) {
@@ -260,7 +260,7 @@ void QuickIkSolver::solveManyFused(const BatchLane* lanes,
         continue;
       }
       if (lanes[g].deadline != Clock::time_point{} &&
-          Clock::now() >= lanes[g].deadline) {
+          clockNow() >= lanes[g].deadline) {
         r.status = Status::kTimedOut;
         retire(g);
         continue;

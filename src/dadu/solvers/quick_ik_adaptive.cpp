@@ -50,7 +50,7 @@ SolveResult QuickIkAdaptiveSolver::solve(const linalg::Vec3& target,
       return result;
     }
     // Watchdog: bail with the best-so-far iterate before the sweep.
-    if (options_.hasDeadline() && options_.deadlineExpired()) {
+    if (options_.hasDeadline() && options_.deadlineExpired(clock())) {
       result.status = Status::kTimedOut;
       return result;
     }

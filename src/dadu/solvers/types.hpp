@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "dadu/linalg/vecx.hpp"
+#include "dadu/platform/clock.hpp"
 
 namespace dadu::ik {
 
@@ -29,9 +30,12 @@ struct SolveOptions {
   bool hasDeadline() const {
     return deadline != std::chrono::steady_clock::time_point{};
   }
-  /// One clock read; only called when hasDeadline().
-  bool deadlineExpired() const {
-    return std::chrono::steady_clock::now() >= deadline;
+  /// One clock read; only called when hasDeadline().  `clock` is the
+  /// Clock seam (null = real steady clock): the serving layer points
+  /// per-worker solvers at its own clock via IkSolver::setClock so the
+  /// watchdog fires on simulated time too.
+  bool deadlineExpired(const platform::Clock* clock = nullptr) const {
+    return platform::clockNow(clock) >= deadline;
   }
 };
 

@@ -294,9 +294,16 @@ TEST(ChaosSoak, LongSolveOutlivingDrainIsCountedOrphaned) {
   request.use_seed_cache = false;
   client.sendRequest(request);
 
-  // Let the request reach a worker (which then sleeps 400ms), then
-  // stop: the 50ms drain gives up while the solve is still running.
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Wait until a worker has actually picked the request up (submitted
+  // and out of the queue — it is then inside the 400ms injected
+  // delay), then stop: the 50ms drain gives up while the solve is
+  // still running.  Condition-polled rather than a fixed sleep so a
+  // slow dispatch can't race the stop.
+  const auto pickup_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((h.service->stats().submitted == 0 || h.service->queueDepth() > 0) &&
+         std::chrono::steady_clock::now() < pickup_deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   h.server->stop();
 
   // The solve finishes into the dead sink; poll until the counter

@@ -23,6 +23,8 @@
 #include "dadu/kinematics/presets.hpp"
 #include "dadu/service/ik_service.hpp"
 #include "dadu/service/queue.hpp"
+#include "dadu/sim/sim_clock.hpp"
+#include "dadu/sim/sim_executor.hpp"
 #include "dadu/solvers/factory.hpp"
 #include "dadu/solvers/quick_ik.hpp"
 #include "dadu/workload/targets.hpp"
@@ -221,41 +223,46 @@ TEST(ServiceBatch, BatchedResponsesBitIdenticalToPerRequest) {
 }
 
 TEST(ServiceBatch, ExpiredLanesDropWhileBatchmatesSolve) {
-  // Gate the first burst with a one-shot pickup stall so requests
-  // 1..7 queue up behind it and form one real batch; the stall outlives
-  // the short deadlines, so those lanes are expired *at pickup* while
-  // their batchmates still solve.
+  // Executor-mode rewrite of what used to be a real-sleep gate: all 8
+  // requests are queued before the single cooperative worker takes its
+  // first step, so they form one burst, and a *virtual* 80ms pickup
+  // stall expires the two 5ms-deadline lanes at pickup while their
+  // batchmates still solve.  No sleeps, no timing margins — the stall
+  // charges the SimClock, and pickup-time deadline arithmetic reads
+  // the same clock.
   const auto chain = kin::makeSerpentine(8);
+  sim::SimClock clock;
+  sim::SimExecutor exec(clock, 1);
   ServiceConfig config;
   config.workers = 1;
   config.queue_capacity = 16;
   config.enable_seed_cache = false;
   config.max_batch = 8;
   config.batch_wait_us = 0;
+  config.stat_shards = 1;
+  config.clock = &clock;
+  config.executor = &exec;
   IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); }, config);
 
   fault::FaultPlan plan;
   plan.delayAt("service.worker.stall", 80.0, {.nth = 1});
   fault::ScopedFaultPlan armed(plan);
 
-  auto gate = svc.submit(plainRequest(chain, 0));
-  std::this_thread::sleep_for(10ms);  // worker picks up request 0, stalls
-
-  std::vector<std::future<Response>> futures;
-  for (std::uint32_t i = 1; i < 8; ++i) {
+  std::vector<Response> responses(8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
     Request request = plainRequest(chain, i);
-    if (i == 2 || i == 5) request.deadline_ms = 5.0;  // expires in-queue
-    futures.push_back(svc.submit(std::move(request)));
+    if (i == 2 || i == 5) request.deadline_ms = 5.0;  // expires in the stall
+    svc.submit(std::move(request),
+               [&responses, i](Response r) { responses[i] = std::move(r); });
   }
+  exec.drain();
 
-  EXPECT_EQ(gate.get().status, ResponseStatus::kSolved);
-  for (std::uint32_t i = 1; i < 8; ++i) {
-    const Response r = futures[i - 1].get();
+  for (std::uint32_t i = 0; i < 8; ++i) {
     if (i == 2 || i == 5) {
-      EXPECT_EQ(r.status, ResponseStatus::kDeadlineExceeded) << i;
+      EXPECT_EQ(responses[i].status, ResponseStatus::kDeadlineExceeded) << i;
     } else {
-      EXPECT_EQ(r.status, ResponseStatus::kSolved) << i;
-      EXPECT_TRUE(r.result.converged()) << i;
+      EXPECT_EQ(responses[i].status, ResponseStatus::kSolved) << i;
+      EXPECT_TRUE(responses[i].result.converged()) << i;
     }
   }
 
@@ -263,7 +270,7 @@ TEST(ServiceBatch, ExpiredLanesDropWhileBatchmatesSolve) {
   EXPECT_EQ(stats.deadline_expired, 2u);
   EXPECT_EQ(stats.solved, 6u);
   EXPECT_EQ(stats.batched_lanes, 8u);
-  EXPECT_EQ(stats.batches, 2u);  // the gated single + the burst of 7
+  EXPECT_EQ(stats.batches, 1u);  // one full deterministic burst
   EXPECT_EQ(stats.accounted(), stats.submitted);
 }
 
@@ -271,6 +278,11 @@ TEST(ServiceBatch, InFlightDeadlineTimesOutOneLaneNotItsBatchmates) {
   // One lane gets an unreachable target, a deadline, and a huge
   // iteration budget: the fused watchdog must retire it (kTimedOut,
   // best-so-far theta) while batchmates converge normally.
+  //
+  // Stays on the real clock deliberately: the watchdog races actual
+  // solver compute against the deadline, and a real solve cannot
+  // advance a SimClock — this is the one batch behaviour the sim seam
+  // cannot carry.
   const auto chain = kin::makeSerpentine(8);
   ik::SolveOptions options;
   options.accuracy = 1e-3;
@@ -364,28 +376,29 @@ TEST(ServiceBatch, FaultedLaneFailsAloneAndIsAccounted) {
 }
 
 TEST(ServiceBatch, OccupancyHistogramTracksBurstSizes) {
-  // Stall the worker across the whole submission so everything lands
-  // in one full burst: occupancy mean/histogram must say 8, not 1.
+  // Executor mode makes occupancy a scheduling fact instead of a race:
+  // all 9 submissions land in the queue before the worker's first
+  // dispatch step, so popMany drains a full burst of 8 and then the
+  // straggler — no worker-stall fault, no sleeps, no margins.
   const auto chain = kin::makeSerpentine(8);
+  sim::SimClock clock;
+  sim::SimExecutor exec(clock, 1);
   ServiceConfig config;
   config.workers = 1;
   config.queue_capacity = 16;
   config.enable_seed_cache = false;
   config.max_batch = 8;
   config.batch_wait_us = 0;
+  config.stat_shards = 1;
+  config.clock = &clock;
+  config.executor = &exec;
   IkService svc([&] { return ik::makeSolver("quick-ik", chain, {}); }, config);
 
-  fault::FaultPlan plan;
-  plan.delayAt("service.worker.stall", 60.0, {.nth = 1});
-  fault::ScopedFaultPlan armed(plan);
-
-  auto gate = svc.submit(plainRequest(chain, 0));
-  std::this_thread::sleep_for(10ms);
-  std::vector<std::future<Response>> futures;
-  for (std::uint32_t i = 1; i < 9; ++i)
-    futures.push_back(svc.submit(plainRequest(chain, i)));
-  gate.get();
-  for (auto& f : futures) f.get();
+  std::size_t done = 0;
+  for (std::uint32_t i = 0; i < 9; ++i)
+    svc.submit(plainRequest(chain, i), [&done](Response) { ++done; });
+  exec.drain();
+  ASSERT_EQ(done, 9u);
 
   const ServiceStats stats = svc.stats();
   EXPECT_EQ(stats.batches, 2u);

@@ -1,0 +1,242 @@
+// Deterministic-simulation primitives: SimClock semantics, SimExecutor
+// scheduling (ordering, seeded tie-breaks, past-due clamping),
+// ModelSolver's virtual-time cost model, and the Trace digest.  These
+// are the pieces every sim scenario stands on — if ordering or the
+// digest ever becomes nondeterministic, same-seed replay (the whole
+// point of src/dadu/sim/) is gone.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/sim/model_solver.hpp"
+#include "dadu/sim/sim_clock.hpp"
+#include "dadu/sim/sim_executor.hpp"
+#include "dadu/sim/trace.hpp"
+
+namespace dadu::sim {
+namespace {
+
+using namespace std::chrono_literals;
+
+// ---------------------------------------------------------- SimClock
+
+TEST(SimClock, AdvancesOnlyWhenToldTo) {
+  SimClock clock;
+  const auto start = clock.now();
+  EXPECT_EQ(clock.now(), start);  // reading the clock is free
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration::zero());
+
+  clock.sleepFor(250us);
+  EXPECT_EQ(clock.now() - start, 250us);
+  clock.advance(1ms);
+  EXPECT_EQ(clock.now() - start, 1250us);
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration(1250us));
+}
+
+TEST(SimClock, StartsAwayFromEpoch) {
+  // time_point{} is the "no deadline" sentinel all over the service
+  // layer; a sim clock that started there would make every zero
+  // deadline look instantly expired.
+  SimClock clock;
+  EXPECT_GT(clock.now(), platform::Clock::time_point{});
+}
+
+TEST(SimClock, NeverRewinds) {
+  SimClock clock;
+  clock.sleepFor(-5ms);  // negative sleeps are a no-op...
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration::zero());
+  clock.advance(10ms);
+  clock.advanceTo(clock.now() - 5ms);  // ...and advanceTo never rewinds
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration(10ms));
+}
+
+// ------------------------------------------------------- SimExecutor
+
+TEST(SimExecutor, RunsPostedTasksInOrder) {
+  SimClock clock;
+  SimExecutor exec(clock, 1);
+  std::vector<int> order;
+  exec.post([&] { order.push_back(1); });
+  exec.post([&] { order.push_back(2); });
+  exec.postAt(clock.now() + 1ms, [&] { order.push_back(4); });
+  exec.postAt(clock.now() + 500us, [&] { order.push_back(3); });
+  EXPECT_EQ(exec.pending(), 4u);
+  EXPECT_EQ(exec.drain(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration(1ms));
+  EXPECT_EQ(exec.executed(), 4u);
+}
+
+TEST(SimExecutor, PastDueTasksRunNowWithoutRewindingTheClock) {
+  SimClock clock;
+  SimExecutor exec(clock, 1);
+  clock.advance(10ms);
+  bool ran = false;
+  exec.postAt(clock.now() - 5ms, [&] { ran = true; });
+  EXPECT_TRUE(exec.runOne());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration(10ms));
+}
+
+TEST(SimExecutor, TasksMayPostMoreTasks) {
+  SimClock clock;
+  SimExecutor exec(clock, 7);
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5)
+      exec.postAt(clock.now() + 1ms, recurse);
+  };
+  exec.post(recurse);
+  EXPECT_EQ(exec.drain(), 5u);
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(clock.elapsed(), platform::Clock::duration(4ms));
+}
+
+TEST(SimExecutor, RunUntilStopsAtTheFence) {
+  SimClock clock;
+  SimExecutor exec(clock, 1);
+  int ran = 0;
+  for (int i = 1; i <= 5; ++i)
+    exec.postAt(clock.now() + std::chrono::milliseconds(i), [&] { ++ran; });
+  EXPECT_EQ(exec.runUntil(clock.now() + 3ms), 3u);
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(exec.pending(), 2u);
+  exec.drain();
+  EXPECT_EQ(ran, 5);
+}
+
+/// The order same-due tasks run in, as decided by the seeded jitter.
+std::vector<int> tieBreakOrder(std::uint64_t seed) {
+  SimClock clock;
+  SimExecutor exec(clock, seed);
+  std::vector<int> order;
+  const auto due = clock.now() + 1ms;
+  for (int i = 0; i < 16; ++i)
+    exec.postAt(due, [&order, i] { order.push_back(i); });
+  exec.drain();
+  return order;
+}
+
+TEST(SimExecutor, TieBreakIsSeededAndReproducible) {
+  const auto a = tieBreakOrder(42);
+  const auto b = tieBreakOrder(42);
+  EXPECT_EQ(a, b);  // same seed: bit-identical interleaving
+  // Different seeds shuffle same-due ties differently (16! orderings;
+  // a collision would be astronomically unlikely — and still
+  // deterministic, which is what actually matters).
+  EXPECT_NE(a, tieBreakOrder(43));
+}
+
+// ------------------------------------------------------- ModelSolver
+
+ModelSolverConfig cheapModel(std::uint64_t seed) {
+  ModelSolverConfig cfg;
+  cfg.seed = seed;
+  cfg.iteration_ms = 0.1;
+  cfg.tail_probability = 0.0;
+  return cfg;
+}
+
+TEST(ModelSolver, ChargesVirtualTimePerSolve) {
+  const auto chain = kin::makeSerpentine(6);
+  SimClock clock;
+  ModelSolver solver(chain, cheapModel(5));
+  solver.setClock(&clock);
+
+  const auto before = clock.now();
+  const ik::SolveResult r = solver.solve({0.3, 0.2, 0.1}, linalg::VecX{});
+  EXPECT_GE(r.iterations, 1);
+  // Cost model: iterations * iteration_ms, paid via Clock::sleepFor.
+  const auto charged = std::chrono::duration<double, std::milli>(
+      clock.now() - before);
+  EXPECT_NEAR(charged.count(), r.iterations * 0.1, 1e-6);
+}
+
+TEST(ModelSolver, SameSeedSameOutcome) {
+  const auto chain = kin::makeSerpentine(6);
+  ModelSolver a(chain, cheapModel(9));
+  ModelSolver b(chain, cheapModel(9));
+  for (int i = 0; i < 32; ++i) {
+    const linalg::Vec3 target{0.1 * i, -0.05 * i, 0.2};
+    const ik::SolveResult ra = a.solve(target, linalg::VecX{});
+    const ik::SolveResult rb = b.solve(target, linalg::VecX{});
+    EXPECT_EQ(ra.status, rb.status) << i;
+    EXPECT_EQ(ra.iterations, rb.iterations) << i;
+    EXPECT_EQ(ra.error, rb.error) << i;
+  }
+}
+
+TEST(ModelSolver, DeadlineCutsTheSolveShort) {
+  const auto chain = kin::makeSerpentine(6);
+  SimClock clock;
+  ModelSolverConfig cfg = cheapModel(3);
+  cfg.iteration_ms = 1.0;           // every solve costs >= 1ms...
+  ModelSolver solver(chain, cfg);
+  solver.setClock(&clock);
+  solver.setDeadline(clock.now() + 500us);  // ...but only 0.5ms remain
+
+  const auto before = clock.now();
+  const ik::SolveResult r = solver.solve({0.3, 0.2, 0.1}, linalg::VecX{});
+  EXPECT_EQ(r.status, ik::Status::kTimedOut);
+  // Charges only the remaining budget, not the full modeled cost.
+  EXPECT_LE(clock.now() - before, platform::Clock::duration(500us));
+}
+
+TEST(ModelSolver, ValidatesInputsLikeARealSolver) {
+  const auto chain = kin::makeSerpentine(6);
+  ModelSolver solver(chain, cheapModel(1));
+  linalg::VecX bad_seed(3);  // wrong dof
+  EXPECT_THROW(solver.solve({0.1, 0.2, 0.3}, bad_seed),
+               std::invalid_argument);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(solver.solve({nan, 0.0, 0.0}, linalg::VecX{}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Trace
+
+TEST(Trace, DigestCoversEveryEventAndIsOrderSensitive) {
+  Trace a, b, c;
+  a.record(1, "alpha x=%d", 1);
+  a.record(2, "beta y=%d", 2);
+  b.record(1, "alpha x=%d", 1);
+  b.record(2, "beta y=%d", 2);
+  c.record(2, "beta y=%d", 2);  // same events, swapped order
+  c.record(1, "alpha x=%d", 1);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_EQ(a.events(), 2u);
+}
+
+TEST(Trace, BoundedRetentionKeepsDigestingDroppedLines) {
+  Trace small(4), big(1024);
+  for (int i = 0; i < 100; ++i) {
+    small.record(static_cast<std::uint64_t>(i), "ev %d", i);
+    big.record(static_cast<std::uint64_t>(i), "ev %d", i);
+  }
+  // Retention is a memory bound, not a truth bound: the digest still
+  // witnesses all 100 events.
+  EXPECT_EQ(small.digest(), big.digest());
+  EXPECT_EQ(small.events(), 100u);
+  EXPECT_EQ(small.lines().size(), 4u);
+  EXPECT_EQ(small.dropped(), 96u);
+  EXPECT_EQ(big.dropped(), 0u);
+}
+
+TEST(Trace, WriteToEmitsLinesAndTrailer) {
+  Trace trace;
+  trace.record(7, "hello n=%d", 42);
+  std::ostringstream out;
+  trace.writeTo(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("7 hello n=42\n"), std::string::npos);
+  EXPECT_NE(text.find("# events=1 digest="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dadu::sim

@@ -39,6 +39,23 @@ cmake -B "${build_dir}" -S "${repo_root}" ${DADU_CMAKE_ARGS:-}
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
 
+# Simulation determinism gate: the same seed must replay the whole
+# serving stack byte-identically.  Two chaos runs with a fixed seed
+# must produce bit-identical event traces (the digest in the trailer
+# covers every event, including ones evicted from the bounded buffer).
+sim_dir="$(mktemp -d)"
+trap 'rm -rf "${sim_dir}"' EXIT
+"${build_dir}/tools/dadu" sim --scenario chaos --seed 1337 --requests 20000 \
+  --trace-out "${sim_dir}/a.trace" > "${sim_dir}/a.out"
+"${build_dir}/tools/dadu" sim --scenario chaos --seed 1337 --requests 20000 \
+  --trace-out "${sim_dir}/b.trace" > "${sim_dir}/b.out"
+if ! cmp -s "${sim_dir}/a.trace" "${sim_dir}/b.trace"; then
+  echo "FAIL: sim determinism gate — same seed produced different traces" >&2
+  diff "${sim_dir}/a.trace" "${sim_dir}/b.trace" | head -20 >&2
+  exit 1
+fi
+echo "sim determinism gate: ok ($(grep -c '' "${sim_dir}/a.trace") trace lines identical)"
+
 # Optional perf-trajectory step: DADU_RUN_BENCH=1 runs the wire-level
 # load generator (64 pipelined TCP connections against a loopback
 # IkServer) and leaves BENCH_net.json next to the build dir for later
