@@ -14,8 +14,9 @@ bool writeKernelJson(const std::string& path,
     const KernelRecord& r = records[i];
     out << "  {\"kernel\": \"" << r.kernel << "\", \"dof\": " << r.dof
         << ", \"k\": " << r.k << ", \"ns_per_op\": " << std::setprecision(6)
-        << std::fixed << r.ns_per_op << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+        << std::fixed << r.ns_per_op;
+    if (!r.note.empty()) out << ", \"note\": \"" << r.note << "\"";
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]\n";
   return out.good();

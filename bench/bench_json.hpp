@@ -15,6 +15,10 @@ struct KernelRecord {
   int dof = 0;          ///< chain degrees of freedom (0 = n/a)
   int k = 0;            ///< speculation/batch count (0 = n/a)
   double ns_per_op = 0.0;  ///< nanoseconds per operation
+  /// Optional free-form annotation (e.g. the active speculation
+  /// backend for a dispatched measurement); omitted from the JSON when
+  /// empty so pre-existing records render unchanged.
+  std::string note;
 };
 
 /// Write `records` to `path` as pretty-printed JSON.  Returns false if

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "dadu/ikacc/accelerator.hpp"
+#include "dadu/kinematics/backends/spec_backend.hpp"
 #include "dadu/kinematics/forward.hpp"
 #include "dadu/kinematics/presets.hpp"
 #include "dadu/kinematics/robot_io.hpp"
@@ -62,7 +63,11 @@ constexpr const char* kUsage =
     "        [--requests n] [--clients n] [--workers n] [--max-batch n]\n"
     "        [--batch-wait-us us] [--trace-out FILE] [--trace-keep n]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
-    "             random:<dof>:<seed> or a robot-description file path\n";
+    "             random:<dof>:<seed> or a robot-description file path\n"
+    "global options (accepted after any command):\n"
+    "  --spec-backend scalar|avx2|avx512   force the batched-FK\n"
+    "        speculation backend (default: CPUID dispatch; the\n"
+    "        DADU_SPEC_BACKEND env var does the same)\n";
 
 /// "--key value" pairs after the subcommand.
 std::map<std::string, std::string> parseOptions(
@@ -626,6 +631,13 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     const std::string& command = args[0];
     const auto opts = parseOptions(args, 1);
+    // Global: pin the speculation backend before any solver is built.
+    if (const auto it = opts.find("spec-backend"); it != opts.end()) {
+      if (!kin::setSpecBackendOverride(it->second))
+        throw std::invalid_argument(
+            "--spec-backend '" + it->second +
+            "' is unknown, compiled out, or unsupported by this CPU");
+    }
     // The simulator models its own robot; no --robot required.
     if (command == "sim") return cmdSim(opts, out, err);
     const kin::Chain chain = resolveRobot(require(opts, "robot"));

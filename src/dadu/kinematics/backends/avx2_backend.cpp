@@ -1,0 +1,94 @@
+// AVX2 speculation backend: 4 f64 lanes per vector over the
+// lane-innermost Mat34Batch SoA layout.
+//
+// This translation unit is the only place in the library compiled with
+// -mavx2 (see kinematics/CMakeLists.txt); everything it exports is
+// reached through the SpecBackend vtable after a CPUID check, so the
+// binary as a whole stays runnable on baseline x86-64.  When the
+// compiler cannot target AVX2 (or the target is not x86) the factory
+// returns nullptr and the registry simply never lists the backend.
+#include "dadu/kinematics/backends/spec_backend.hpp"
+
+#if defined(DADU_SPEC_BACKEND_AVX2)
+
+#include <immintrin.h>
+
+#include "dadu/kinematics/backends/walk_wide.hpp"
+
+namespace dadu::kin {
+namespace {
+
+/// 4-lane f64 vector ops for walk_wide.hpp.  Unaligned loads/stores by
+/// design: lane ranges start at arbitrary offsets (group boundaries,
+/// pool chunks) and penalty-free unaligned access is exactly what the
+/// padded, 32-byte-aligned rows buy.
+struct V4 {
+  static constexpr std::size_t width = 4;
+  using reg = __m256d;
+  static reg load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm256_storeu_pd(p, v); }
+  static reg set1(double v) { return _mm256_set1_pd(v); }
+  static reg add(reg a, reg b) { return _mm256_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm256_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm256_mul_pd(a, b); }
+  static reg sqrt(reg a) { return _mm256_sqrt_pd(a); }
+  static reg neg(reg a) {
+    return _mm256_xor_pd(a, _mm256_set1_pd(-0.0));  // exact sign flip
+  }
+  /// q < lim ? lim : q — ordered compare, so NaN lanes keep q exactly
+  /// like the scalar if-chain.
+  static reg clampBelow(reg q, reg lim) {
+    const reg m = _mm256_cmp_pd(q, lim, _CMP_LT_OQ);
+    return _mm256_blendv_pd(q, lim, m);
+  }
+  /// q > lim ? lim : q.
+  static reg clampAbove(reg q, reg lim) {
+    const reg m = _mm256_cmp_pd(q, lim, _CMP_GT_OQ);
+    return _mm256_blendv_pd(q, lim, m);
+  }
+};
+
+class Avx2SpecBackend final : public SpecBackend {
+ public:
+  const char* name() const override { return "avx2"; }
+
+  SpecBackendCaps caps() const override {
+    SpecBackendCaps caps;
+    caps.lane_multiple = V4::width;
+    caps.max_fused_lanes = 256;
+    caps.alignment = 32;
+    caps.max_ulp_error = 0;  // scalar op order, no FMA: bit-identical
+    return caps;
+  }
+
+  void walkLanes(const Chain& chain, const SpecLaneBlock& ws,
+                 const linalg::VecX& theta, const linalg::VecX& dtheta,
+                 const double* alpha, bool clamp_to_limits, std::size_t lo,
+                 std::size_t hi) const override {
+    detail::walkLanesWide<V4>(chain, *ws.acc, ws.ct, ws.st, ws.cand,
+                              ws.stride, ws.trig, theta, dtheta, alpha,
+                              clamp_to_limits, lo, hi);
+  }
+
+  void reduceErrors(const SpecLaneBlock& ws, const linalg::Vec3& target,
+                    std::size_t lo, std::size_t hi) const override {
+    detail::reduceErrorsWide<V4>(*ws.acc, ws.errors, target, lo, hi);
+  }
+};
+
+}  // namespace
+
+const SpecBackend* avx2SpecBackend() {
+  static const Avx2SpecBackend backend;
+  return &backend;
+}
+
+}  // namespace dadu::kin
+
+#else  // !DADU_SPEC_BACKEND_AVX2
+
+namespace dadu::kin {
+const SpecBackend* avx2SpecBackend() { return nullptr; }
+}  // namespace dadu::kin
+
+#endif

@@ -1,0 +1,94 @@
+// AVX-512 speculation backend: 8 f64 lanes per vector over the
+// lane-innermost Mat34Batch SoA layout.
+//
+// Compiled with -mavx512f in this translation unit only (see
+// kinematics/CMakeLists.txt) and selected strictly behind a CPUID
+// check, so the binary stays runnable on baseline x86-64.  The kernel
+// body is the shared walk_wide.hpp template — same scalar operation
+// order, mask-register blends instead of AVX2's blendv.
+#include "dadu/kinematics/backends/spec_backend.hpp"
+
+#if defined(DADU_SPEC_BACKEND_AVX512)
+
+#include <immintrin.h>
+
+#include "dadu/kinematics/backends/walk_wide.hpp"
+
+namespace dadu::kin {
+namespace {
+
+/// 8-lane f64 vector ops for walk_wide.hpp.
+struct V8 {
+  static constexpr std::size_t width = 8;
+  using reg = __m512d;
+  static reg load(const double* p) { return _mm512_loadu_pd(p); }
+  static void store(double* p, reg v) { _mm512_storeu_pd(p, v); }
+  static reg set1(double v) { return _mm512_set1_pd(v); }
+  static reg add(reg a, reg b) { return _mm512_add_pd(a, b); }
+  static reg sub(reg a, reg b) { return _mm512_sub_pd(a, b); }
+  static reg mul(reg a, reg b) { return _mm512_mul_pd(a, b); }
+  static reg sqrt(reg a) { return _mm512_sqrt_pd(a); }
+  static reg neg(reg a) {
+    // Exact sign flip via integer xor (_mm512_xor_pd needs AVX512DQ;
+    // this TU only assumes AVX512F).
+    const __m512i sign = _mm512_set1_epi64(0x8000000000000000LL);
+    return _mm512_castsi512_pd(
+        _mm512_xor_si512(_mm512_castpd_si512(a), sign));
+  }
+  /// q < lim ? lim : q — ordered compare; NaN lanes keep q, matching
+  /// the scalar if-chain.
+  static reg clampBelow(reg q, reg lim) {
+    const __mmask8 m = _mm512_cmp_pd_mask(q, lim, _CMP_LT_OQ);
+    return _mm512_mask_blend_pd(m, q, lim);
+  }
+  /// q > lim ? lim : q.
+  static reg clampAbove(reg q, reg lim) {
+    const __mmask8 m = _mm512_cmp_pd_mask(q, lim, _CMP_GT_OQ);
+    return _mm512_mask_blend_pd(m, q, lim);
+  }
+};
+
+class Avx512SpecBackend final : public SpecBackend {
+ public:
+  const char* name() const override { return "avx512"; }
+
+  SpecBackendCaps caps() const override {
+    SpecBackendCaps caps;
+    caps.lane_multiple = V8::width;
+    caps.max_fused_lanes = 256;
+    caps.alignment = 64;
+    caps.max_ulp_error = 0;  // scalar op order, no FMA: bit-identical
+    return caps;
+  }
+
+  void walkLanes(const Chain& chain, const SpecLaneBlock& ws,
+                 const linalg::VecX& theta, const linalg::VecX& dtheta,
+                 const double* alpha, bool clamp_to_limits, std::size_t lo,
+                 std::size_t hi) const override {
+    detail::walkLanesWide<V8>(chain, *ws.acc, ws.ct, ws.st, ws.cand,
+                              ws.stride, ws.trig, theta, dtheta, alpha,
+                              clamp_to_limits, lo, hi);
+  }
+
+  void reduceErrors(const SpecLaneBlock& ws, const linalg::Vec3& target,
+                    std::size_t lo, std::size_t hi) const override {
+    detail::reduceErrorsWide<V8>(*ws.acc, ws.errors, target, lo, hi);
+  }
+};
+
+}  // namespace
+
+const SpecBackend* avx512SpecBackend() {
+  static const Avx512SpecBackend backend;
+  return &backend;
+}
+
+}  // namespace dadu::kin
+
+#else  // !DADU_SPEC_BACKEND_AVX512
+
+namespace dadu::kin {
+const SpecBackend* avx512SpecBackend() { return nullptr; }
+}  // namespace dadu::kin
+
+#endif

@@ -1,0 +1,49 @@
+// The scalar/autovec reference backend: the original batched SoA
+// kernel behind the SpecBackend seam.  Compiled at -O3 with baseline
+// ISA flags so the compiler's autovectorizer does what it did before
+// the seam existed — this is the parity reference and the perf
+// baseline every wide backend must beat.
+#include "dadu/kinematics/backends/spec_backend.hpp"
+#include "dadu/kinematics/backends/walk_ref.hpp"
+
+namespace dadu::kin {
+namespace {
+
+class ScalarSpecBackend final : public SpecBackend {
+ public:
+  const char* name() const override { return "scalar"; }
+
+  SpecBackendCaps caps() const override {
+    SpecBackendCaps caps;
+    caps.lane_multiple = 1;
+    // The fused sweep measured fastest around 256 total SoA lanes on
+    // one core (~20% slower by 1024, purely cache pressure).
+    caps.max_fused_lanes = 256;
+    caps.alignment = alignof(double);
+    caps.max_ulp_error = 0;  // it *is* the reference
+    return caps;
+  }
+
+  void walkLanes(const Chain& chain, const SpecLaneBlock& ws,
+                 const linalg::VecX& theta, const linalg::VecX& dtheta,
+                 const double* alpha, bool clamp_to_limits, std::size_t lo,
+                 std::size_t hi) const override {
+    detail::walkLanes<double>(chain, *ws.acc, ws.ct, ws.st, ws.cand,
+                              ws.stride, ws.trig, theta, dtheta, alpha,
+                              clamp_to_limits, lo, hi);
+  }
+
+  void reduceErrors(const SpecLaneBlock& ws, const linalg::Vec3& target,
+                    std::size_t lo, std::size_t hi) const override {
+    detail::reduceErrors<double>(*ws.acc, ws.errors, target, lo, hi);
+  }
+};
+
+}  // namespace
+
+const SpecBackend& scalarSpecBackend() {
+  static const ScalarSpecBackend backend;
+  return backend;
+}
+
+}  // namespace dadu::kin

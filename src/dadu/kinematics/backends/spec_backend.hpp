@@ -1,0 +1,144 @@
+// Speculation-backend seam: pluggable kernels for the batched FK walk.
+//
+// kin::BatchedForward owns the SoA workspace (candidates, accumulator
+// lanes, trig tables, errors) and the *semantics* of a speculative
+// sweep; a SpecBackend owns the *arithmetic* — candidate formation,
+// the per-joint trig-table transform compose, and the per-lane error
+// reduction over a contiguous lane range.  Three implementations ship
+// today: the scalar/autovec reference walk, an AVX2 kernel (4 f64
+// lanes per vector) and an AVX-512 kernel (8 lanes).  The seam is
+// deliberately wide enough for a GPU or IKAcc-model implementation to
+// slot in later: a backend advertises its capabilities (preferred lane
+// multiple, fused-lane budget, alignment, parity bound) and the caller
+// shapes batches to fit, never the other way round.
+//
+// Parity contract: a backend's results must match the scalar reference
+// within caps().max_ulp_error ULPs per double.  The current wide
+// kernels replicate the scalar operation order exactly — scalar libm
+// sin/cos, mul/add without FMA contraction, IEEE vector sqrt — so
+// their documented bound is 0: bit-identical.  A future backend that
+// fuses multiplies or vectorizes the trig may advertise a nonzero
+// bound; the parity suite reads the bound off the caps and enforces
+// it at every tested DOF x K point.
+//
+// Dispatch: dispatchedSpecBackend() picks the widest backend the CPU
+// supports (CPUID, checked once), overridable with the
+// DADU_SPEC_BACKEND environment variable (scalar|avx2|avx512) or
+// programmatically via setSpecBackendOverride() (the CLI's
+// --spec-backend flag).  Backends compiled out (non-x86 build, old
+// compiler) or unsupported by the running CPU are never selected, so
+// one binary runs everywhere.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/mat34_batch.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin {
+
+/// What a backend wants from its callers.  BatchedForward pads lane
+/// strides and sizes fused batches from these numbers, so a new
+/// backend tunes the whole stack (solver chunking included) without
+/// touching solver code.
+struct SpecBackendCaps {
+  /// Preferred lane-count multiple (the vector width in f64 lanes).
+  /// Workspaces pad their lane stride to this so every row starts a
+  /// whole vector; lane *ranges* need not be multiples — kernels
+  /// handle ragged tails internally.
+  std::size_t lane_multiple = 1;
+  /// Cache-residency budget: the largest contiguous lane range worth
+  /// walking in one slice.  BatchedForward splits larger ranges into
+  /// slices of at most this many lanes (each slice's accumulator
+  /// stays L1-resident across the whole chain walk).
+  std::size_t max_fused_lanes = 256;
+  /// Preferred byte alignment of lane-row base pointers.  Advisory:
+  /// kernels use unaligned loads, so correctness never depends on it.
+  std::size_t alignment = alignof(double);
+  /// Documented parity bound vs the scalar reference, in ULPs per
+  /// produced double (0 = bit-identical).
+  unsigned max_ulp_error = 0;
+};
+
+/// Borrowed view of BatchedForward's f64 workspace for one sweep.
+/// All arrays use the same padded lane stride; a kernel may only read
+/// or write lanes inside the range it was handed.
+struct SpecLaneBlock {
+  linalg::Mat34Batch* acc = nullptr;  ///< 12 rows of `stride` lanes
+  double* cand = nullptr;             ///< dof x stride candidate matrix
+  double* ct = nullptr;               ///< per-lane cos scratch
+  double* st = nullptr;               ///< per-lane sin scratch
+  const double* trig = nullptr;       ///< 4/joint: cos/sin alpha, cos/sin theta0
+  double* errors = nullptr;           ///< per-lane error output
+  std::size_t stride = 0;             ///< lane stride of cand rows
+};
+
+/// One speculation kernel.  Implementations are stateless and
+/// thread-safe: concurrent calls over disjoint lane ranges of the same
+/// workspace are race-free (that is how the thread-pool solver splits
+/// a sweep).
+class SpecBackend {
+ public:
+  virtual ~SpecBackend() = default;
+
+  virtual const char* name() const = 0;
+  virtual SpecBackendCaps caps() const = 0;
+
+  /// Candidate formation + batched chain walk over lanes [lo, hi):
+  /// cand[i][k] = theta[i] + alpha[k] * dtheta[i] (clamped to joint
+  /// limits when asked), then the accumulator lanes advance joint by
+  /// joint using the precomputed trig table.
+  virtual void walkLanes(const Chain& chain, const SpecLaneBlock& ws,
+                         const linalg::VecX& theta,
+                         const linalg::VecX& dtheta, const double* alpha,
+                         bool clamp_to_limits, std::size_t lo,
+                         std::size_t hi) const = 0;
+
+  /// errors[k] = ||target - position(k)|| for lanes [lo, hi),
+  /// accumulated x, y, z exactly like the scalar path.
+  virtual void reduceErrors(const SpecLaneBlock& ws,
+                            const linalg::Vec3& target, std::size_t lo,
+                            std::size_t hi) const = 0;
+};
+
+/// The scalar/autovec reference backend (always available).
+const SpecBackend& scalarSpecBackend();
+
+/// Internal: per-ISA factories.  Return nullptr when the backend was
+/// compiled out (non-x86 target or compiler without the ISA flags).
+const SpecBackend* avx2SpecBackend();
+const SpecBackend* avx512SpecBackend();
+
+/// Every backend compiled into this binary, widest first.  Inclusion
+/// does not imply the running CPU can execute it — check
+/// specBackendSupported() before selecting one by hand.
+std::vector<const SpecBackend*> allSpecBackends();
+
+/// Backend by registry name ("scalar", "avx2", "avx512"); nullptr if
+/// unknown or compiled out.
+const SpecBackend* specBackendByName(std::string_view name);
+
+/// True when the running CPU can execute `backend` (CPUID check).
+bool specBackendSupported(const SpecBackend& backend);
+
+/// The process-wide dispatched backend: chosen once — DADU_SPEC_BACKEND
+/// override if set and runnable (else a one-time warning and CPU
+/// dispatch), otherwise the widest CPU-supported backend.  New
+/// BatchedForward instances bind to this at construction.
+const SpecBackend& dispatchedSpecBackend();
+
+/// Force the dispatched backend by name (CLI --spec-backend).  Returns
+/// false (and changes nothing) when the name is unknown, compiled out,
+/// or unsupported by this CPU.  Affects BatchedForward instances
+/// constructed afterwards.
+bool setSpecBackendOverride(std::string_view name);
+
+/// Name of the backend dispatchedSpecBackend() currently returns.
+std::string activeSpecBackendName();
+
+}  // namespace dadu::kin

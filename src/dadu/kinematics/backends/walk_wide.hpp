@@ -1,0 +1,179 @@
+// Explicit-SIMD batched chain walk, templated over a vector abstraction.
+//
+// One kernel body serves every wide ISA: the backend translation unit
+// defines a vector wrapper V (width, load/store, broadcast, mul/add/
+// sub/neg, IEEE sqrt, ordered-compare blends) with its own -m flags,
+// instantiates these templates, and gets a kernel whose *operation
+// order is exactly the scalar reference* — each lane performs the same
+// IEEE doubles in the same sequence, just `V::width` lanes per
+// instruction.  Multiplies and adds stay separate (no FMA contraction;
+// the TU compiles with -ffp-contract=off as a belt-and-braces), sin and
+// cos go through scalar libm into the ct/st scratch exactly as the
+// reference does, and vector sqrt is correctly rounded — so the wide
+// backends are bit-identical to the scalar walk, which is the
+// max_ulp_error = 0 parity bound their caps advertise.
+//
+// Lane ranges need not be multiples of V::width: the vectorized middle
+// covers [lo, lo + floor((hi-lo)/width)*width) and the ragged tail
+// falls through to the reference templates in walk_ref.hpp.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "dadu/kinematics/backends/walk_ref.hpp"
+#include "dadu/kinematics/chain.hpp"
+#include "dadu/linalg/mat34_batch.hpp"
+#include "dadu/linalg/vec.hpp"
+#include "dadu/linalg/vecx.hpp"
+
+namespace dadu::kin::detail {
+
+// The per-joint transform compose, V::width lanes per step.  Mirrors
+// advanceJoint<double, kPrismatic> statement for statement.
+template <typename V, bool kPrismatic>
+void advanceJointWide(linalg::Mat34Batch& acc, const double* ct,
+                      const double* st, double ca, double sa, double a_len,
+                      double d_fixed, const double* q, std::size_t lo,
+                      std::size_t hi) {
+  double* a00 = acc.row(0, 0); double* a01 = acc.row(0, 1); double* a02 = acc.row(0, 2); double* a03 = acc.row(0, 3);
+  double* a10 = acc.row(1, 0); double* a11 = acc.row(1, 1); double* a12 = acc.row(1, 2); double* a13 = acc.row(1, 3);
+  double* a20 = acc.row(2, 0); double* a21 = acc.row(2, 1); double* a22 = acc.row(2, 2); double* a23 = acc.row(2, 3);
+
+  const auto ca_v = V::set1(ca);
+  const auto sa_v = V::set1(sa);
+  const auto al_v = V::set1(a_len);
+  const auto df_v = V::set1(d_fixed);
+
+  std::size_t k = lo;
+  for (; k + V::width <= hi; k += V::width) {
+    const auto c = V::load(ct + k);
+    const auto s = V::load(st + k);
+    // Column entries of {i-1}T_i: b01 = -s*ca, b11 = c*ca, b02 = s*sa,
+    // b12 = -c*sa, b03 = a_len*c, b13 = a_len*s — scalar order kept.
+    const auto b01 = V::mul(V::neg(s), ca_v);
+    const auto b11 = V::mul(c, ca_v);
+    const auto b02 = V::mul(s, sa_v);
+    const auto b12 = V::mul(V::neg(c), sa_v);
+    const auto b03 = V::mul(al_v, c);
+    const auto b13 = V::mul(al_v, s);
+    const auto dl = kPrismatic ? V::add(df_v, V::load(q + k)) : df_v;
+
+    // One output row at a time keeps the live register set small
+    // enough for 16-register ISAs (AVX2) without spilling the b*.
+    const auto row = [&](double* r0, double* r1, double* r2, double* r3) {
+      const auto o0 = V::load(r0 + k);
+      const auto o1 = V::load(r1 + k);
+      const auto o2 = V::load(r2 + k);
+      const auto o3 = V::load(r3 + k);
+      V::store(r0 + k, V::add(V::mul(o0, c), V::mul(o1, s)));
+      V::store(r1 + k, V::add(V::add(V::mul(o0, b01), V::mul(o1, b11)),
+                              V::mul(o2, sa_v)));
+      V::store(r2 + k, V::add(V::add(V::mul(o0, b02), V::mul(o1, b12)),
+                              V::mul(o2, ca_v)));
+      V::store(r3 + k, V::add(V::add(V::add(V::mul(o0, b03), V::mul(o1, b13)),
+                                     V::mul(o2, dl)),
+                              o3));
+    };
+    row(a00, a01, a02, a03);
+    row(a10, a11, a12, a13);
+    row(a20, a21, a22, a23);
+  }
+  if (k < hi)
+    advanceJoint<double, kPrismatic>(acc, ct, st, ca, sa, a_len, d_fixed, q,
+                                     k, hi);
+}
+
+// One full wide chain walk over lanes [lo, hi): vectorized candidate
+// formation and clamp, scalar libm trig (identical values to the
+// reference), wide per-joint advance.
+template <typename V>
+void walkLanesWide(const Chain& chain, linalg::Mat34Batch& acc, double* ct,
+                   double* st, double* cand, std::size_t stride,
+                   const double* trig, const linalg::VecX& theta,
+                   const linalg::VecX& dtheta, const double* alpha,
+                   bool clamp_to_limits, std::size_t lo, std::size_t hi) {
+  acc.setLanes(chain.base(), lo, hi);
+  const std::size_t main_end = lo + ((hi - lo) / V::width) * V::width;
+  for (std::size_t i = 0; i < chain.dof(); ++i) {
+    const Joint& joint = chain.joint(i);
+    const DhParam& p = joint.dh;
+    double* q = cand + i * stride;
+
+    // q[k] = theta_i + alpha[k] * dtheta_i (mul first, then add — the
+    // scalar expression order), clamped with ordered compares so NaN
+    // propagation matches the scalar if-chains.
+    const double ti = theta[i], di = dtheta[i];
+    {
+      const auto ti_v = V::set1(ti);
+      const auto di_v = V::set1(di);
+      std::size_t k = lo;
+      for (; k < main_end; k += V::width)
+        V::store(q + k, V::add(ti_v, V::mul(V::load(alpha + k), di_v)));
+      for (; k < hi; ++k) q[k] = ti + alpha[k] * di;
+    }
+    if (clamp_to_limits) {
+      const double qmin = joint.min, qmax = joint.max;
+      const auto lo_v = V::set1(qmin);
+      const auto hi_v = V::set1(qmax);
+      std::size_t k = lo;
+      for (; k < main_end; k += V::width) {
+        auto v = V::load(q + k);
+        v = V::clampBelow(v, lo_v);  // q < qmin ? qmin : q
+        v = V::clampAbove(v, hi_v);  // q > qmax ? qmax : q
+        V::store(q + k, v);
+      }
+      for (; k < hi; ++k) {
+        if (q[k] < qmin) q[k] = qmin;
+        if (q[k] > qmax) q[k] = qmax;
+      }
+    }
+
+    const double ca = trig[4 * i + 0];
+    const double sa = trig[4 * i + 1];
+    if (joint.type == JointType::kRevolute) {
+      const double t0 = p.theta;
+      for (std::size_t k = lo; k < hi; ++k) {
+        const double qk = t0 + q[k];
+        ct[k] = std::cos(qk);
+        st[k] = std::sin(qk);
+      }
+      advanceJointWide<V, false>(acc, ct, st, ca, sa, p.a, p.d, q, lo, hi);
+    } else {
+      const double c0 = trig[4 * i + 2];
+      const double s0 = trig[4 * i + 3];
+      for (std::size_t k = lo; k < hi; ++k) {
+        ct[k] = c0;
+        st[k] = s0;
+      }
+      advanceJointWide<V, true>(acc, ct, st, ca, sa, p.a, p.d, q, lo, hi);
+    }
+  }
+}
+
+// errors[k] = sqrt(dx*dx + dy*dy + dz*dz), V::width lanes at a time,
+// same association order as the scalar reduction; vector sqrt is
+// IEEE-correctly rounded, so results are bit-identical.
+template <typename V>
+void reduceErrorsWide(const linalg::Mat34Batch& acc, double* err,
+                      const linalg::Vec3& target, std::size_t lo,
+                      std::size_t hi) {
+  const double* px = acc.row(0, 3);
+  const double* py = acc.row(1, 3);
+  const double* pz = acc.row(2, 3);
+  const auto tx = V::set1(target.x);
+  const auto ty = V::set1(target.y);
+  const auto tz = V::set1(target.z);
+  std::size_t k = lo;
+  for (; k + V::width <= hi; k += V::width) {
+    const auto dx = V::sub(tx, V::load(px + k));
+    const auto dy = V::sub(ty, V::load(py + k));
+    const auto dz = V::sub(tz, V::load(pz + k));
+    const auto d2 = V::add(V::add(V::mul(dx, dx), V::mul(dy, dy)),
+                           V::mul(dz, dz));
+    V::store(err + k, V::sqrt(d2));
+  }
+  if (k < hi) reduceErrors<double>(acc, err, target, k, hi);
+}
+
+}  // namespace dadu::kin::detail

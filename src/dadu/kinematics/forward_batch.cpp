@@ -1,152 +1,34 @@
 #include "dadu/kinematics/forward_batch.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
+#include "dadu/kinematics/backends/spec_backend.hpp"
+#include "dadu/kinematics/backends/walk_ref.hpp"
+
 namespace dadu::kin {
-namespace {
 
-// Advance the K accumulator transforms across one joint: A_k := A_k *
-// {i-1}T_i(q_k), with the batch index innermost so every statement in
-// the lane loop is a unit-stride multiply-add the compiler can
-// vectorize.  The per-entry expressions reproduce dhTransform{Revolute,
-// Prismatic} times the scalar 4x4 product term-for-term (left-to-right
-// accumulation, row 3 contributions dropped — they are exact zeros and
-// an exact +a(i,3)), so lane results match the scalar chain walk
-// bit-for-bit up to the sign of zero rotation entries.
-template <typename T, bool kPrismatic>
-void advanceJoint(linalg::Mat34BatchT<T>& acc, const T* ct, const T* st,
-                  T ca, T sa, T a_len, T d_fixed, const double* q,
-                  std::size_t lo, std::size_t hi) {
-  T* a00 = acc.row(0, 0); T* a01 = acc.row(0, 1); T* a02 = acc.row(0, 2); T* a03 = acc.row(0, 3);
-  T* a10 = acc.row(1, 0); T* a11 = acc.row(1, 1); T* a12 = acc.row(1, 2); T* a13 = acc.row(1, 3);
-  T* a20 = acc.row(2, 0); T* a21 = acc.row(2, 1); T* a22 = acc.row(2, 2); T* a23 = acc.row(2, 3);
-  for (std::size_t k = lo; k < hi; ++k) {
-    const T c = ct[k], s = st[k];
-    // Column entries of {i-1}T_i at lane k (the dhTransform* values).
-    const T b01 = -s * ca, b11 = c * ca;
-    const T b02 = s * sa, b12 = -c * sa;
-    const T b03 = a_len * c, b13 = a_len * s;
-    T dl;
-    if constexpr (kPrismatic)
-      dl = d_fixed + static_cast<T>(q[k]);
-    else
-      dl = d_fixed;
-
-    const T o00 = a00[k], o01 = a01[k], o02 = a02[k], o03 = a03[k];
-    const T o10 = a10[k], o11 = a11[k], o12 = a12[k], o13 = a13[k];
-    const T o20 = a20[k], o21 = a21[k], o22 = a22[k], o23 = a23[k];
-
-    a00[k] = o00 * c + o01 * s;
-    a01[k] = o00 * b01 + o01 * b11 + o02 * sa;
-    a02[k] = o00 * b02 + o01 * b12 + o02 * ca;
-    a03[k] = o00 * b03 + o01 * b13 + o02 * dl + o03;
-
-    a10[k] = o10 * c + o11 * s;
-    a11[k] = o10 * b01 + o11 * b11 + o12 * sa;
-    a12[k] = o10 * b02 + o11 * b12 + o12 * ca;
-    a13[k] = o10 * b03 + o11 * b13 + o12 * dl + o13;
-
-    a20[k] = o20 * c + o21 * s;
-    a21[k] = o20 * b01 + o21 * b11 + o22 * sa;
-    a22[k] = o20 * b02 + o21 * b12 + o22 * ca;
-    a23[k] = o20 * b03 + o21 * b13 + o22 * dl + o23;
-  }
-}
-
-// One full chain walk over lanes [lo, hi): candidate formation, trig,
-// and the per-joint batched advance.  T = double reproduces the Mat4
-// path; T = float reproduces the forward_f32 path (candidates stay
-// double, every FK intermediate is float).  `trig` is the per-joint DH
-// constant table reset() precomputed: 4 entries per joint — cos/sin of
-// the link twist alpha, cos/sin of the fixed theta offset.
-template <typename T>
-void walkLanes(const Chain& chain, linalg::Mat34BatchT<T>& acc,
-               std::vector<T>& ct_buf, std::vector<T>& st_buf, double* cand,
-               std::size_t lanes, const T* trig, const linalg::VecX& theta,
-               const linalg::VecX& dtheta, const double* alpha,
-               bool clamp_to_limits, std::size_t lo, std::size_t hi) {
-  acc.setLanes(chain.base(), lo, hi);
-  T* ct = ct_buf.data();
-  T* st = st_buf.data();
-  for (std::size_t i = 0; i < chain.dof(); ++i) {
-    const Joint& joint = chain.joint(i);
-    const DhParam& p = joint.dh;
-    double* q = cand + i * lanes;
-
-    // Candidate joint values theta_i + alpha_k * dtheta_i, clamped the
-    // same way Joint::clamp does.
-    const double ti = theta[i], di = dtheta[i];
-    for (std::size_t k = lo; k < hi; ++k) q[k] = ti + alpha[k] * di;
-    if (clamp_to_limits) {
-      const double qmin = joint.min, qmax = joint.max;
-      for (std::size_t k = lo; k < hi; ++k) {
-        if (q[k] < qmin) q[k] = qmin;
-        if (q[k] > qmax) q[k] = qmax;
-      }
-    }
-
-    const T ca = trig[4 * i + 0];
-    const T sa = trig[4 * i + 1];
-    const T a_len = static_cast<T>(p.a);
-    const T d_fix = static_cast<T>(p.d);
-    if (joint.type == JointType::kRevolute) {
-      const T t0 = static_cast<T>(p.theta);
-      for (std::size_t k = lo; k < hi; ++k) {
-        const T qk = t0 + static_cast<T>(q[k]);
-        ct[k] = std::cos(qk);
-        st[k] = std::sin(qk);
-      }
-      advanceJoint<T, false>(acc, ct, st, ca, sa, a_len, d_fix, q, lo, hi);
-    } else {
-      // Prismatic: the rotation block is fixed; only d varies per lane.
-      const T c0 = trig[4 * i + 2];
-      const T s0 = trig[4 * i + 3];
-      for (std::size_t k = lo; k < hi; ++k) {
-        ct[k] = c0;
-        st[k] = s0;
-      }
-      advanceJoint<T, true>(acc, ct, st, ca, sa, a_len, d_fix, q, lo, hi);
-    }
-  }
-}
-
-// Fused sweep over every group's lanes.  Group-major on purpose: each
-// group's accumulator slice (K lanes x 12 entries) stays L1-resident
-// across its whole chain walk, exactly like a per-request sweep.  The
-// joint-major alternative — one joint loop with all groups' lanes
-// advanced per joint — re-streams every group's accumulator and
-// candidate rows through cache once per joint and measured ~30% slower
-// at 16 groups x 8 lanes x 24 joints; the per-joint constants it would
-// have amortized live in the precomputed trig table instead.  Per lane
-// this is literally walkLanes, so grouped results are bit-identical to
-// per-group evaluateLanes calls.
-template <typename T>
-void walkGrouped(const Chain& chain, linalg::Mat34BatchT<T>& acc,
-                 std::vector<T>& ct_buf, std::vector<T>& st_buf, double* cand,
-                 std::size_t lanes, const T* trig,
-                 const BatchedForward::LaneGroup* groups,
-                 std::size_t group_count, const double* alpha,
-                 bool clamp_to_limits) {
-  for (std::size_t g = 0; g < group_count; ++g) {
-    const BatchedForward::LaneGroup& grp = groups[g];
-    walkLanes<T>(chain, acc, ct_buf, st_buf, cand, lanes, trig, *grp.theta,
-                 *grp.dtheta, alpha, clamp_to_limits, grp.lane_begin,
-                 grp.lane_end);
-  }
-}
-
-}  // namespace
+BatchedForward::BatchedForward(Precision precision, const SpecBackend* backend)
+    : precision_(precision),
+      backend_(backend != nullptr ? backend : &dispatchedSpecBackend()) {}
 
 void BatchedForward::reset(const Chain& chain, std::size_t lanes) {
+  const SpecBackendCaps caps = backend_->caps();
   dof_ = chain.dof();
   lanes_ = lanes;
-  cand_.resize(dof_ * lanes);
-  errors_.resize(lanes);
+  // Pad the lane stride to the backend's vector width so every row of
+  // every SoA array starts a whole register (the storage itself is
+  // 64-byte aligned).  Padding lanes are never computed or read.
+  const std::size_t mult = std::max<std::size_t>(caps.lane_multiple, 1);
+  stride_ = ((lanes + mult - 1) / mult) * mult;
+  max_walk_slice_lanes_.store(0, std::memory_order_relaxed);
+  cand_.resize(dof_ * stride_);
+  errors_.resize(stride_);
   if (precision_ == Precision::kF64) {
-    acc_.resize(lanes);
-    ct_.resize(lanes);
-    st_.resize(lanes);
+    acc_.resize(lanes, mult);
+    ct_.resize(stride_);
+    st_.resize(stride_);
     trig_d_.resize(4 * dof_);
     for (std::size_t i = 0; i < dof_; ++i) {
       const DhParam& p = chain.joint(i).dh;
@@ -156,9 +38,9 @@ void BatchedForward::reset(const Chain& chain, std::size_t lanes) {
       trig_d_[4 * i + 3] = std::sin(p.theta);
     }
   } else {
-    acc_f_.resize(lanes);
-    ctf_.resize(lanes);
-    stf_.resize(lanes);
+    acc_f_.resize(lanes, mult);
+    ctf_.resize(stride_);
+    stf_.resize(stride_);
     trig_f_.resize(4 * dof_);
     // Same expressions as the f32 scalar walk: trig of the
     // float-narrowed angle, evaluated in float.
@@ -169,6 +51,46 @@ void BatchedForward::reset(const Chain& chain, std::size_t lanes) {
       trig_f_[4 * i + 2] = std::cos(static_cast<float>(p.theta));
       trig_f_[4 * i + 3] = std::sin(static_cast<float>(p.theta));
     }
+  }
+}
+
+void BatchedForward::noteSlice(std::size_t lanes) {
+  // Relaxed max-update: the seam is a diagnostic high-water mark, and
+  // concurrent pool workers may race to publish their slice sizes.
+  std::size_t seen = max_walk_slice_lanes_.load(std::memory_order_relaxed);
+  while (lanes > seen &&
+         !max_walk_slice_lanes_.compare_exchange_weak(
+             seen, lanes, std::memory_order_relaxed)) {
+  }
+}
+
+void BatchedForward::slicedWalkF64(const Chain& chain,
+                                   const linalg::VecX& theta,
+                                   const linalg::VecX& dtheta,
+                                   const double* alpha,
+                                   const linalg::Vec3& target,
+                                   bool clamp_to_limits, std::size_t lo,
+                                   std::size_t hi) {
+  SpecLaneBlock block;
+  block.acc = &acc_;
+  block.cand = cand_.data();
+  block.ct = ct_.data();
+  block.st = st_.data();
+  block.trig = trig_d_.data();
+  block.errors = errors_.data();
+  block.stride = stride_;
+
+  // Slice to the backend's cache-residency budget: each slice's
+  // accumulator lanes stay L1-resident across its whole chain walk.
+  // Lanes are independent, so any split produces identical results.
+  const std::size_t budget =
+      std::max<std::size_t>(backend_->caps().max_fused_lanes, 1);
+  for (std::size_t s = lo; s < hi; s += budget) {
+    const std::size_t e = std::min(hi, s + budget);
+    noteSlice(e - s);
+    backend_->walkLanes(chain, block, theta, dtheta, alpha, clamp_to_limits,
+                        s, e);
+    backend_->reduceErrors(block, target, s, e);
   }
 }
 
@@ -187,38 +109,16 @@ void BatchedForward::evaluateLanes(const Chain& chain,
   if (lane_begin >= lane_end) return;
 
   if (precision_ == Precision::kF64) {
-    walkLanes<double>(chain, acc_, ct_, st_, cand_.data(), lanes_,
-                      trig_d_.data(), theta, dtheta, alpha, clamp_to_limits,
-                      lane_begin, lane_end);
+    slicedWalkF64(chain, theta, dtheta, alpha, target, clamp_to_limits,
+                  lane_begin, lane_end);
   } else {
-    walkLanes<float>(chain, acc_f_, ctf_, stf_, cand_.data(), lanes_,
-                     trig_f_.data(), theta, dtheta, alpha, clamp_to_limits,
-                     lane_begin, lane_end);
-  }
-
-  // e_k = ||target - x_k||, accumulated x, y, z like Vec3::norm so the
-  // scalar path's errors are reproduced exactly.  f32 positions are
-  // widened to double first, as endEffectorPositionF32 does.
-  const double tx = target.x, ty = target.y, tz = target.z;
-  double* err = errors_.data();
-  if (precision_ == Precision::kF64) {
-    const double* px = acc_.row(0, 3);
-    const double* py = acc_.row(1, 3);
-    const double* pz = acc_.row(2, 3);
-    for (std::size_t k = lane_begin; k < lane_end; ++k) {
-      const double dx = tx - px[k], dy = ty - py[k], dz = tz - pz[k];
-      err[k] = std::sqrt(dx * dx + dy * dy + dz * dz);
-    }
-  } else {
-    const float* px = acc_f_.row(0, 3);
-    const float* py = acc_f_.row(1, 3);
-    const float* pz = acc_f_.row(2, 3);
-    for (std::size_t k = lane_begin; k < lane_end; ++k) {
-      const double dx = tx - static_cast<double>(px[k]);
-      const double dy = ty - static_cast<double>(py[k]);
-      const double dz = tz - static_cast<double>(pz[k]);
-      err[k] = std::sqrt(dx * dx + dy * dy + dz * dz);
-    }
+    noteSlice(lane_end - lane_begin);
+    detail::walkLanes<float>(chain, acc_f_, ctf_.data(), stf_.data(),
+                             cand_.data(), stride_, trig_f_.data(), theta,
+                             dtheta, alpha, clamp_to_limits, lane_begin,
+                             lane_end);
+    detail::reduceErrors<float>(acc_f_, errors_.data(), target, lane_begin,
+                                lane_end);
   }
 }
 
@@ -236,40 +136,25 @@ void BatchedForward::evaluateGrouped(const Chain& chain,
     chain.requireSize(*groups[g].dtheta);
   }
 
-  if (precision_ == Precision::kF64) {
-    walkGrouped<double>(chain, acc_, ct_, st_, cand_.data(), lanes_,
-                        trig_d_.data(), groups, group_count, alpha,
-                        clamp_to_limits);
-  } else {
-    walkGrouped<float>(chain, acc_f_, ctf_, stf_, cand_.data(), lanes_,
-                       trig_f_.data(), groups, group_count, alpha,
-                       clamp_to_limits);
-  }
-
-  // Per-group errors against that group's own target, accumulated
-  // exactly like the single-target path.
-  double* err = errors_.data();
+  // Group-major on purpose: each group's accumulator slice stays
+  // L1-resident across its whole chain walk (a joint-major pass that
+  // re-streams every group's lanes per joint measured ~30% slower).
+  // Per lane this is exactly the single-target walk, so grouped
+  // results are bit-identical to per-group evaluateLanes calls.
   for (std::size_t g = 0; g < group_count; ++g) {
     const LaneGroup& grp = groups[g];
-    const double tx = grp.target.x, ty = grp.target.y, tz = grp.target.z;
+    if (grp.lane_begin >= grp.lane_end) continue;
     if (precision_ == Precision::kF64) {
-      const double* px = acc_.row(0, 3);
-      const double* py = acc_.row(1, 3);
-      const double* pz = acc_.row(2, 3);
-      for (std::size_t k = grp.lane_begin; k < grp.lane_end; ++k) {
-        const double dx = tx - px[k], dy = ty - py[k], dz = tz - pz[k];
-        err[k] = std::sqrt(dx * dx + dy * dy + dz * dz);
-      }
+      slicedWalkF64(chain, *grp.theta, *grp.dtheta, alpha, grp.target,
+                    clamp_to_limits, grp.lane_begin, grp.lane_end);
     } else {
-      const float* px = acc_f_.row(0, 3);
-      const float* py = acc_f_.row(1, 3);
-      const float* pz = acc_f_.row(2, 3);
-      for (std::size_t k = grp.lane_begin; k < grp.lane_end; ++k) {
-        const double dx = tx - static_cast<double>(px[k]);
-        const double dy = ty - static_cast<double>(py[k]);
-        const double dz = tz - static_cast<double>(pz[k]);
-        err[k] = std::sqrt(dx * dx + dy * dy + dz * dz);
-      }
+      noteSlice(grp.lane_end - grp.lane_begin);
+      detail::walkLanes<float>(chain, acc_f_, ctf_.data(), stf_.data(),
+                               cand_.data(), stride_, trig_f_.data(),
+                               *grp.theta, *grp.dtheta, alpha,
+                               clamp_to_limits, grp.lane_begin, grp.lane_end);
+      detail::reduceErrors<float>(acc_f_, errors_.data(), grp.target,
+                                  grp.lane_begin, grp.lane_end);
     }
   }
 }
@@ -281,7 +166,7 @@ linalg::Vec3 BatchedForward::position(std::size_t k) const {
 void BatchedForward::candidateInto(std::size_t k, linalg::VecX& out) const {
   if (out.size() != dof_) out.resize(dof_);
   const double* cand = cand_.data();
-  for (std::size_t i = 0; i < dof_; ++i) out[i] = cand[i * lanes_ + k];
+  for (std::size_t i = 0; i < dof_; ++i) out[i] = cand[i * stride_ + k];
 }
 
 }  // namespace dadu::kin

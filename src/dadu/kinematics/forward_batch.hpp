@@ -20,6 +20,7 @@
 // is written exactly once, by whichever caller owns its range.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <vector>
 
@@ -30,10 +31,21 @@
 
 namespace dadu::kin {
 
+class SpecBackend;
+
 /// Batched FK over K speculative candidates.  Owns its workspace:
 /// reset() sizes it (idempotent, allocation-free once warm) and
 /// evaluateLanes() fills it with zero allocations, so a solver can
 /// hold one instance and reuse it every iteration.
+///
+/// The f64 arithmetic runs through a pluggable SpecBackend (scalar /
+/// AVX2 / AVX-512 — see backends/spec_backend.hpp): the instance binds
+/// to the process-dispatched backend at construction, or to an
+/// explicit one passed in (parity tests, benches).  Walks longer than
+/// the backend's fused-lane budget are transparently sliced so every
+/// contiguous walk stays cache-resident; lanes are independent, so
+/// slicing never changes results.  The f32 datapath (the FP32-FKU
+/// model) always uses the scalar reference walk.
 class BatchedForward {
  public:
   /// Arithmetic of the accumulator datapath.  kF64 reproduces
@@ -42,12 +54,26 @@ class BatchedForward {
   /// float, candidates and errors still formed in double.
   enum class Precision { kF64, kF32 };
 
-  explicit BatchedForward(Precision precision = Precision::kF64)
-      : precision_(precision) {}
+  /// `backend` = nullptr binds the process-dispatched backend (CPUID +
+  /// DADU_SPEC_BACKEND / --spec-backend override, resolved at
+  /// construction time).
+  explicit BatchedForward(Precision precision = Precision::kF64,
+                          const SpecBackend* backend = nullptr);
 
   Precision precision() const { return precision_; }
   std::size_t lanes() const { return lanes_; }
   std::size_t dof() const { return dof_; }
+
+  /// The speculation backend this instance is bound to.
+  const SpecBackend& backend() const { return *backend_; }
+
+  /// High-water mark of lanes handed to a single contiguous backend
+  /// walk since the last reset() — the cache-residency seam: stays at
+  /// or below backend().caps().max_fused_lanes no matter how large a
+  /// lane range or group the caller passes.
+  std::size_t maxWalkSliceLanes() const {
+    return max_walk_slice_lanes_.load(std::memory_order_relaxed);
+  }
 
   /// Size the workspace for `lanes` candidates over `chain`.  Call
   /// once before evaluateLanes (and again whenever the lane count or
@@ -108,12 +134,26 @@ class BatchedForward {
   void candidateInto(std::size_t k, linalg::VecX& out) const;
 
  private:
+  /// Walk + error-reduce lanes [lo, hi) against `target` in slices of
+  /// at most the backend's fused-lane budget (f64 path only).
+  void slicedWalkF64(const Chain& chain, const linalg::VecX& theta,
+                     const linalg::VecX& dtheta, const double* alpha,
+                     const linalg::Vec3& target, bool clamp_to_limits,
+                     std::size_t lo, std::size_t hi);
+  void noteSlice(std::size_t lanes);
+
   Precision precision_;
+  const SpecBackend* backend_;
   std::size_t lanes_ = 0;
+  std::size_t stride_ = 0;  ///< lane stride (lanes_ padded to backend width)
   std::size_t dof_ = 0;
+  /// High-water lanes per contiguous walk slice; relaxed atomic so the
+  /// thread-pool split (concurrent evaluateLanes over disjoint ranges)
+  /// can update it race-free.
+  mutable std::atomic<std::size_t> max_walk_slice_lanes_{0};
   linalg::Mat34Batch acc_;     ///< f64 accumulator lanes
   linalg::Mat34BatchF acc_f_;  ///< f32 accumulator lanes
-  std::vector<double> cand_;   ///< dof x lanes candidate matrix (SoA)
+  std::vector<double> cand_;   ///< dof x stride candidate matrix (SoA)
   std::vector<double> ct_, st_;  ///< per-lane cos/sin scratch (f64)
   std::vector<float> ctf_, stf_;  ///< per-lane cos/sin scratch (f32)
   std::vector<double> errors_;

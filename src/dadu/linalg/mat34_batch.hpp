@@ -13,15 +13,51 @@
 // which is the memory shape auto-vectorizers want and the software
 // mirror of the paper's FKU array, where K speculative FK chains
 // advance one joint per wave in parallel silicon lanes.
+//
+// For the explicit-SIMD speculation backends the storage is 64-byte
+// aligned and the lane stride can be padded to a backend's preferred
+// lane multiple (resize(lanes, lane_multiple)), so every row starts a
+// whole cache line / vector register.  Padding lanes are never
+// initialised or read — they exist purely so row starts align;
+// kernels use unaligned loads and ragged tails, so correctness never
+// depends on either.
 #pragma once
 
 #include <cstddef>
+#include <new>
 #include <vector>
 
 #include "dadu/linalg/mat4.hpp"
 #include "dadu/linalg/vec.hpp"
 
 namespace dadu::linalg {
+
+namespace detail {
+
+/// Minimal 64-byte-aligning allocator for the SoA lane storage.
+template <typename T>
+struct LaneAllocator {
+  using value_type = T;
+  static constexpr std::size_t kAlign = 64;
+
+  LaneAllocator() = default;
+  template <typename U>
+  LaneAllocator(const LaneAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kAlign}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kAlign});
+  }
+  template <typename U>
+  bool operator==(const LaneAllocator<U>&) const {
+    return true;
+  }
+};
+
+}  // namespace detail
 
 /// SoA batch of 3x4 affine transforms over scalar type T (double for
 /// the reference datapath, float for the FP32-FKU model).
@@ -31,21 +67,30 @@ class Mat34BatchT {
   Mat34BatchT() = default;
 
   std::size_t lanes() const { return lanes_; }
+  /// Lane stride of each row: lanes() rounded up to the padding
+  /// multiple resize() was given.  Lanes [lanes(), stride()) are
+  /// uninitialised padding.
+  std::size_t stride() const { return stride_; }
 
-  /// Size to `lanes` transforms.  Entries are left uninitialised; call
-  /// setLanes() before use.  No reallocation once `reserve`d.
-  void resize(std::size_t lanes) {
+  /// Size to `lanes` transforms, padding each row's stride up to a
+  /// multiple of `lane_multiple` (a speculation backend's preferred
+  /// vector width) so row starts stay 64-byte aligned.  Entries are
+  /// left uninitialised; call setLanes() before use.  No reallocation
+  /// once `reserve`d at the padded size.
+  void resize(std::size_t lanes, std::size_t lane_multiple = 1) {
     lanes_ = lanes;
-    data_.resize(12 * lanes);
+    if (lane_multiple < 1) lane_multiple = 1;
+    stride_ = ((lanes + lane_multiple - 1) / lane_multiple) * lane_multiple;
+    data_.resize(12 * stride_);
   }
   void reserve(std::size_t lanes) { data_.reserve(12 * lanes); }
 
   /// Lane array of entry (r, c), r in [0,3), c in [0,4).
   T* row(std::size_t r, std::size_t c) {
-    return data_.data() + (r * 4 + c) * lanes_;
+    return data_.data() + (r * 4 + c) * stride_;
   }
   const T* row(std::size_t r, std::size_t c) const {
-    return data_.data() + (r * 4 + c) * lanes_;
+    return data_.data() + (r * 4 + c) * stride_;
   }
 
   /// Broadcast the affine part of `t` into lanes [lane_begin,
@@ -79,7 +124,8 @@ class Mat34BatchT {
 
  private:
   std::size_t lanes_ = 0;
-  std::vector<T> data_;
+  std::size_t stride_ = 0;
+  std::vector<T, detail::LaneAllocator<T>> data_;
 };
 
 using Mat34Batch = Mat34BatchT<double>;

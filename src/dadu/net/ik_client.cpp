@@ -94,8 +94,12 @@ IkClient::IkClient(IkClient&& other) noexcept
       host_(std::move(other.host_)),
       port_(other.port_),
       retry_rng_(other.retry_rng_),
-      retry_budget_(other.retry_budget_),
-      retry_stats_(other.retry_stats_) {}
+      // Transfer, don't copy: a copied budget could be spent twice (a
+      // call on the moved-from client fails reconnect but still burns
+      // retries), and copied stats double-count in any sum over
+      // clients.  The moved-from client keeps no budget and no stats.
+      retry_budget_(std::exchange(other.retry_budget_, 0)),
+      retry_stats_(std::exchange(other.retry_stats_, {})) {}
 
 IkClient& IkClient::operator=(IkClient&& other) noexcept {
   if (this != &other) {
@@ -108,8 +112,9 @@ IkClient& IkClient::operator=(IkClient&& other) noexcept {
     host_ = std::move(other.host_);
     port_ = other.port_;
     retry_rng_ = other.retry_rng_;
-    retry_budget_ = other.retry_budget_;
-    retry_stats_ = other.retry_stats_;
+    // Transfer, don't copy — see the move constructor.
+    retry_budget_ = std::exchange(other.retry_budget_, 0);
+    retry_stats_ = std::exchange(other.retry_stats_, {});
   }
   return *this;
 }

@@ -45,6 +45,7 @@ obs::MetricsSnapshot merge(obs::MetricsSnapshot a,
   a.gauges.insert(a.gauges.end(), b.gauges.begin(), b.gauges.end());
   a.histograms.insert(a.histograms.end(), b.histograms.begin(),
                       b.histograms.end());
+  a.infos.insert(a.infos.end(), b.infos.begin(), b.infos.end());
   return a;
 }
 

@@ -45,6 +45,12 @@ void appendJsonRecord(std::ostringstream& os, bool& first,
 
 std::string renderPrometheus(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
+  // Info-metric idiom: the fact lives in a label, the sample is 1.
+  for (const InfoSample& i : snapshot.infos) {
+    const std::string name = sanitize(i.name);
+    os << "# TYPE " << name << " gauge\n";
+    os << name << "{value=\"" << i.value << "\"} 1\n";
+  }
   for (const CounterSample& c : snapshot.counters) {
     const std::string name = sanitize(c.name) + "_total";
     os << "# TYPE " << name << " counter\n";
@@ -75,6 +81,14 @@ std::string renderJson(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   os << "[\n";
   bool first = true;
+  for (const InfoSample& i : snapshot.infos) {
+    // String-valued record; unit "info" marks it non-numeric for the
+    // trajectory-diff tooling.
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"metric\": \"" << i.name << "\", \"value\": \"" << i.value
+       << "\", \"unit\": \"info\"}";
+  }
   for (const CounterSample& c : snapshot.counters)
     appendJsonRecord(os, first, c.name, static_cast<double>(c.value), "count");
   for (const GaugeSample& g : snapshot.gauges)
@@ -95,11 +109,16 @@ std::string renderJson(const MetricsSnapshot& snapshot) {
 std::string renderText(const MetricsSnapshot& snapshot) {
   std::ostringstream os;
   std::size_t width = 0;
+  for (const InfoSample& i : snapshot.infos)
+    width = std::max(width, i.name.size());
   for (const CounterSample& c : snapshot.counters)
     width = std::max(width, c.name.size());
   for (const GaugeSample& g : snapshot.gauges)
     width = std::max(width, g.name.size());
 
+  for (const InfoSample& i : snapshot.infos)
+    os << std::left << std::setw(static_cast<int>(width) + 2) << i.name
+       << i.value << "\n";
   for (const CounterSample& c : snapshot.counters)
     os << std::left << std::setw(static_cast<int>(width) + 2) << c.name
        << c.value << "\n";

@@ -41,10 +41,20 @@ struct HistogramSample {
   std::string unit = "ms";
 };
 
+/// Build/runtime facts with a string value rather than a number — e.g.
+/// the active speculation backend.  Prometheus renders them in the
+/// `name{value="..."} 1` info-metric idiom; JSON and text carry the
+/// string directly.
+struct InfoSample {
+  std::string name;  ///< e.g. "dadu_spec_backend"
+  std::string value;
+};
+
 struct MetricsSnapshot {
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<HistogramSample> histograms;
+  std::vector<InfoSample> infos;
 };
 
 /// Prometheus text exposition format.  Counter names gain a `_total`

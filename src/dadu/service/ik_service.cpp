@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dadu/fault/fault.hpp"
+#include "dadu/kinematics/backends/spec_backend.hpp"
 #include "dadu/platform/timer.hpp"
 
 namespace dadu::service {
@@ -644,6 +645,7 @@ ServiceStats IkService::stats() const {
   snapshot.total_solve_ms = snapshot.solve_hist.sum;
 
   snapshot.breaker = breaker_.snapshot();
+  snapshot.spec_backend = kin::activeSpecBackendName();
 
   const SeedCacheStats cache = cache_.stats();
   snapshot.cache_hits = cache.hits;

@@ -86,9 +86,10 @@ class SeedCache {
   /// request — up to 27x count acquisitions).  On a hit, seeds[i]
   /// receives the nearest entry for targets[i] and hits[i] is set to 1,
   /// else 0.  Returns the number of hits.  Results match `count`
-  /// individual lookup() calls against the same snapshot (probe order
-  /// differs, which can only matter on exact-distance ties).
-  /// Thread-safe.
+  /// individual lookup() calls against the same snapshot exactly,
+  /// including exact-distance ties: probes execute shard-major here,
+  /// but a per-probe rank reproduces lookup()'s cell probe order for
+  /// tie-breaks.  Thread-safe.
   std::size_t lookupMany(const linalg::Vec3* targets, std::size_t count,
                          linalg::VecX* seeds, unsigned char* hits) const;
 

@@ -4,6 +4,8 @@ namespace dadu::service {
 
 obs::MetricsSnapshot toMetricsSnapshot(const ServiceStats& stats) {
   obs::MetricsSnapshot snap;
+  if (!stats.spec_backend.empty())
+    snap.infos.push_back({"dadu_spec_backend", stats.spec_backend});
   const auto counter = [&](const char* name, std::uint64_t value) {
     snap.counters.push_back({std::string("dadu_service_") + name, value});
   };

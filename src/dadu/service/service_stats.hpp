@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "dadu/obs/export.hpp"
 #include "dadu/obs/histogram.hpp"
@@ -58,6 +59,11 @@ struct ServiceStats {
 
   // Overload circuit breaker (mirrored from CircuitBreaker::snapshot()).
   CircuitBreakerSnapshot breaker;
+
+  /// Active speculation backend ("scalar" / "avx2" / "avx512") the
+  /// solvers' batched FK dispatched to; empty when unknown (e.g. a
+  /// hand-built snapshot).  Exported as an info metric.
+  std::string spec_backend;
 
   // Warm-start cache (mirrored from SeedCache::stats()).
   std::uint64_t cache_hits = 0;

@@ -5,6 +5,8 @@
 #include <functional>
 #include <stdexcept>
 
+#include "dadu/kinematics/backends/spec_backend.hpp"
+
 namespace dadu::ik {
 namespace {
 
@@ -92,7 +94,11 @@ SolveResult QuickIkSolver::solve(const linalg::Vec3& target,
       alphas_[idx] = (static_cast<double>(idx + 1) / max_spec) *
                      head.alpha_base;  // Eq. 9
     if (execution_ == Execution::kThreadPool) {
-      pool_->parallelForChunked(0, lanes, kLaneGrain, pooled_sweep);
+      // Grain rounds up to the backend's lane multiple so worker
+      // chunks land on vector-register boundaries.
+      const std::size_t grain =
+          std::max(kLaneGrain, batch_.backend().caps().lane_multiple);
+      pool_->parallelForChunked(0, lanes, grain, pooled_sweep);
     } else {
       batch_.evaluateLanes(chain_, result.theta, ws_.dtheta_base,
                            alphas_.data(), target, options_.clamp_to_limits,
@@ -156,10 +162,15 @@ void QuickIkSolver::solveMany(const BatchLane* lanes, BatchLaneResult* out,
   // fastest around 256 total SoA lanes (4 requests) and ~20% slower by
   // 1024, purely from cache pressure.  Chunks also retire early
   // requests sooner — the same completion order a per-request worker
-  // would produce.
-  constexpr std::size_t kMaxFusedLanes = 256;
+  // would produce.  The budget comes from the speculation backend's
+  // capabilities, not a local constant; when K alone exceeds it
+  // (chunk degenerates to one request per lockstep) the kernel's own
+  // walk slicing keeps each contiguous walk within the budget, so a
+  // K=512 burst no longer streams 512-lane walks through cache.
+  const std::size_t max_fused =
+      many_batch_.backend().caps().max_fused_lanes;
   const auto K = static_cast<std::size_t>(options_.speculations);
-  const std::size_t chunk = std::max<std::size_t>(1, kMaxFusedLanes / K);
+  const std::size_t chunk = std::max<std::size_t>(1, max_fused / K);
   for (std::size_t base = 0; base < n; base += chunk)
     solveManyFused(lanes + base, out + base, std::min(chunk, n - base));
 }

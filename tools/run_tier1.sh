@@ -16,7 +16,12 @@
 #   cmake --build build-ubsan -j --target kinematics_batch_fk_test
 #   ./build-ubsan/tests/kinematics_batch_fk_test
 #
-# (ASan is the same with -DDADU_SANITIZE=address.)
+# (ASan is the same with -DDADU_SANITIZE=address.)  The wide
+# speculation backends are covered the same way:
+#
+#   cmake --build build-ubsan -j --target kinematics_spec_backend_test
+#   ./build-ubsan/tests/kinematics_spec_backend_test
+#   DADU_SPEC_BACKEND=scalar ./build-ubsan/tests/kinematics_spec_backend_test
 #
 # The serving layer (src/dadu/service/) is verified under
 # ThreadSanitizer — queue, seed cache, worker pool and shutdown paths
@@ -38,6 +43,20 @@ build_dir="${1:-${repo_root}/build}"
 cmake -B "${build_dir}" -S "${repo_root}" ${DADU_CMAKE_ARGS:-}
 cmake --build "${build_dir}" -j
 ctest --test-dir "${build_dir}" --output-on-failure -j
+
+# Wide-speculation parity gate: the scalar/AVX2/AVX-512 speculation
+# kernels are required to be bit-identical, so the parity suite runs
+# twice — once under whatever backend runtime dispatch picked for this
+# host, and once with the backend forced to scalar via the env
+# override.  The forced-scalar leg also re-runs the suites that lean
+# hardest on the speculation path, proving solver results do not
+# depend on the host ISA.
+"${build_dir}/tests/kinematics_spec_backend_test"
+for suite in kinematics_spec_backend_test kinematics_batch_fk_test \
+    solvers_quick_ik_test service_batch_test; do
+  DADU_SPEC_BACKEND=scalar "${build_dir}/tests/${suite}"
+done
+echo "spec backend parity gate: ok (dispatched + forced-scalar legs)"
 
 # Simulation determinism gate: the same seed must replay the whole
 # serving stack byte-identically.  Two chaos runs with a fixed seed
