@@ -39,4 +39,11 @@ struct MetricRecord {
 bool writeMetricsJson(const std::string& path,
                       const std::vector<MetricRecord>& records);
 
+/// Append `records` to an existing metrics JSON file written by
+/// writeMetricsJson (splices before the closing bracket), so multiple
+/// bench legs can share one BENCH_*.json.  Falls back to a plain write
+/// when `path` does not exist or is not a metrics array.
+bool appendMetricsJson(const std::string& path,
+                       const std::vector<MetricRecord>& records);
+
 }  // namespace bench

@@ -12,13 +12,19 @@
 // Usage: net_throughput [--quick] [--connections C] [--requests N]
 //                       [--window W] [--workers K] [--dof D]
 //                       [--max-batch M] [--batch-wait-us U]
-//                       [--require-batched] [--json PATH]
+//                       [--spec-mix S] [--require-batched] [--json PATH]
 //   --quick            small workload for CI smoke runs
 //   --requests         total requests across all connections
 //   --max-batch M      queue-drain burst bound (1 = per-request dispatch)
 //   --batch-wait-us U  coalescing linger for under-filled bursts
+//   --spec-mix S       host S robot specs (same DOF) behind one server;
+//                      connection c drives spec c % S, so every spec
+//                      sees equal offered load and the report breaks
+//                      req/s out per spec (1 = classic single-spec)
 //   --require-batched  exit nonzero unless batch occupancy > 1 (CI smoke)
 //   --json P           write BENCH_net.json metric records to P
+//   --json-append P    like --json but appends to an existing metrics
+//                      file, so multiple legs share one BENCH_net.json
 #include <algorithm>
 #include <atomic>
 #include <cstring>
@@ -42,8 +48,10 @@ struct Options {
   std::size_t dof = 12;
   std::size_t max_batch = 16;
   std::uint32_t batch_wait_us = 100;
+  std::size_t spec_mix = 1;
   bool require_batched = false;
   std::string json_path;
+  bool json_append = false;  ///< splice records into an existing file
 };
 
 double percentile(const std::vector<double>& sorted, double p) {
@@ -64,13 +72,14 @@ struct ClientOutcome {
 /// collect replies in arrival order, timestamp each by request id.
 ClientOutcome runClient(const dadu::kin::Chain& chain, std::uint16_t port,
                         std::size_t requests, std::size_t window,
-                        std::uint32_t task_offset) {
+                        std::uint32_t task_offset, std::uint32_t spec_id) {
   namespace net = dadu::net;
   ClientOutcome outcome;
   outcome.latencies_ms.reserve(requests);
 
   net::IkClient client;
   client.connect("127.0.0.1", port);
+  client.setSpecId(spec_id);
 
   std::unordered_map<std::uint64_t, dadu::platform::WallTimer> sent;
   std::size_t submitted = 0, received = 0;
@@ -134,10 +143,15 @@ int main(int argc, char** argv) {
       opt.max_batch = std::stoul(next());
     } else if (arg == "--batch-wait-us") {
       opt.batch_wait_us = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (arg == "--spec-mix") {
+      opt.spec_mix = std::max<std::size_t>(std::stoul(next()), 1);
     } else if (arg == "--require-batched") {
       opt.require_batched = true;
     } else if (arg == "--json") {
       opt.json_path = next();
+    } else if (arg == "--json-append") {
+      opt.json_path = next();
+      opt.json_append = true;
     } else {
       std::cerr << "unknown option " << arg << '\n';
       return 2;
@@ -146,6 +160,7 @@ int main(int argc, char** argv) {
 
   namespace net = dadu::net;
   namespace service = dadu::service;
+  namespace registry = dadu::registry;
   const auto chain = dadu::kin::makeSerpentine(opt.dof);
 
   service::ServiceConfig service_config;
@@ -154,20 +169,34 @@ int main(int argc, char** argv) {
   service_config.enable_seed_cache = true;
   service_config.max_batch = opt.max_batch;
   service_config.batch_wait_us = opt.batch_wait_us;
-  service::IkService svc(
-      [&] { return dadu::ik::makeSolver("quick-ik", chain, {}); },
-      service_config);
+
+  // Every spec solves the same-DOF serpentine so per-spec offered load
+  // and solve cost are equal — the multi-spec numbers are directly
+  // comparable with the single-spec baseline.
+  registry::RobotSpecRegistry reg;
+  for (std::size_t s = 0; s < opt.spec_mix; ++s) {
+    registry::RobotSpec spec;
+    spec.id = static_cast<std::uint32_t>(s);
+    spec.name = "spec" + std::to_string(s);
+    spec.chain_spec = "serpentine:" + std::to_string(opt.dof);
+    spec.chain = chain;
+    reg.add(std::move(spec));
+  }
+  registry::RouterConfig router_config;
+  router_config.base = service_config;
+  registry::SpecRouter router(reg, router_config);
 
   net::ServerConfig server_config;
   server_config.max_connections = opt.connections + 8;
-  net::IkServer server(svc, server_config);
+  net::IkServer server(router, server_config);
   server.start();
 
   std::cout << "net_throughput: " << opt.connections << " connections, "
             << opt.requests << " requests, window " << opt.window << ", "
-            << svc.workerCount() << " workers, serpentine:" << opt.dof
-            << ", max batch " << opt.max_batch << " (wait "
-            << opt.batch_wait_us << " us, port " << server.port() << ")\n";
+            << router.totalWorkers() << " workers, serpentine:" << opt.dof
+            << ", " << opt.spec_mix << " spec(s), max batch " << opt.max_batch
+            << " (wait " << opt.batch_wait_us << " us, port " << server.port()
+            << ")\n";
 
   const std::size_t per_conn =
       std::max<std::size_t>(1, opt.requests / opt.connections);
@@ -179,22 +208,26 @@ int main(int argc, char** argv) {
     for (std::size_t c = 0; c < opt.connections; ++c)
       threads.emplace_back([&, c] {
         outcomes[c] = runClient(chain, server.port(), per_conn, opt.window,
-                                static_cast<std::uint32_t>(c * per_conn));
+                                static_cast<std::uint32_t>(c * per_conn),
+                                static_cast<std::uint32_t>(c % opt.spec_mix));
       });
     for (auto& t : threads) t.join();
   }
   const double wall_ms = wall.elapsedMs();
   server.stop();
-  svc.stop();
+  router.stop();
 
   std::vector<double> latencies;
   std::size_t solved = 0, rejected = 0, wire_errors = 0;
-  for (const auto& o : outcomes) {
+  std::vector<std::size_t> spec_replies(opt.spec_mix, 0);
+  for (std::size_t c = 0; c < outcomes.size(); ++c) {
+    const auto& o = outcomes[c];
     latencies.insert(latencies.end(), o.latencies_ms.begin(),
                      o.latencies_ms.end());
     solved += o.solved;
     rejected += o.rejected;
     wire_errors += o.wire_errors;
+    spec_replies[c % opt.spec_mix] += o.latencies_ms.size();
   }
   std::sort(latencies.begin(), latencies.end());
   const double total = static_cast<double>(latencies.size());
@@ -203,7 +236,7 @@ int main(int argc, char** argv) {
   const double p90 = percentile(latencies, 90.0);
   const double p99 = percentile(latencies, 99.0);
   const net::NetStats net_stats = server.stats();
-  const service::ServiceStats svc_stats = svc.stats();
+  const service::ServiceStats svc_stats = router.aggregatedStats();
   const double reject_rate = total > 0.0 ? rejected / total : 0.0;
   const double shed_rate =
       total > 0.0 ? static_cast<double>(net_stats.shed_draining) / total : 0.0;
@@ -231,6 +264,16 @@ int main(int argc, char** argv) {
             << opt.connections << " conns x window " << opt.window
             << "); achieved " << rps << " req/s, queue p50 "
             << svc_stats.queue_hist.p50() << " ms\n";
+  if (opt.spec_mix > 1) {
+    for (const auto& lane : router.perSpecStats()) {
+      const auto replies = static_cast<double>(spec_replies[lane.spec->id]);
+      std::cout << "spec " << lane.spec->id << " (" << lane.spec->name
+                << "):  " << replies / (wall_ms / 1000.0) << " req/s, "
+                << lane.stats.submitted << " submitted, " << lane.stats.solved
+                << " solved, mean batch " << lane.stats.meanBatchOccupancy()
+                << ", cache hit rate " << lane.stats.cacheHitRate() << '\n';
+    }
+  }
 
   // Sanity for the acceptance gate: every reply accounted for.
   if (solved + rejected + wire_errors != latencies.size()) {
@@ -269,11 +312,27 @@ int main(int argc, char** argv) {
         {"net_service_queue_p50_ms", svc_stats.queue_hist.p50(), "ms"},
         {"net_service_queue_p99_ms", svc_stats.queue_hist.p99(), "ms"},
     };
-    if (!bench::writeMetricsJson(opt.json_path, records)) {
+    std::vector<bench::MetricRecord> all = records;
+    if (opt.spec_mix > 1) {
+      // Multi-spec legs rename their aggregates so they can share one
+      // BENCH_net.json with the single-spec leg without name clashes.
+      for (auto& r : all) r.metric += "_multispec";
+      all.push_back(
+          {"net_spec_mix", static_cast<double>(opt.spec_mix), "count"});
+      for (std::size_t s = 0; s < opt.spec_mix; ++s)
+        all.push_back({"net_requests_per_sec_spec" + std::to_string(s),
+                       static_cast<double>(spec_replies[s]) / (wall_ms / 1000.0),
+                       "req/s"});
+    }
+    const bool wrote = opt.json_append
+                           ? bench::appendMetricsJson(opt.json_path, all)
+                           : bench::writeMetricsJson(opt.json_path, all);
+    if (!wrote) {
       std::cerr << "cannot write " << opt.json_path << '\n';
       return 1;
     }
-    std::cout << "wrote " << opt.json_path << '\n';
+    std::cout << (opt.json_append ? "appended " : "wrote ") << opt.json_path
+              << '\n';
   }
   return 0;
 }

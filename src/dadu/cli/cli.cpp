@@ -26,6 +26,8 @@
 #include "dadu/net/net_stats.hpp"
 #include "dadu/obs/export.hpp"
 #include "dadu/platform/timer.hpp"
+#include "dadu/registry/robot_spec_registry.hpp"
+#include "dadu/registry/spec_router.hpp"
 #include "dadu/service/ik_service.hpp"
 #include "dadu/sim/scenario.hpp"
 #include "dadu/solvers/factory.hpp"
@@ -51,17 +53,22 @@ constexpr const char* kUsage =
     "        [--stats-out FILE] [--stats-format auto|prom|json]\n"
     "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
     "        [--shed-queue-depth n]\n"
-    "  serve --robot <spec> --port <p> [--address a] [--workers w]\n"
+    "  serve --robot [name=]<spec> [--robot ...] --port <p> [--address a]\n"
+    "        [--robots-file FILE] [--workers w-per-spec]\n"
     "        [--queue-capacity n] [--solver name] [--max-iter n]\n"
     "        [--cache on|off] [--max-connections n] [--idle-timeout ms]\n"
     "        [--max-batch n] [--batch-wait-us us]\n"
     "        [--stats-format text|prom|json] [--max-runtime-ms n]\n"
     "        [--breaker-queue-depth n] [--breaker-p99-ms x]\n"
     "        [--shed-queue-depth n]\n"
+    "        (repeat --robot to host several specs; wire spec_id 0,1,...\n"
+    "        in registration order, each spec behind its own queue,\n"
+    "        workers and seed cache)\n"
     "  stats --robot <spec> [--format text|prom|json] [serve-bench options]\n"
-    "  sim   [--scenario baseline|burst|chaos|overload] [--seed n]\n"
+    "  sim   [--scenario baseline|burst|chaos|overload|multispec] [--seed n]\n"
     "        [--requests n] [--clients n] [--workers n] [--max-batch n]\n"
-    "        [--batch-wait-us us] [--trace-out FILE] [--trace-keep n]\n"
+    "        [--batch-wait-us us] [--specs n] [--trace-out FILE]\n"
+    "        [--trace-keep n]\n"
     "robot specs: serpentine:<dof> planar:<dof> puma iiwa tentacle:<seg>\n"
     "             random:<dof>:<seed> or a robot-description file path\n"
     "global options (accepted after any command):\n"
@@ -406,11 +413,13 @@ void onStopSignal(int signum) {
   g_stop_signal.store(signum, std::memory_order_relaxed);
 }
 
-/// `dadu serve`: bind the TCP front-end on --port, serve until
-/// SIGINT/SIGTERM (or --max-runtime-ms, the test seam), then drain —
-/// listener first, in-flight solves flushed — and dump the combined
-/// service + wire observability snapshot in --stats-format.
-int cmdServe(const kin::Chain& chain,
+/// `dadu serve`: bind the TCP front-end on --port, serve every
+/// registered robot spec (one service lane each — own queue, workers,
+/// seed cache) until SIGINT/SIGTERM (or --max-runtime-ms, the test
+/// seam), then drain — listener first, in-flight solves flushed — and
+/// dump the combined router + wire observability snapshot (including
+/// the per-spec dadu_spec_<name>_* series) in --stats-format.
+int cmdServe(const registry::RobotSpecRegistry& registry,
              const std::map<std::string, std::string>& opts, std::ostream& out,
              std::ostream& err) {
   const std::string format = optional(opts, "stats-format", "text");
@@ -425,11 +434,7 @@ int cmdServe(const kin::Chain& chain,
   if (cache_flag != "on" && cache_flag != "off")
     throw std::invalid_argument("--cache must be 'on' or 'off'");
 
-  ik::SolveOptions solve_options;
-  solve_options.max_iterations = std::stoi(optional(opts, "max-iter", "10000"));
-  const std::string solver_name = optional(opts, "solver", "quick-ik");
-
-  service::ServiceConfig service_config;
+  service::ServiceConfig service_config;  // per-lane template
   service_config.workers =
       static_cast<std::size_t>(std::stoul(optional(opts, "workers", "0")));
   service_config.queue_capacity = static_cast<std::size_t>(
@@ -446,10 +451,10 @@ int cmdServe(const kin::Chain& chain,
   server_config.idle_timeout_ms =
       std::stod(optional(opts, "idle-timeout", "0"));
 
-  service::IkService svc(
-      [&] { return ik::makeSolver(solver_name, chain, solve_options); },
-      service_config);
-  net::IkServer server(svc, server_config);
+  registry::RouterConfig router_config;
+  router_config.base = service_config;
+  registry::SpecRouter router(registry, router_config);
+  net::IkServer server(router, server_config);
   server.start();
 
   // Install the handlers only while we serve, and restore the previous
@@ -463,9 +468,12 @@ int cmdServe(const kin::Chain& chain,
   sigaction(SIGTERM, &action, &old_term);
   g_stop_signal.store(0, std::memory_order_relaxed);
 
-  out << "dadu serve: robot " << chain.name() << " (" << chain.dof()
-      << " DOF), solver " << solver_name << ", " << svc.workerCount()
-      << " workers\n";
+  out << "dadu serve: " << registry.size() << " robot spec(s), "
+      << router.totalWorkers() << " workers\n";
+  for (const registry::RobotSpec& spec : registry.specs())
+    out << "  spec " << spec.id << ": " << spec.name << " ("
+        << spec.chain.dof() << " DOF, " << spec.chain_spec << ", solver "
+        << spec.solver << ")\n";
   out << "listening on " << server.address() << ":" << server.port() << '\n';
   out.flush();
 
@@ -480,12 +488,12 @@ int cmdServe(const kin::Chain& chain,
         << ", draining\n";
 
   server.stop();  // listener first, in-flight flushed
-  svc.stop();
+  router.stop();
   sigaction(SIGINT, &old_int, nullptr);
   sigaction(SIGTERM, &old_term, nullptr);
 
   const obs::MetricsSnapshot snap =
-      net::merge(svc.metrics(), server.metrics());
+      net::merge(router.metrics(), server.metrics());
   if (format == "prom")
     out << obs::renderPrometheus(snap);
   else if (format == "json")
@@ -537,6 +545,8 @@ int cmdSim(const std::map<std::string, std::string>& opts, std::ostream& out,
       optional(opts, "max-batch", std::to_string(config.max_batch)));
   config.batch_wait_us = static_cast<std::uint32_t>(std::stoul(optional(
       opts, "batch-wait-us", std::to_string(config.batch_wait_us))));
+  config.specs =
+      std::stoull(optional(opts, "specs", std::to_string(config.specs)));
   config.trace_keep = std::stoull(
       optional(opts, "trace-keep", std::to_string(config.trace_keep)));
 
@@ -568,6 +578,10 @@ int cmdSim(const std::map<std::string, std::string>& opts, std::ostream& out,
       << result.service.converged << " converged, mean batch "
       << result.service.meanBatchOccupancy() << ", cache hit rate "
       << result.service.cacheHitRate() << '\n';
+  for (const sim::ScenarioSpecStats& s : result.per_spec)
+    out << "  spec " << s.spec_id << " (" << s.name << "): "
+        << s.stats.submitted << " submitted, " << s.stats.solved
+        << " solved, cache hit rate " << s.stats.cacheHitRate() << '\n';
   out << "trace:       " << result.trace.events() << " events, digest "
       << digest << '\n';
   if (!result.ok()) {
@@ -599,27 +613,9 @@ std::vector<double> parseNumberList(const std::string& csv) {
 }
 
 kin::Chain resolveRobot(const std::string& spec) {
-  // preset:arg:arg syntax first; anything unrecognised is a file path.
-  std::vector<std::string> parts;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ':')) parts.push_back(item);
-
-  const auto num = [&](std::size_t i) {
-    return static_cast<std::size_t>(std::stoul(parts.at(i)));
-  };
-  if (parts.size() == 2 && parts[0] == "serpentine")
-    return kin::makeSerpentine(num(1));
-  if (parts.size() == 2 && parts[0] == "planar") return kin::makePlanar(num(1));
-  if (parts.size() == 1 && parts[0] == "puma") return kin::makePuma560();
-  if (parts.size() == 1 && parts[0] == "iiwa") return kin::makeKukaIiwa();
-  if (parts.size() == 2 && parts[0] == "tentacle")
-    return kin::makeTentacle(num(1));
-  if (parts.size() == 3 && parts[0] == "random")
-    return kin::makeRandomChain(num(1), num(2));
-  if (parts.size() > 1)
-    throw std::invalid_argument("unknown robot spec '" + spec + "'");
-  return kin::loadChainFile(spec);
+  // The chain-spec grammar lives with the multi-robot registry now
+  // (one grammar for --robot flags, bindings and spec files alike).
+  return registry::resolveChainSpec(spec);
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -640,6 +636,25 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     }
     // The simulator models its own robot; no --robot required.
     if (command == "sim") return cmdSim(opts, out, err);
+    // serve builds a registry from EVERY --robot occurrence (the
+    // parsed map only keeps the last one), so it collects bindings
+    // straight from the arg list.
+    if (command == "serve") {
+      ik::SolveOptions solve_options;
+      solve_options.max_iterations =
+          std::stoi(optional(opts, "max-iter", "10000"));
+      const std::string solver_name = optional(opts, "solver", "quick-ik");
+      registry::RobotSpecRegistry registry;
+      for (std::size_t i = 1; i + 1 < args.size(); i += 2)
+        if (args[i] == "--robot")
+          registry.addBinding(args[i + 1], solver_name, solve_options);
+      if (opts.count("robots-file"))
+        registry.loadFile(opts.at("robots-file"), solver_name, solve_options);
+      if (registry.empty())
+        throw std::invalid_argument(
+            "serve needs at least one --robot binding (or --robots-file)");
+      return cmdServe(registry, opts, out, err);
+    }
     const kin::Chain chain = resolveRobot(require(opts, "robot"));
 
     if (command == "info") return cmdInfo(chain, out);
@@ -648,7 +663,6 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "accel") return cmdAccel(chain, opts, out);
     if (command == "pose") return cmdPose(chain, opts, out);
     if (command == "serve-bench") return cmdServeBench(chain, opts, out);
-    if (command == "serve") return cmdServe(chain, opts, out, err);
     if (command == "stats") return cmdStats(chain, opts, out);
     err << "unknown command '" << command << "'\n" << kUsage;
     return 2;

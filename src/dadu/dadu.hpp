@@ -111,6 +111,10 @@
 #include "dadu/service/seed_cache.hpp"
 #include "dadu/service/service_stats.hpp"
 
+// Multi-robot spec registry and per-spec routing.
+#include "dadu/registry/robot_spec_registry.hpp"
+#include "dadu/registry/spec_router.hpp"
+
 // TCP serving front-end: epoll event loop, binary wire protocol,
 // non-blocking server and blocking client.
 #include "dadu/net/buffer.hpp"

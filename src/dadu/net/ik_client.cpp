@@ -205,10 +205,15 @@ void IkClient::sendAll(const std::uint8_t* data, std::size_t len) {
 }
 
 std::uint64_t IkClient::sendRequest(const service::Request& request) {
+  return sendRequest(request, config_.spec_id);
+}
+
+std::uint64_t IkClient::sendRequest(const service::Request& request,
+                                    std::uint32_t spec_id) {
   if (fd_ < 0) throw std::runtime_error("IkClient: not connected");
   WireRequest wire;
   wire.id = next_id_++;
-  wire.spec_id = config_.spec_id;
+  wire.spec_id = spec_id;
   wire.use_seed_cache = request.use_seed_cache;
   wire.priority = request.priority;
   wire.target[0] = request.target.x;
@@ -304,7 +309,12 @@ ClientReply IkClient::waitFor(std::uint64_t id) {
 }
 
 service::Response IkClient::call(const service::Request& request) {
-  const std::uint64_t id = sendRequest(request);
+  return call(request, config_.spec_id);
+}
+
+service::Response IkClient::call(const service::Request& request,
+                                 std::uint32_t spec_id) {
+  const std::uint64_t id = sendRequest(request, spec_id);
   ClientReply reply = waitFor(id);
   if (reply.type == MsgType::kError)
     throw WireErrorException(std::move(reply.error));
@@ -337,11 +347,16 @@ bool IkClient::scheduleRetry(int attempt) {
 }
 
 service::Response IkClient::callWithRetry(const service::Request& request) {
+  return callWithRetry(request, config_.spec_id);
+}
+
+service::Response IkClient::callWithRetry(const service::Request& request,
+                                          std::uint32_t spec_id) {
   for (int attempt = 1;; ++attempt) {
     ++retry_stats_.attempts;
     try {
       if (fd_ < 0) reconnect();
-      service::Response response = call(request);
+      service::Response response = call(request, spec_id);
       // Transient server-state rejections (queue full, breaker open,
       // draining) are worth another try; terminal rejections and
       // kDeadlineExceeded (the caller's latency budget — spending more

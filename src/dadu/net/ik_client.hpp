@@ -105,8 +105,21 @@ class IkClient {
   void close();
 
   /// Send one request frame; returns the assigned request id.  Never
-  /// waits for the reply — pipeline as many as you like.
+  /// waits for the reply — pipeline as many as you like.  Stamped with
+  /// the connection's spec id (ClientConfig::spec_id / setSpecId).
   std::uint64_t sendRequest(const service::Request& request);
+
+  /// Same, stamped with an explicit robot spec — the per-call shape for
+  /// talking to a multi-spec server over one connection.
+  std::uint64_t sendRequest(const service::Request& request,
+                            std::uint32_t spec_id);
+
+  /// Change the spec id stamped into subsequent requests (the
+  /// connection-level default; per-call overloads win for one frame).
+  /// A multi-spec server routes per request, so flipping specs
+  /// mid-connection is legal and cheap.
+  void setSpecId(std::uint32_t spec_id) { config_.spec_id = spec_id; }
+  std::uint32_t specId() const { return config_.spec_id; }
 
   /// Next reply off the wire, whatever request it answers.  Throws on
   /// EOF, timeout, or protocol violation.
@@ -120,6 +133,8 @@ class IkClient {
   /// service's Response type.  Throws WireErrorException if the server
   /// answered with an error frame.
   service::Response call(const service::Request& request);
+  service::Response call(const service::Request& request,
+                         std::uint32_t spec_id);
 
   /// call() wrapped in the config's RetryPolicy: retries transport
   /// failures (EOF, timeout, reset — reconnecting first) and *retryable*
@@ -128,6 +143,8 @@ class IkClient {
   /// stops early when the retry budget is spent.  At-least-once — see
   /// RetryPolicy.
   service::Response callWithRetry(const service::Request& request);
+  service::Response callWithRetry(const service::Request& request,
+                                  std::uint32_t spec_id);
 
   const ClientConfig& config() const { return config_; }
   const RetryStats& retryStats() const { return retry_stats_; }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "dadu/fault/fault.hpp"
+#include "dadu/registry/spec_router.hpp"
 
 namespace dadu::net {
 namespace {
@@ -72,7 +73,18 @@ void IkServer::CompletionSink::push(PendingCompletion item) {
 }
 
 IkServer::IkServer(service::IkService& service, ServerConfig config)
-    : service_(service),
+    : service_(&service),
+      config_(std::move(config)),
+      loop_(config_.clock),
+      sink_(std::make_shared<CompletionSink>()),
+      counters_(kCounterCount, config_.stat_shards),
+      frame_hist_(frameBytesLadder()),
+      e2e_hist_(config_.latency) {
+  sink_->loop = &loop_;
+}
+
+IkServer::IkServer(registry::SpecRouter& router, ServerConfig config)
+    : router_(&router),
       config_(std::move(config)),
       loop_(config_.clock),
       sink_(std::make_shared<CompletionSink>()),
@@ -334,7 +346,22 @@ void IkServer::handleRequest(Connection& conn, const WireRequest& request) {
                "server is draining");
     return;
   }
-  if (request.spec_id != config_.robot_spec_id) {
+  // Spec routing: pick the serving lane for this request's spec_id.
+  // Router mode consults the registry; single-spec mode accepts exactly
+  // the configured id.  Either way a mismatch is an error frame on this
+  // request only — the connection (and its other requests) live on.
+  service::IkService* target = service_;
+  if (router_) {
+    target = router_->serviceFor(request.spec_id);
+    if (!target) {
+      counters_.add(kSpecMismatch);
+      queueError(conn, request.id, WireErrorCode::kUnknownSpec,
+                 "no robot registered for spec " +
+                     std::to_string(request.spec_id));
+      return;
+    }
+  } else if (request.spec_id != config_.robot_spec_id) {
+    counters_.add(kSpecMismatch);
     queueError(conn, request.id, WireErrorCode::kUnknownSpec,
                "server serves spec " + std::to_string(config_.robot_spec_id) +
                    ", not " + std::to_string(request.spec_id));
@@ -359,7 +386,7 @@ void IkServer::handleRequest(Connection& conn, const WireRequest& request) {
   pending.conn_id = conn.id;
   pending.request_id = request.id;
   pending.dispatched = platform::clockNow(config_.clock);
-  service_.submit(
+  target->submit(
       toServiceRequest(request),
       // The callback runs on a service worker (or inline on admission
       // reject); it only touches the shared sink, never loop state.
@@ -572,6 +599,7 @@ NetStats IkServer::stats() const {
   snapshot.requests_completed = totals[kRequestsCompleted];
   snapshot.shed_draining = totals[kShedDraining];
   snapshot.read_pauses = totals[kReadPauses];
+  snapshot.spec_mismatch = totals[kSpecMismatch];
   {
     std::lock_guard<std::mutex> lock(sink_->mutex);
     snapshot.orphaned_completions = sink_->orphaned;

@@ -47,6 +47,10 @@
 #include "dadu/obs/sharded_counters.hpp"
 #include "dadu/service/ik_service.hpp"
 
+namespace dadu::registry {
+class SpecRouter;
+}
+
 namespace dadu::net {
 
 struct ServerConfig {
@@ -64,9 +68,10 @@ struct ServerConfig {
   /// stop() waits this long for in-flight solves to complete and
   /// responses to flush before closing connections anyway.
   double drain_timeout_ms = 5000.0;
-  /// The single robot spec this server fronts; requests carrying any
-  /// other id get a kUnknownSpec error (multi-spec registry is a
-  /// roadmap item).
+  /// Single-spec mode (the IkService constructor): the one robot spec
+  /// this server fronts; requests carrying any other id get a
+  /// kUnknownSpec error.  Ignored in router mode, where the SpecRouter's
+  /// registry decides which spec ids exist.
   std::uint32_t robot_spec_id = 0;
   /// Bucket ladder for the frame-size / wire-latency histograms.
   obs::LatencyHistogram::Config latency;
@@ -80,8 +85,14 @@ struct ServerConfig {
 
 class IkServer {
  public:
+  /// Single-spec mode: every request must carry config.robot_spec_id.
   /// Does not start anything; `service` must outlive the server.
   IkServer(service::IkService& service, ServerConfig config = {});
+
+  /// Multi-spec mode: requests route by wire spec_id through `router`
+  /// (one serving lane per registered robot); ids the router does not
+  /// know get a kUnknownSpec error.  `router` must outlive the server.
+  IkServer(registry::SpecRouter& router, ServerConfig config = {});
   ~IkServer();  ///< stop()
 
   IkServer(const IkServer&) = delete;
@@ -126,6 +137,7 @@ class IkServer {
     kRequestsCompleted,
     kShedDraining,
     kReadPauses,
+    kSpecMismatch,
     kCounterCount,
   };
 
@@ -192,7 +204,9 @@ class IkServer {
   bool drainComplete() const;
   std::uint32_t interestOf(const Connection& conn) const;
 
-  service::IkService& service_;
+  /// Exactly one of these is set (single-spec vs router mode).
+  service::IkService* service_ = nullptr;
+  registry::SpecRouter* router_ = nullptr;
   ServerConfig config_;
   EventLoop loop_;
   std::thread thread_;

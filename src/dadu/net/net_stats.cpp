@@ -26,6 +26,7 @@ obs::MetricsSnapshot toMetricsSnapshot(const NetStats& stats) {
   counter("requests_completed", stats.requests_completed);
   counter("shed_draining", stats.shed_draining);
   counter("read_pauses", stats.read_pauses);
+  counter("spec_mismatch", stats.spec_mismatch);
   counter("orphaned_completions", stats.orphaned_completions);
 
   snap.gauges.push_back(

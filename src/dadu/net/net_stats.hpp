@@ -39,6 +39,12 @@ struct NetStats {
   std::uint64_t requests_completed = 0;   ///< completions written back
   std::uint64_t shed_draining = 0;        ///< refused: server draining
   std::uint64_t read_pauses = 0;   ///< times a slow reader paused reads
+  /// Requests answered kUnknownSpec: the wire spec_id named a robot
+  /// this server does not serve (wrong single-spec id, or an id absent
+  /// from the registry in router mode).  Only that request errors; the
+  /// connection survives.  A climbing rate means clients are stamping
+  /// the wrong spec or pointing at the wrong shard.
+  std::uint64_t spec_mismatch = 0;
   /// Solves that outlived the drain timeout and completed into a dead
   /// sink: the reply had nowhere to go.  Nonzero after a stop() means
   /// drain_timeout_ms is shorter than the worst-case solve.

@@ -38,6 +38,24 @@ double HistogramSnapshot::percentile(double p) const {
   return max;  // unreachable when counts sum to `count`
 }
 
+HistogramSnapshot& mergeInto(HistogramSnapshot& into,
+                             const HistogramSnapshot& from) {
+  if (from.count == 0 && from.upper_bounds.empty()) return into;
+  if (into.upper_bounds.empty() && into.count == 0) {
+    into = from;
+    return into;
+  }
+  if (into.upper_bounds == from.upper_bounds &&
+      into.counts.size() == from.counts.size()) {
+    for (std::size_t b = 0; b < into.counts.size(); ++b)
+      into.counts[b] += from.counts[b];
+  }
+  into.count += from.count;
+  into.sum += from.sum;
+  into.max = std::max(into.max, from.max);
+  return into;
+}
+
 LatencyHistogram::LatencyHistogram() : LatencyHistogram(Config()) {}
 
 LatencyHistogram::LatencyHistogram(Config config) : config_(config) {

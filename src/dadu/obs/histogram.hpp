@@ -47,6 +47,17 @@ struct HistogramSnapshot {
   double p99() const { return percentile(99.0); }
 };
 
+/// Merge `from` into `into`.  When both snapshots share one bucket
+/// ladder (histograms built from the same Config — e.g. the per-spec
+/// serving lanes a SpecRouter aggregates) the merge is exact:
+/// bucket-wise count addition.  An empty `into` adopts `from` wholly.
+/// Mismatched ladders degrade gracefully: count/sum/max still add (so
+/// means stay exact) but `into` keeps its own buckets, making
+/// percentiles approximate — callers that need exact fleet percentiles
+/// must keep ladders uniform.  Returns `into`.
+HistogramSnapshot& mergeInto(HistogramSnapshot& into,
+                             const HistogramSnapshot& from);
+
 class LatencyHistogram {
  public:
   struct Config {

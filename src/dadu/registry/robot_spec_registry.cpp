@@ -1,0 +1,135 @@
+#include "dadu/registry/robot_spec_registry.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "dadu/kinematics/presets.hpp"
+#include "dadu/kinematics/robot_io.hpp"
+#include "dadu/solvers/factory.hpp"
+
+namespace dadu::registry {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return {};
+  const auto last = s.find_last_not_of(" \t\r\n");
+  return s.substr(first, last - first + 1);
+}
+
+/// A metric-friendly default name for a bare chain spec:
+/// "serpentine:12" -> "serpentine_12", "robots/arm.txt" -> "robots_arm.txt".
+std::string nameFromSpec(const std::string& spec) {
+  std::string name = spec;
+  for (char& c : name)
+    if (c == ':' || c == '/') c = '_';
+  return name;
+}
+
+}  // namespace
+
+kin::Chain resolveChainSpec(const std::string& spec) {
+  // preset:arg:arg syntax first; anything unrecognised is a file path.
+  std::vector<std::string> parts;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ':')) parts.push_back(item);
+
+  const auto num = [&](std::size_t i) {
+    return static_cast<std::size_t>(std::stoul(parts.at(i)));
+  };
+  if (parts.size() == 2 && parts[0] == "serpentine")
+    return kin::makeSerpentine(num(1));
+  if (parts.size() == 2 && parts[0] == "planar") return kin::makePlanar(num(1));
+  if (parts.size() == 1 && parts[0] == "puma") return kin::makePuma560();
+  if (parts.size() == 1 && parts[0] == "iiwa") return kin::makeKukaIiwa();
+  if (parts.size() == 2 && parts[0] == "tentacle")
+    return kin::makeTentacle(num(1));
+  if (parts.size() == 3 && parts[0] == "random")
+    return kin::makeRandomChain(num(1), num(2));
+  if (parts.size() > 1)
+    throw std::invalid_argument("unknown robot spec '" + spec + "'");
+  return kin::loadChainFile(spec);
+}
+
+const RobotSpec& RobotSpecRegistry::add(RobotSpec spec) {
+  if (spec.name.empty())
+    throw std::invalid_argument("robot spec needs a non-empty name");
+  if (by_id_.count(spec.id))
+    throw std::invalid_argument("duplicate robot spec id " +
+                                std::to_string(spec.id));
+  if (by_name_.count(spec.name))
+    throw std::invalid_argument("duplicate robot spec name '" + spec.name +
+                                "'");
+  const std::size_t index = specs_.size();
+  by_id_.emplace(spec.id, index);
+  by_name_.emplace(spec.name, index);
+  if (spec.id >= next_id_) next_id_ = spec.id + 1;
+  specs_.push_back(std::move(spec));
+  return specs_.back();
+}
+
+const RobotSpec& RobotSpecRegistry::addBinding(const std::string& binding,
+                                               const std::string& solver,
+                                               const ik::SolveOptions& options) {
+  const std::string text = trim(binding);
+  if (text.empty())
+    throw std::invalid_argument("empty robot binding");
+  RobotSpec spec;
+  spec.solver = solver;
+  spec.options = options;
+  const auto eq = text.find('=');
+  if (eq == std::string::npos) {
+    spec.name = nameFromSpec(text);
+    spec.chain_spec = text;
+  } else {
+    spec.name = trim(text.substr(0, eq));
+    spec.chain_spec = trim(text.substr(eq + 1));
+    if (spec.name.empty() || spec.chain_spec.empty())
+      throw std::invalid_argument("bad robot binding '" + binding +
+                                  "' (want name=chainspec)");
+  }
+  spec.id = next_id_;
+  spec.chain = resolveChainSpec(spec.chain_spec);
+  return add(std::move(spec));
+}
+
+std::size_t RobotSpecRegistry::loadFile(const std::string& path,
+                                        const std::string& solver,
+                                        const ik::SolveOptions& options) {
+  std::ifstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot open robot spec file '" + path + "'");
+  std::size_t added = 0;
+  std::string line;
+  while (std::getline(file, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    addBinding(line, solver, options);
+    ++added;
+  }
+  return added;
+}
+
+const RobotSpec* RobotSpecRegistry::find(std::uint32_t id) const {
+  const auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &specs_[it->second];
+}
+
+const RobotSpec* RobotSpecRegistry::findByName(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &specs_[it->second];
+}
+
+service::SolverFactory RobotSpecRegistry::makeFactory(const RobotSpec& spec) {
+  if (spec.factory) return spec.factory;
+  return [solver = spec.solver, chain = spec.chain, options = spec.options] {
+    return ik::makeSolver(solver, chain, options);
+  };
+}
+
+}  // namespace dadu::registry

@@ -10,6 +10,8 @@
 #include "dadu/kinematics/presets.hpp"
 #include "dadu/net/wire.hpp"
 #include "dadu/platform/clock.hpp"
+#include "dadu/registry/robot_spec_registry.hpp"
+#include "dadu/registry/spec_router.hpp"
 #include "dadu/service/ik_service.hpp"
 #include "dadu/sim/sim_clock.hpp"
 #include "dadu/sim/sim_executor.hpp"
@@ -120,7 +122,21 @@ void clientSubmit(Run& run, const std::shared_ptr<Client>& c) {
   for (std::size_t b = 0; b < burst && c->open; ++b) {
     net::WireRequest request;
     request.id = run.next_request_id++;
+    // Spec selection.  The single-spec shape draws nothing here so
+    // historical seeds keep replaying byte-identically; multi-spec (or
+    // wrong-spec-injecting) runs spread requests uniformly over the
+    // registered specs from the client's own RNG stream.
     request.spec_id = 0;
+    if (cfg.specs > 1 || cfg.wrong_spec_fraction > 0.0) {
+      const auto specs = static_cast<std::uint32_t>(
+          std::max<std::size_t>(cfg.specs, 1));
+      if (cfg.wrong_spec_fraction > 0.0 &&
+          nextUnit(c->rng) < cfg.wrong_spec_fraction)
+        request.spec_id = specs;  // first id the registry does not hold
+      else
+        request.spec_id =
+            static_cast<std::uint32_t>(splitmix64(c->rng) % specs);
+    }
     request.use_seed_cache = cfg.enable_seed_cache;
     if (cfg.low_priority_fraction > 0.0 &&
         nextUnit(c->rng) < cfg.low_priority_fraction)
@@ -268,7 +284,7 @@ void attachClient(Run& run, const std::shared_ptr<Client>& c) {
 }  // namespace
 
 std::vector<std::string> scenarioNames() {
-  return {"baseline", "burst", "chaos", "overload"};
+  return {"baseline", "burst", "chaos", "overload", "multispec"};
 }
 
 ScenarioConfig presetScenario(const std::string& name) {
@@ -298,6 +314,14 @@ ScenarioConfig presetScenario(const std::string& name) {
     cfg.faults.delayAt("service.worker.stall", 1.0, {0.01, 0, 0, 0});
     cfg.faults.corruptAt("net.client.write", {0.0005, 0, 0, 0});
     cfg.faults.dropAt("net.server.write", {0.0005, 0, 0, 0});
+    return cfg;
+  }
+  if (name == "multispec") {
+    // Three robots behind one server, plus a trickle of requests for a
+    // spec nobody registered: routing, per-spec isolation and the
+    // unknown-spec error path all under the conservation invariants.
+    cfg.specs = 3;
+    cfg.wrong_spec_fraction = 0.02;
     return cfg;
   }
   if (name == "overload") {
@@ -353,9 +377,6 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
                       static_cast<unsigned long long>(cfg.max_batch),
                       cfg.batch_wait_us);
 
-  const kin::Chain chain = kin::makeSerpentine(std::max<std::size_t>(
-      cfg.dof, 2));
-
   service::ServiceConfig scfg;
   scfg.workers = std::max<std::size_t>(cfg.workers, 1);
   scfg.queue_capacity = cfg.queue_capacity;
@@ -366,19 +387,59 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   scfg.batch_wait_us = cfg.batch_wait_us;
   scfg.clock = &clock;
   scfg.executor = &exec;
-  auto solver_counter = std::make_shared<std::uint64_t>(0);
   const std::uint64_t seed = cfg.seed;
   ModelSolverConfig solver_cfg = cfg.solver;
-  service::IkService service(
-      [chain, solver_cfg, solver_counter, seed] {
-        ModelSolverConfig mc = solver_cfg;
-        mc.seed = seed ^ (0x9e3779b97f4a7c15ull * ++*solver_counter);
-        return std::make_unique<ModelSolver>(chain, mc);
-      },
-      scfg);
+  const std::size_t specs = std::max<std::size_t>(cfg.specs, 1);
 
-  SimServer server(service, exec, SimServerConfig{}, &result.trace);
-  run.server = &server;
+  // Spec s solves a serpentine of dof + 2*s joints behind its own
+  // service lane.  Every lane's ModelSolvers derive their streams from
+  // (scenario seed, spec id, worker ordinal), so lanes are decorrelated
+  // but the whole run still replays from one number.  The s == 0
+  // mixing term is zero, which keeps single-spec runs byte-identical
+  // to the pre-registry stack.
+  const auto makeSpecFactory = [&](std::size_t s, const kin::Chain& chain) {
+    auto counter = std::make_shared<std::uint64_t>(0);
+    return service::SolverFactory([chain, solver_cfg, counter, seed, s] {
+      ModelSolverConfig mc = solver_cfg;
+      mc.seed = seed ^ (0x9e3779b97f4a7c15ull * ++*counter) ^
+                (0x94d049bb133111ebull * static_cast<std::uint64_t>(s));
+      return std::make_unique<ModelSolver>(chain, mc);
+    });
+  };
+
+  // Single-spec runs keep the historical direct IkService path;
+  // multi-spec runs stand up the same registry + SpecRouter the
+  // production serve command uses.
+  std::optional<service::IkService> service;
+  std::optional<registry::RobotSpecRegistry> reg;
+  std::optional<registry::SpecRouter> router;
+  if (specs <= 1) {
+    const kin::Chain chain =
+        kin::makeSerpentine(std::max<std::size_t>(cfg.dof, 2));
+    service.emplace(makeSpecFactory(0, chain), scfg);
+  } else {
+    reg.emplace();
+    for (std::size_t s = 0; s < specs; ++s) {
+      const std::size_t joints = std::max<std::size_t>(cfg.dof, 2) + 2 * s;
+      registry::RobotSpec spec;
+      spec.id = static_cast<std::uint32_t>(s);
+      spec.name = "serpentine_" + std::to_string(joints);
+      spec.chain_spec = "serpentine:" + std::to_string(joints);
+      spec.chain = kin::makeSerpentine(joints);
+      spec.factory = makeSpecFactory(s, spec.chain);
+      reg->add(std::move(spec));
+    }
+    registry::RouterConfig rcfg;
+    rcfg.base = scfg;  // every lane = one single-spec server's shape
+    router.emplace(*reg, rcfg);
+  }
+
+  std::optional<SimServer> server;
+  if (router)
+    server.emplace(*router, exec, SimServerConfig{}, &result.trace);
+  else
+    server.emplace(*service, exec, SimServerConfig{}, &result.trace);
+  run.server = &*server;
 
   const std::size_t clients = std::max<std::size_t>(cfg.clients, 1);
   std::vector<std::shared_ptr<Client>> pool;
@@ -394,7 +455,7 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
     c->conn = std::make_shared<SimConnection>(exec, link,
                                               cfg.seed ^ (i * 2 + 1));
     attachClient(run, c);
-    server.accept(c->conn);
+    server->accept(c->conn);
     pool.push_back(std::move(c));
   }
   for (const auto& c : pool) {
@@ -412,9 +473,12 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
         "executor did not quiesce within the task cap");
   run.shutting_down = true;  // teardown closes must not redial
 
-  // Drain-stop the service (inline under the executor contract), then
-  // let any completions posted by the drain deliver.
-  service.stop(service::IkService::Drain::kDrainPending);
+  // Drain-stop the service lanes (inline under the executor contract),
+  // then let any completions posted by the drain deliver.
+  if (router)
+    router->stop(service::IkService::Drain::kDrainPending);
+  else
+    service->stop(service::IkService::Drain::kDrainPending);
   exec.drain(cap);
 
   // Stall sweep: a corrupted length prefix can desync a stream into a
@@ -435,8 +499,19 @@ ScenarioResult runScenario(const ScenarioConfig& cfg) {
   result.virtual_ms =
       std::chrono::duration<double, std::milli>(clock.elapsed()).count();
   result.tasks_executed = exec.executed();
-  result.service = service.stats();
-  result.server = server.stats();
+  if (router) {
+    result.service = router->aggregatedStats();
+    for (const registry::SpecLaneStats& lane : router->perSpecStats()) {
+      ScenarioSpecStats slice;
+      slice.spec_id = lane.spec->id;
+      slice.name = lane.spec->name;
+      slice.stats = lane.stats;
+      result.per_spec.push_back(std::move(slice));
+    }
+  } else {
+    result.service = service->stats();
+  }
+  result.server = server->stats();
 
   // --- Invariants -----------------------------------------------------
   // Exactly one outcome per transmitted request.

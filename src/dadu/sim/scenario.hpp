@@ -42,7 +42,20 @@ struct ScenarioConfig {
   std::size_t workers = 4;
   std::size_t dof = 8;  ///< serpentine chain handed to the ModelSolvers
 
-  // Service shape (mirrors ServiceConfig).
+  /// Robot specs hosted by the one simulated server.  Spec s gets a
+  /// serpentine chain of dof + 2*s joints behind its own service lane
+  /// (registry::SpecRouter), so fused batches stay spec-pure by
+  /// construction.  1 = the classic single-spec stack (no router in
+  /// the path, byte-identical to historical runs).
+  std::size_t specs = 1;
+  /// Fraction of requests stamped with an unregistered spec id.  The
+  /// server answers each with kUnknownSpec, the connection survives,
+  /// and the reply counts as a wire_error outcome.
+  double wrong_spec_fraction = 0.0;
+
+  // Service shape (mirrors ServiceConfig; in multi-spec runs this is
+  // the per-lane shape — every lane gets `workers` workers, its own
+  // queue and its own seed cache, like one single-spec server each).
   std::size_t queue_capacity = 256;
   std::size_t max_batch = 8;
   std::uint32_t batch_wait_us = 200;
@@ -75,10 +88,17 @@ struct ScenarioConfig {
   std::size_t trace_keep = 1 << 16;
 };
 
-/// Built-in scenario shapes ("baseline", "burst", "chaos", "overload").
-/// Throws std::invalid_argument on an unknown name.
+/// Built-in scenario shapes ("baseline", "burst", "chaos", "overload",
+/// "multispec").  Throws std::invalid_argument on an unknown name.
 ScenarioConfig presetScenario(const std::string& name);
 std::vector<std::string> scenarioNames();
+
+/// Per-spec slice of a multi-spec run (empty in single-spec runs).
+struct ScenarioSpecStats {
+  std::uint32_t spec_id = 0;
+  std::string name;
+  service::ServiceStats stats;
+};
 
 struct ScenarioResult {
   std::uint64_t seed = 0;
@@ -106,7 +126,11 @@ struct ScenarioResult {
   std::uint64_t rejected = 0;
   std::uint64_t deadline_exceeded = 0;
 
+  /// Aggregated across every spec lane in multi-spec runs; the
+  /// conservation invariants hold over this aggregate.
   service::ServiceStats service;
+  /// One entry per registered spec when ScenarioConfig::specs > 1.
+  std::vector<ScenarioSpecStats> per_spec;
   SimServerStats server;
 
   /// Invariant violations; empty means the run upheld every contract.

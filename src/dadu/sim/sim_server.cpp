@@ -2,13 +2,23 @@
 
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <utility>
+
+#include "dadu/registry/spec_router.hpp"
 
 namespace dadu::sim {
 
 SimServer::SimServer(service::IkService& service, SimExecutor& executor,
                      SimServerConfig config, Trace* trace)
-    : service_(service),
+    : service_(&service),
+      executor_(executor),
+      config_(config),
+      trace_(trace) {}
+
+SimServer::SimServer(registry::SpecRouter& router, SimExecutor& executor,
+                     SimServerConfig config, Trace* trace)
+    : router_(&router),
       executor_(executor),
       config_(config),
       trace_(trace) {}
@@ -90,7 +100,16 @@ void SimServer::handleRequest(const std::shared_ptr<ServerConn>& sc,
               "server is draining");
     return;
   }
-  if (request.spec_id != config_.robot_spec_id) {
+  service::IkService* target = service_;
+  if (router_) {
+    target = router_->serviceFor(request.spec_id);
+    if (!target) {
+      ++stats_.unknown_spec;
+      sendError(*sc, request.id, net::WireErrorCode::kUnknownSpec,
+                "unknown robot spec");
+      return;
+    }
+  } else if (request.spec_id != config_.robot_spec_id) {
     ++stats_.unknown_spec;
     sendError(*sc, request.id, net::WireErrorCode::kUnknownSpec,
               "unknown robot spec");
@@ -109,24 +128,24 @@ void SimServer::handleRequest(const std::shared_ptr<ServerConn>& sc,
   const std::uint64_t request_id = request.id;
   std::shared_ptr<ServerConn> conn = sc;
   SimServer* self = this;
-  service_.submit(net::toServiceRequest(request),
-                  [self, conn, request_id](service::Response response) {
-                    ++self->stats_.completed;
-                    if (!conn->open || !conn->conn->open()) {
-                      ++self->stats_.orphaned;
-                      return;
-                    }
-                    const net::WireResponse wire =
-                        net::toWireResponse(request_id, response);
-                    self->encode_scratch_.clear();
-                    net::encodeResponse(wire, self->encode_scratch_);
-                    if (conn->conn->send(Side::kServer,
-                                         self->encode_scratch_.data(),
-                                         self->encode_scratch_.size()))
-                      ++self->stats_.responses_sent;
-                    else
-                      ++self->stats_.orphaned;
-                  });
+  target->submit(net::toServiceRequest(request),
+                 [self, conn, request_id](service::Response response) {
+                   ++self->stats_.completed;
+                   if (!conn->open || !conn->conn->open()) {
+                     ++self->stats_.orphaned;
+                     return;
+                   }
+                   const net::WireResponse wire =
+                       net::toWireResponse(request_id, response);
+                   self->encode_scratch_.clear();
+                   net::encodeResponse(wire, self->encode_scratch_);
+                   if (conn->conn->send(Side::kServer,
+                                        self->encode_scratch_.data(),
+                                        self->encode_scratch_.size()))
+                     ++self->stats_.responses_sent;
+                   else
+                     ++self->stats_.orphaned;
+                 });
 }
 
 void SimServer::sendError(ServerConn& sc, std::uint64_t request_id,

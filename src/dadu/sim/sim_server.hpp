@@ -35,9 +35,14 @@
 #include "dadu/sim/trace.hpp"
 #include "dadu/sim/transport.hpp"
 
+namespace dadu::registry {
+class SpecRouter;
+}
+
 namespace dadu::sim {
 
 struct SimServerConfig {
+  /// Single-spec mode only; router mode routes by the registry.
   std::uint32_t robot_spec_id = 0;
   std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
 };
@@ -59,9 +64,18 @@ struct SimServerStats {
 
 class SimServer {
  public:
-  /// `service` must run on `executor` (ServiceConfig::executor) so
-  /// completions arrive cooperatively.  `trace` is optional.
+  /// Single-spec mode.  `service` must run on `executor`
+  /// (ServiceConfig::executor) so completions arrive cooperatively.
+  /// `trace` is optional.
   SimServer(service::IkService& service, SimExecutor& executor,
+            SimServerConfig config = {}, Trace* trace = nullptr);
+
+  /// Multi-spec mode: route by wire spec_id through `router`, exactly
+  /// like the production IkServer's router constructor.  Every lane
+  /// service must run on `executor`; unknown spec ids answer
+  /// kUnknownSpec (counted in stats().unknown_spec) and the connection
+  /// survives.
+  SimServer(registry::SpecRouter& router, SimExecutor& executor,
             SimServerConfig config = {}, Trace* trace = nullptr);
 
   /// Attach the server side of `conn` and start serving it.
@@ -91,7 +105,9 @@ class SimServer {
   void closeConn(ServerConn& sc);
   std::uint64_t nowUs() const;
 
-  service::IkService& service_;
+  /// Exactly one of these is set (single-spec vs router mode).
+  service::IkService* service_ = nullptr;
+  registry::SpecRouter* router_ = nullptr;
   SimExecutor& executor_;
   SimServerConfig config_;
   Trace* trace_ = nullptr;

@@ -90,4 +90,26 @@ std::vector<IkTask> generateClusteredTasks(const kin::Chain& chain, int count,
   return tasks;
 }
 
+std::vector<SpecTask> generateSpecMixTasks(const std::vector<kin::Chain>& chains,
+                                           int count, std::uint64_t mix_seed,
+                                           const TargetGenOptions& opts) {
+  std::vector<SpecTask> tasks;
+  if (chains.empty() || count <= 0) return tasks;
+  // The mix stream only picks WHICH spec each slot belongs to; the
+  // tasks themselves come from each chain's own generateTask stream,
+  // indexed densely per spec, so the per-spec subsequence is invariant
+  // under the mix (see header contract).
+  Rng mix = Rng::forStream(mix_seed, 0x5becull);
+  std::vector<int> next_index(chains.size(), 0);
+  tasks.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto s = static_cast<std::size_t>(mix.below(chains.size()));
+    SpecTask st;
+    st.spec_id = static_cast<std::uint32_t>(s);
+    st.task = generateTask(chains[s], next_index[s]++, opts);
+    tasks.push_back(std::move(st));
+  }
+  return tasks;
+}
+
 }  // namespace dadu::workload

@@ -63,4 +63,22 @@ std::vector<IkTask> generateClusteredTasks(const kin::Chain& chain, int count,
                                            double joint_spread = 0.05,
                                            const TargetGenOptions& opts = {});
 
+/// One task of a multi-robot workload: which registered spec it is for
+/// plus the task itself (generated against that spec's chain).
+struct SpecTask {
+  std::uint32_t spec_id = 0;
+  IkTask task;
+};
+
+/// Interleaved multi-robot workload: `count` tasks spread over
+/// `chains` (chains[s] is the chain registered under spec id s) by a
+/// deterministic mix drawn from `mix_seed`.  The subsequence for spec
+/// s is exactly generateTask(chains[s], 0..k) in order — so a
+/// multi-spec run and a per-spec single-robot run solve the identical
+/// per-spec workload, which is what makes the routing-equivalence
+/// benches and tests apples-to-apples.
+std::vector<SpecTask> generateSpecMixTasks(
+    const std::vector<kin::Chain>& chains, int count,
+    std::uint64_t mix_seed = 2017, const TargetGenOptions& opts = {});
+
 }  // namespace dadu::workload

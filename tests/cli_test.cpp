@@ -240,5 +240,46 @@ TEST(Cli, ServeRejectsOutOfRangePort) {
   EXPECT_NE(r.err.find("--port"), std::string::npos);
 }
 
+TEST(Cli, ServeHostsMultipleRobotSpecs) {
+  // Repeated --robot bindings become one registry: the spec table is
+  // printed at startup and the drained dump carries per-spec series.
+  const auto r = runCli({"serve", "--robot", "left=planar:4", "--robot",
+                         "right=serpentine:6", "--robot", "iiwa", "--port",
+                         "0", "--workers", "1", "--max-runtime-ms", "100"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("3 robot spec(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("spec 0: left"), std::string::npos);
+  EXPECT_NE(r.out.find("spec 1: right"), std::string::npos);
+  EXPECT_NE(r.out.find("spec 2: iiwa"), std::string::npos);
+  EXPECT_NE(r.out.find("listening on 127.0.0.1:"), std::string::npos);
+  EXPECT_NE(r.out.find("dadu_spec_left_requests"), std::string::npos);
+  EXPECT_NE(r.out.find("dadu_spec_right_cache_hit_rate"), std::string::npos);
+  EXPECT_NE(r.out.find("dadu_registry_specs"), std::string::npos);
+}
+
+TEST(Cli, ServeRejectsDuplicateRobotNames) {
+  const auto r = runCli({"serve", "--robot", "arm=planar:4", "--robot",
+                         "arm=planar:5", "--port", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("duplicate"), std::string::npos);
+}
+
+TEST(Cli, SimMultispecPresetRunsCleanly) {
+  const auto r = runCli({"sim", "--scenario", "multispec", "--requests",
+                         "400", "--seed", "5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("invariants:  ok"), std::string::npos);
+  // Per-spec slices printed under the aggregate service line.
+  EXPECT_NE(r.out.find("spec 0 (serpentine_8)"), std::string::npos);
+  EXPECT_NE(r.out.find("spec 2 (serpentine_12)"), std::string::npos);
+}
+
+TEST(Cli, SimSpecsFlagOverridesPreset) {
+  const auto r = runCli({"sim", "--scenario", "baseline", "--specs", "2",
+                         "--requests", "200", "--seed", "3"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("spec 1 (serpentine_10)"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dadu::cli

@@ -247,5 +247,36 @@ TEST(Trajectory, PoseTrajectorySinglePoint) {
   EXPECT_EQ(path[0].position, a.position);
 }
 
+TEST(SpecMix, PerSpecSubsequenceMatchesSingleRobotWorkload) {
+  // The multi-spec contract: extracting spec s's tasks from the mixed
+  // stream yields exactly generateTask(chains[s], 0..k) in order, so a
+  // multi-spec run and a dedicated single-robot run solve identical
+  // per-spec workloads.
+  const std::vector<kin::Chain> chains = {
+      kin::makeSerpentine(5), kin::makeSerpentine(8), kin::makeSerpentine(11)};
+  const auto mixed = generateSpecMixTasks(chains, 120, /*mix_seed=*/9);
+  ASSERT_EQ(mixed.size(), 120u);
+
+  std::vector<int> next(chains.size(), 0);
+  std::vector<std::size_t> per_spec(chains.size(), 0);
+  for (const SpecTask& st : mixed) {
+    ASSERT_LT(st.spec_id, chains.size());
+    const IkTask expect =
+        generateTask(chains[st.spec_id], next[st.spec_id]++);
+    EXPECT_EQ(st.task.target.x, expect.target.x);
+    EXPECT_EQ(st.task.target.y, expect.target.y);
+    EXPECT_EQ(st.task.target.z, expect.target.z);
+    ASSERT_EQ(st.task.seed.size(), expect.seed.size());
+    for (std::size_t j = 0; j < expect.seed.size(); ++j)
+      EXPECT_EQ(st.task.seed[j], expect.seed[j]);
+    ++per_spec[st.spec_id];
+  }
+  // Every spec participates, and the mix is deterministic in its seed.
+  for (std::size_t s = 0; s < chains.size(); ++s) EXPECT_GT(per_spec[s], 0u);
+  const auto replay = generateSpecMixTasks(chains, 120, /*mix_seed=*/9);
+  for (std::size_t i = 0; i < mixed.size(); ++i)
+    EXPECT_EQ(mixed[i].spec_id, replay[i].spec_id);
+}
+
 }  // namespace
 }  // namespace dadu::workload

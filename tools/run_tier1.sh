@@ -84,4 +84,10 @@ echo "sim determinism gate: ok ($(grep -c '' "${sim_dir}/a.trace") trace lines i
 if [[ "${DADU_RUN_BENCH:-0}" == "1" ]]; then
   "${build_dir}/bench/net_throughput" --quick --require-batched \
     --json "${build_dir}/BENCH_net.json"
+  # Multi-spec leg: the same load split evenly across two registry
+  # specs behind one server.  Per-spec req/s is appended to the JSON
+  # (net_requests_per_sec_spec<k>) so regressions in the routing layer
+  # show up as a per-lane throughput drop at equal per-spec load.
+  "${build_dir}/bench/net_throughput" --quick --spec-mix 2 \
+    --require-batched --json-append "${build_dir}/BENCH_net.json"
 fi
